@@ -1,0 +1,165 @@
+// Ablation study of Vapro's design knobs (the choices DESIGN.md calls
+// out).  One standard scenario — 64-rank CG with a one-second CPU hog on
+// node 1 — analyzed under varying parameters:
+//
+//   1. clustering threshold (paper default 5%)
+//   2. region-growing variance threshold (default 0.85)
+//   3. heat-map bin width
+//   4. sampling policy (none / exponential backoff / skip-short)
+//   5. context-free vs context-aware STG
+//   6. workload-vector proxy metrics (TOT_INS vs TOT_INS+MEM_REFS)
+#include "bench/bench_common.hpp"
+#include "src/apps/npb.hpp"
+#include "src/core/vapro.hpp"
+
+using namespace vapro;
+
+namespace {
+
+sim::SimConfig scenario() {
+  sim::SimConfig cfg;
+  cfg.ranks = 64;
+  cfg.cores_per_node = 16;
+  cfg.seed = 64;
+  cfg.noises.push_back(bench::cpu_noise(1, 0.4, 1.4, 1.0));
+  return cfg;
+}
+
+struct Outcome {
+  std::size_t regions = 0;
+  double top_loss_pct = 0.0;
+  double top_duration = 0.0;
+  double coverage_pct = 0.0;
+  std::uint64_t fragments = 0;
+  double makespan = 0.0;
+};
+
+Outcome run_with(core::VaproOptions opts) {
+  sim::Simulator simulator(scenario());
+  core::VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 60;
+  p.scale = 2.0;
+  auto result = simulator.run(apps::cg(p));
+  Outcome out;
+  out.makespan = result.makespan;
+  out.fragments = session.fragments_recorded();
+  out.coverage_pct =
+      100.0 * session.coverage(bench::total_execution_seconds(result));
+  auto regions = session.locate(core::FragmentKind::kComputation);
+  out.regions = regions.size();
+  if (!regions.empty()) {
+    out.top_loss_pct = 100.0 * (1.0 - regions.front().mean_perf);
+    out.top_duration = regions.front().time_hi(opts.bin_seconds) -
+                       regions.front().time_lo(opts.bin_seconds);
+  }
+  return out;
+}
+
+void print_outcome(util::TextTable& table, const std::string& label,
+                   const Outcome& o) {
+  table.add_row({label, std::to_string(o.regions),
+                 util::fmt(o.top_loss_pct, 1), util::fmt(o.top_duration, 2),
+                 util::fmt(o.coverage_pct, 1), std::to_string(o.fragments)});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations — Vapro design knobs",
+                      "DESIGN.md ablation list (ground truth: 50% loss, "
+                      "1.0 s, ranks 16-31)");
+
+  {
+    std::cout << "\n[1] clustering threshold (paper: 5%)\n";
+    util::TextTable t({"threshold", "regions", "top loss%", "dur(s)", "cov%",
+                       "fragments"});
+    for (double th : {0.002, 0.05, 0.40, 1.20}) {
+      core::VaproOptions opts;
+      opts.cluster.threshold = th;
+      print_outcome(t, util::fmt(100 * th, 1) + "%", run_with(opts));
+    }
+    t.print(std::cout);
+    std::cout << "detection is robust across thresholds here because CG's "
+                 "workload classes sit far apart (>2x) and PMU jitter is "
+                 "~0.3% — only sub-jitter thresholds start shaving coverage. "
+                 "micro_core's BM_ThresholdAblation shows the cluster-count "
+                 "blow-up at 1% on closely spaced classes.\n";
+  }
+
+  {
+    std::cout << "\n[2] variance threshold for region growing (paper: 0.85)\n";
+    util::TextTable t({"threshold", "regions", "top loss%", "dur(s)", "cov%",
+                       "fragments"});
+    for (double th : {0.5, 0.7, 0.85, 0.95, 0.995}) {
+      core::VaproOptions opts;
+      opts.variance_threshold = th;
+      print_outcome(t, util::fmt(th, 3), run_with(opts));
+    }
+    t.print(std::cout);
+    std::cout << "low thresholds miss moderate variance; near-1 thresholds "
+                 "flag normal jitter as variance (region count explodes).\n";
+  }
+
+  {
+    std::cout << "\n[3] heat-map bin width\n";
+    util::TextTable t({"bin(s)", "regions", "top loss%", "dur(s)", "cov%",
+                       "fragments"});
+    for (double bin : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+      core::VaproOptions opts;
+      opts.bin_seconds = bin;
+      print_outcome(t, util::fmt(bin, 2), run_with(opts));
+    }
+    t.print(std::cout);
+    std::cout << "coarse bins dilute the noise window across quiet time — "
+                 "the reported duration stretches and loss shrinks.\n";
+  }
+
+  {
+    std::cout << "\n[4] sampling policy (§3.5/§5)\n";
+    util::TextTable t({"policy", "regions", "top loss%", "dur(s)", "cov%",
+                       "fragments"});
+    core::VaproOptions none;
+    print_outcome(t, "none", run_with(none));
+    core::VaproOptions backoff;
+    backoff.sampling = core::SamplingPolicy::kBackoff;
+    backoff.sampling_warmup = 32;
+    print_outcome(t, "backoff", run_with(backoff));
+    core::VaproOptions skip;
+    skip.sampling = core::SamplingPolicy::kSkipShort;
+    skip.sampling_warmup = 32;
+    print_outcome(t, "skip-short", run_with(skip));
+    t.print(std::cout);
+    std::cout << "skip-short keeps time-weighted coverage far better than "
+                 "backoff at similar data reduction — the paper's heuristic.\n";
+  }
+
+  {
+    std::cout << "\n[5] STG context mode (Table 1's CA vs CF)\n";
+    util::TextTable t({"mode", "regions", "top loss%", "dur(s)", "cov%",
+                       "fragments"});
+    core::VaproOptions cf;
+    print_outcome(t, "context-free", run_with(cf));
+    core::VaproOptions ca;
+    ca.stg_mode = core::StgMode::kContextAware;
+    print_outcome(t, "context-aware", run_with(ca));
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n[6] workload-vector proxies (§3.4: extra PMU metrics)\n";
+    util::TextTable t({"proxies", "regions", "top loss%", "dur(s)", "cov%",
+                       "fragments"});
+    core::VaproOptions ins_only;
+    print_outcome(t, "TOT_INS", run_with(ins_only));
+    core::VaproOptions with_mem;
+    with_mem.cluster.proxies = {pmu::Counter::kTotIns,
+                                pmu::Counter::kMemRefs};
+    with_mem.pmu_budget = 5;  // MEM_REFS rides along with stage counters
+    print_outcome(t, "TOT_INS+MEM_REFS", run_with(with_mem));
+    t.print(std::cout);
+    std::cout << "extra metrics sharpen workload identity at the cost of a "
+                 "PMU slot (needs budget ≥ 5 alongside stage-1 counters).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the experiment-reproduction binaries.  Each bench
+// regenerates one table/figure of the paper; output is plain text tables
+// plus optional CSV dumps under /tmp for external plotting.
+#pragma once
+
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/sim/runtime.hpp"
+#include "src/util/table.hpp"
+
+namespace vapro::bench {
+
+// Sum of per-rank wall times — the denominator of the paper's coverage
+// metric ("total execution time").
+inline double total_execution_seconds(const sim::RunResult& result) {
+  return std::accumulate(result.finish_times.begin(),
+                         result.finish_times.end(), 0.0);
+}
+
+inline sim::NoiseSpec cpu_noise(int node, double t_begin, double t_end,
+                                double magnitude = 1.0) {
+  sim::NoiseSpec s;
+  s.kind = sim::NoiseKind::kCpuContention;
+  s.node = node;
+  s.t_begin = t_begin;
+  s.t_end = t_end;
+  s.magnitude = magnitude;
+  return s;
+}
+
+inline sim::NoiseSpec memory_noise(int node, double t_begin, double t_end,
+                                   double magnitude = 3.0) {
+  sim::NoiseSpec s;
+  s.kind = sim::NoiseKind::kMemoryBandwidth;
+  s.node = node;
+  s.t_begin = t_begin;
+  s.t_end = t_end;
+  s.magnitude = magnitude;
+  return s;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "\n==========================================================\n"
+            << title << "\n(paper reference: " << paper << ")\n"
+            << "==========================================================\n";
+}
+
+// One-line numeric series printer, e.g. for Fig 5 / Fig 19 curves.
+inline void print_series(const std::string& name,
+                         const std::vector<double>& values, int precision = 3,
+                         std::size_t max_points = 30) {
+  std::cout << name << ":";
+  const std::size_t step =
+      values.size() > max_points ? values.size() / max_points : 1;
+  for (std::size_t i = 0; i < values.size(); i += step)
+    std::cout << ' ' << util::fmt(values[i], precision);
+  std::cout << '\n';
+}
+
+}  // namespace vapro::bench

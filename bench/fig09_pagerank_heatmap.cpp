@@ -1,0 +1,40 @@
+// Figure 9: 8-thread PageRank under an injected memory noise — the
+// (thread × time) normalized-performance heat map shows a light block
+// during the noise window.
+#include "bench/bench_common.hpp"
+#include "src/apps/threaded.hpp"
+#include "src/core/vapro.hpp"
+
+int main() {
+  using namespace vapro;
+  bench::print_header("Fig 9 — PageRank heat map under memory noise",
+                      "Figure 9: 8-thread PageRank, memory noise");
+
+  sim::SimConfig cfg;
+  cfg.ranks = 8;
+  cfg.cores_per_node = 8;  // one shared-memory node
+  cfg.seed = 5;
+  // Memory noise over a mid-run window hits every thread of the node.
+  cfg.noises.push_back(bench::memory_noise(0, 1.5, 3.0, 3.0));
+  sim::Simulator simulator(cfg);
+
+  core::VaproOptions opts;
+  opts.window_seconds = 0.5;
+  opts.bin_seconds = 0.2;
+  core::VaproSession session(simulator, opts);
+
+  apps::ThreadedParams p;
+  p.iters = 400;
+  p.scale = 4.0;
+  auto result = simulator.run(apps::pagerank(p));
+
+  std::cout << session.computation_map().render_ascii(8, 80) << '\n'
+            << session.detection_summary() << '\n';
+  session.computation_map().write_csv("/tmp/vapro_fig09_heatmap.csv");
+  std::cout << "full heat map written to /tmp/vapro_fig09_heatmap.csv\n"
+            << "run length: " << util::fmt(result.makespan, 1)
+            << " s; noise window [1.5, 3.0) s\n"
+            << "paper shape: a contiguous low-performance band across all "
+               "threads during the noise window, ~1.0 elsewhere.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 12: detection-coverage matters — 1024-process SP under a one-
+// second computing noise.
+//
+// The OS timeshares the noisy core 50/50, so the truth is a ~50% loss for
+// one second.  Vapro's runtime-identified fragments cover most of the
+// execution and integrate over many scheduler quanta → ~50% reported.
+// vSensor anchors only on the small statically provable slice; its short
+// snippets either dodge the noise entirely or eat a full quantum of wait →
+// it reports a much deeper loss over a much shorter interval (the paper's
+// "90% for 1/10 s").
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/npb.hpp"
+#include "src/baselines/vsensor.hpp"
+#include "src/core/vapro.hpp"
+
+using namespace vapro;
+
+namespace {
+
+sim::SimConfig make_config() {
+  sim::SimConfig cfg;
+  cfg.ranks = 1024;
+  cfg.cores_per_node = 24;
+  cfg.seed = 12;
+  // One second of co-scheduled `stress` on the node hosting rank 500.
+  cfg.noises.push_back(bench::cpu_noise(500 / 24, 0.5, 1.5, 1.0));
+  return cfg;
+}
+
+apps::NpbParams sp_params() {
+  apps::NpbParams p;
+  p.iters = 110;
+  p.warmup_iters = 2;
+  p.scale = 4.0;  // ≈ 40 ms per iteration → ≈ 5 s runs
+  return p;
+}
+
+void report_region(const char* tool, const std::vector<core::VarianceRegion>& regions,
+                   double bin_seconds) {
+  if (regions.empty()) {
+    std::cout << tool << ": no variance detected\n";
+    return;
+  }
+  const auto& r = regions.front();
+  std::cout << tool << ": ranks " << r.rank_lo << "-" << r.rank_hi
+            << ", reported loss " << util::fmt((1 - r.mean_perf) * 100, 1)
+            << "%, duration "
+            << util::fmt(r.time_hi(bin_seconds) - r.time_lo(bin_seconds), 2)
+            << " s (t=[" << util::fmt(r.time_lo(bin_seconds), 2) << ", "
+            << util::fmt(r.time_hi(bin_seconds), 2) << "))\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 12 — Vapro vs vSensor on SP under computing noise",
+                      "Figure 12: 1024-process SP, 1 s CPU noise");
+
+  const double kBin = 0.1;
+
+  // --- Vapro ---
+  double vapro_cov;
+  std::vector<core::VarianceRegion> vapro_regions;
+  {
+    sim::Simulator simulator(make_config());
+    core::VaproOptions opts;
+    opts.window_seconds = 0.5;
+    opts.bin_seconds = kBin;
+    opts.run_diagnosis = false;
+    core::VaproSession session(simulator, opts);
+    auto result = simulator.run(apps::sp(sp_params()));
+    vapro_cov = session.coverage(bench::total_execution_seconds(result));
+    vapro_regions = session.locate(core::FragmentKind::kComputation);
+
+    // Zoomed heat map rows around the affected node (paper's Fig 12 view).
+    const auto& map = session.computation_map();
+    std::cout << "Vapro heat map, ranks 472-512 ('#'=slow):\n";
+    for (int rank = 472; rank <= 512; rank += 4) {
+      std::cout << "rank " << rank << " |";
+      for (int b = 0; b < map.bins(); ++b) {
+        double v = map.cell(rank, b);
+        std::cout << (std::isnan(v) ? '?' : (v < 0.6 ? '#' : v < 0.85 ? '+' : ' '));
+      }
+      std::cout << "|\n";
+    }
+  }
+
+  // --- vSensor ---
+  double vs_cov;
+  std::vector<core::VarianceRegion> vs_regions;
+  {
+    sim::Simulator simulator(make_config());
+    baselines::VsensorOptions vopts;
+    vopts.bin_seconds = kBin;
+    baselines::VsensorTool tool(1024, vopts);
+    simulator.set_interceptor(&tool);
+    auto result = simulator.run(apps::sp(sp_params()));
+    tool.finalize();
+    vs_cov = tool.coverage(bench::total_execution_seconds(result));
+    vs_regions = tool.locate();
+  }
+
+  std::cout << '\n';
+  report_region("Vapro  ", vapro_regions, kBin);
+  report_region("vSensor", vs_regions, kBin);
+  std::cout << "detection coverage: Vapro " << util::fmt(vapro_cov * 100, 1)
+            << "%  vs  vSensor " << util::fmt(vs_cov * 100, 1) << "%\n"
+            << "ground truth: 50% loss for t=[0.5, 1.5) s on ranks "
+            << (500 / 24) * 24 << "-" << (500 / 24) * 24 + 23 << "\n"
+            << "paper shape: Vapro ≈50% over ≈1 s (coverage 36.4%); vSensor "
+               "deeper loss over ~0.1 s (coverage 8.7%).\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Table 1: performance overhead and detection coverage of vSensor, Vapro
+// with context-aware STG (CA), and Vapro with context-free STG (CF).
+//
+// Multi-process applications run at 256 ranks (the paper used 1024, and
+// 2048 for CESM; rank count only scales the experiment, not the per-rank
+// overhead/coverage mechanics), multi-threaded ones at 16 threads as in the
+// paper.  Overhead is (T_tool − T_bare)/T_bare on the same seed; coverage
+// is repeated-fixed-workload time over total execution time.
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/apps.hpp"
+#include "src/baselines/vsensor.hpp"
+#include "src/core/vapro.hpp"
+
+using namespace vapro;
+
+namespace {
+
+struct ToolResult {
+  double overhead_pct = 0.0;
+  double coverage_pct = 0.0;
+};
+
+sim::SimConfig make_config(int ranks) {
+  sim::SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 24;
+  cfg.seed = 101;
+  return cfg;
+}
+
+double bare_run(const apps::AppSpec& app, int ranks) {
+  sim::Simulator simulator(make_config(ranks));
+  return simulator.run(app.program).makespan;
+}
+
+ToolResult vapro_run(const apps::AppSpec& app, int ranks, core::StgMode mode,
+                     double t_bare) {
+  sim::Simulator simulator(make_config(ranks));
+  core::VaproOptions opts;
+  opts.stg_mode = mode;
+  opts.window_seconds = 0.5;
+  opts.run_diagnosis = false;
+  core::VaproSession session(simulator, opts);
+  auto result = simulator.run(app.program);
+  ToolResult out;
+  out.overhead_pct = 100.0 * (result.makespan - t_bare) / t_bare;
+  out.coverage_pct =
+      100.0 * session.coverage(bench::total_execution_seconds(result));
+  return out;
+}
+
+std::optional<ToolResult> vsensor_run(const apps::AppSpec& app, int ranks,
+                                      double t_bare) {
+  if (!app.vsensor_supported) return std::nullopt;
+  sim::Simulator simulator(make_config(ranks));
+  baselines::VsensorTool tool(ranks, baselines::VsensorOptions{});
+  simulator.set_interceptor(&tool);
+  auto result = simulator.run(app.program);
+  tool.finalize();
+  ToolResult out;
+  out.overhead_pct = 100.0 * (result.makespan - t_bare) / t_bare;
+  out.coverage_pct =
+      100.0 * tool.coverage(bench::total_execution_seconds(result));
+  return out;
+}
+
+std::string pct(double v) { return util::fmt(v, 2); }
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1 — overhead and detection coverage",
+                      "Table 1: vSensor vs Vapro CA vs Vapro CF");
+
+  std::cout << "\n--- multi-process applications (256 ranks; paper: 1024/2048) ---\n";
+  util::TextTable mp({"app", "ovh% vSensor", "ovh% CA", "ovh% CF",
+                      "cov% vSensor", "cov% CA", "cov% CF"});
+  double mean_ovh[3] = {0, 0, 0}, mean_cov[3] = {0, 0, 0};
+  int counted_vs = 0, counted = 0;
+  for (const auto& app : apps::multiprocess_suite(2.0)) {
+    const int ranks = 256;
+    const double t_bare = bare_run(app, ranks);
+    auto vs = vsensor_run(app, ranks, t_bare);
+    auto ca = vapro_run(app, ranks, core::StgMode::kContextAware, t_bare);
+    auto cf = vapro_run(app, ranks, core::StgMode::kContextFree, t_bare);
+    mp.add_row({app.name, vs ? pct(vs->overhead_pct) : "N/A",
+                pct(ca.overhead_pct), pct(cf.overhead_pct),
+                vs ? pct(vs->coverage_pct) : "N/A", pct(ca.coverage_pct),
+                pct(cf.coverage_pct)});
+    if (vs) {
+      mean_ovh[0] += vs->overhead_pct;
+      mean_cov[0] += vs->coverage_pct;
+      ++counted_vs;
+    }
+    mean_ovh[1] += ca.overhead_pct;
+    mean_cov[1] += ca.coverage_pct;
+    mean_ovh[2] += cf.overhead_pct;
+    mean_cov[2] += cf.coverage_pct;
+    ++counted;
+  }
+  mp.add_row({"Mean", pct(mean_ovh[0] / counted_vs),
+              pct(mean_ovh[1] / counted), pct(mean_ovh[2] / counted),
+              pct(mean_cov[0] / counted_vs), pct(mean_cov[1] / counted),
+              pct(mean_cov[2] / counted)});
+  mp.print(std::cout);
+
+  std::cout << "\n--- multi-threaded applications (16 threads, context-free) ---\n";
+  util::TextTable mt({"app", "ovh% CF", "cov% CF"});
+  double mt_ovh = 0, mt_cov = 0;
+  int mt_n = 0;
+  for (const auto& app : apps::multithreaded_suite(2.0)) {
+    const int ranks = 16;
+    const double t_bare = bare_run(app, ranks);
+    auto cf = vapro_run(app, ranks, core::StgMode::kContextFree, t_bare);
+    mt.add_row({app.name, pct(cf.overhead_pct), pct(cf.coverage_pct)});
+    mt_ovh += cf.overhead_pct;
+    mt_cov += cf.coverage_pct;
+    ++mt_n;
+  }
+  mt.add_row({"Mean", pct(mt_ovh / mt_n), pct(mt_cov / mt_n)});
+  mt.print(std::cout);
+
+  std::cout
+      << "\npaper shape to check:\n"
+      << "  * overheads are small (~1-4%), CA > CF on average;\n"
+      << "  * CESM is N/A for vSensor and has the largest CA/CF overhead gap;\n"
+      << "  * vSensor coverage is 0 for AMG and EP (runtime-only fixed "
+         "workload), far below CF for CG/SP, but ABOVE CF for FT;\n"
+      << "  * MG's CA coverage collapses while CF stays high;\n"
+      << "  * CF coverage beats CA on average → the paper picks CF.\n";
+  return 0;
+}

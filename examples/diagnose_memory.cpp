@@ -1,0 +1,59 @@
+// Scenario: a user reports that a CFD solver (Nekbone-like) sometimes runs
+// slow on one allocation.  This example shows how Vapro's progressive
+// diagnosis narrows the cause down to memory, stage by stage, while only
+// ever keeping a handful of PMU counters active (the paper's §4.3 flow and
+// §6.5.2 case study).
+#include <iostream>
+
+#include "src/apps/solvers.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+
+int main() {
+  using namespace vapro;
+
+  // One node in the allocation has a degraded DIMM: 40% less effective
+  // memory bandwidth (nobody knows that yet).
+  sim::SimConfig config;
+  config.ranks = 64;
+  config.cores_per_node = 16;
+  config.seed = 99;
+  sim::NoiseSpec dimm;
+  dimm.kind = sim::NoiseKind::kSlowDram;
+  dimm.node = 2;  // ranks 32-47
+  dimm.magnitude = 1.7;
+  config.noises.push_back(dimm);
+  sim::Simulator simulator(config);
+
+  core::VaproOptions options;
+  options.window_seconds = 0.25;
+  core::VaproSession vapro(simulator, options);
+
+  apps::NekboneParams params;
+  params.iters = 300;
+  simulator.run(apps::nekbone(params));
+
+  // Where is the variance?
+  auto regions = vapro.locate(core::FragmentKind::kComputation);
+  if (regions.empty()) {
+    std::cout << "no variance found — the machine looks healthy\n";
+    return 0;
+  }
+  const auto& region = regions.front();
+  std::cout << "variance located: ranks " << region.rank_lo << "-"
+            << region.rank_hi << " run at "
+            << 100 * (1 - region.mean_perf)
+            << "% below their fixed-workload baseline\n\n";
+
+  // Why?  The diagnosis report walks the breakdown tree: each stage keeps
+  // only the factors that explain > 25% of the variance and re-programs
+  // the (4-slot) PMU for their children.
+  const auto& report = vapro.diagnosis();
+  std::cout << report.summary() << "\n\n";
+
+  std::cout << "actionable finding: if the culprit chain is backend → "
+               "memory → DRAM on one node's ranks, compare that node's "
+               "STREAM bandwidth against its peers and file a hardware "
+               "ticket (the paper's Nekbone case found a DIMM 15.5% slow).\n";
+  return 0;
+}

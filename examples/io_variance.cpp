@@ -1,0 +1,87 @@
+// Scenario: a phylogenetics pipeline (RAxML-like) has wildly varying run
+// times between identical submissions.  Vapro shows computation and
+// communication are stable but rank 0's IO is not — it merges many small
+// files on the shared filesystem.  A small file buffer fixes it
+// (the paper's §6.5.3 case study).
+#include <iostream>
+
+#include "src/apps/solvers.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/stats/descriptive.hpp"
+
+int main() {
+  using namespace vapro;
+
+  auto run_once = [](bool buffered, std::uint64_t seed) {
+    sim::SimConfig config;
+    config.ranks = 64;
+    config.cores_per_node = 16;
+    config.seed = seed;
+    // The shared filesystem periodically serves other tenants.
+    sim::NoiseSpec fs_noise;
+    fs_noise.kind = sim::NoiseKind::kIoInterference;
+    fs_noise.t_begin = 0.1 + 0.05 * static_cast<double>(seed % 7);
+    fs_noise.t_end = fs_noise.t_begin + 0.5;
+    fs_noise.magnitude = 8.0;
+    config.noises.push_back(fs_noise);
+    sim::Simulator simulator(config);
+
+    apps::RaxmlParams params;
+    params.io_rounds = 300;
+    params.compute_iters = 150;
+    params.buffered = buffered;
+    return simulator.run(apps::raxml(params)).makespan;
+  };
+
+  // First: what does Vapro say about one slow run?
+  {
+    sim::SimConfig config;
+    config.ranks = 64;
+    config.cores_per_node = 16;
+    config.seed = 7;
+    sim::NoiseSpec fs_noise;
+    fs_noise.kind = sim::NoiseKind::kIoInterference;
+    fs_noise.t_begin = 0.1;
+    fs_noise.t_end = 0.6;
+    fs_noise.magnitude = 8.0;
+    config.noises.push_back(fs_noise);
+    sim::Simulator simulator(config);
+    core::VaproOptions options;
+    options.window_seconds = 0.2;
+    core::VaproSession vapro(simulator, options);
+    apps::RaxmlParams params;
+    params.io_rounds = 300;
+    params.compute_iters = 150;
+    simulator.run(apps::raxml(params));
+
+    std::cout << "computation regions: "
+              << vapro.locate(core::FragmentKind::kComputation).size()
+              << ", communication regions: "
+              << vapro.locate(core::FragmentKind::kCommunication).size()
+              << ", IO regions: "
+              << vapro.locate(core::FragmentKind::kIo).size() << "\n";
+    for (const auto& r : vapro.locate(core::FragmentKind::kIo)) {
+      std::cout << "  IO variance on ranks " << r.rank_lo << "-" << r.rank_hi
+                << " (mean normalized performance " << r.mean_perf << ")\n";
+    }
+    std::cout << "→ only rank 0 touches the filesystem; its small-file "
+                 "merge is at the mercy of shared-FS interference.\n\n";
+  }
+
+  // Then: quantify the fix across repeated submissions.
+  std::vector<double> plain, buffered;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    plain.push_back(run_once(false, seed));
+    buffered.push_back(run_once(true, seed));
+  }
+  std::cout << "8 submissions without buffer: mean "
+            << stats::mean(plain) << " s, stddev " << stats::stddev(plain)
+            << " s\n8 submissions with buffer:    mean "
+            << stats::mean(buffered) << " s, stddev "
+            << stats::stddev(buffered) << " s\n"
+            << "stddev reduction: "
+            << 100 * (1 - stats::stddev(buffered) / stats::stddev(plain))
+            << "% — the paper reports 73.5% with a 17.5% speedup.\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification cycle: configure, build, test, regenerate every
+# experiment.  Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "--- experiment reproduction ---"
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "### $b"
+    "$b"
+  fi
+done

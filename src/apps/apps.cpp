@@ -1,0 +1,41 @@
+#include "src/apps/apps.hpp"
+
+namespace vapro::apps {
+
+std::vector<AppSpec> multiprocess_suite(double scale) {
+  NpbParams npb;
+  npb.scale = scale;
+  AmgParams amg_p;
+  amg_p.scale = scale;
+  CesmParams cesm_p;
+  cesm_p.scale = scale;
+  return {
+      {"AMG", amg(amg_p), /*vsensor=*/true, /*mt=*/false},
+      {"CESM", cesm(cesm_p), /*vsensor=*/false, /*mt=*/false},
+      {"BT", bt(npb), true, false},
+      {"CG", cg(npb), true, false},
+      {"EP", ep(npb), true, false},
+      {"FT", ft(npb), true, false},
+      {"LU", lu(npb), true, false},
+      {"MG", mg(npb), true, false},
+      {"SP", sp(npb), true, false},
+  };
+}
+
+std::vector<AppSpec> multithreaded_suite(double scale) {
+  ThreadedParams p;
+  p.scale = scale;
+  return {
+      {"BERT", bert(p), false, true},
+      {"PageRank", pagerank(p), false, true},
+      {"WordCount", wordcount(p), false, true},
+      {"FFT", fft(p), false, true},
+      {"blackscholes", blackscholes(p), false, true},
+      {"canneal", canneal(p), false, true},
+      {"ferret", ferret(p), false, true},
+      {"swaptions", swaptions(p), false, true},
+      {"vips", vips(p), false, true},
+  };
+}
+
+}  // namespace vapro::apps

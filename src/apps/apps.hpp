@@ -1,0 +1,29 @@
+// Application registry used by the Table 1 / Table 2 benches and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/apps/npb.hpp"
+#include "src/apps/solvers.hpp"
+#include "src/apps/threaded.hpp"
+
+namespace vapro::apps {
+
+struct AppSpec {
+  std::string name;
+  sim::Simulator::RankProgram program;
+  // vSensor needs source access and a tractable codebase; it cannot handle
+  // CESM (closed-ish, 500k LoC) — Table 1's "N/A".
+  bool vsensor_supported = true;
+  bool multithreaded = false;
+};
+
+// The multi-process column of Table 1 (AMG, CESM, NPB×7).
+std::vector<AppSpec> multiprocess_suite(double scale = 1.0);
+
+// The multi-threaded column of Table 1 (BERT, PageRank, WordCount,
+// PARSEC×6).
+std::vector<AppSpec> multithreaded_suite(double scale = 1.0);
+
+}  // namespace vapro::apps

@@ -1,0 +1,224 @@
+#include "src/apps/npb.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace vapro::apps {
+
+using pmu::ComputeWorkload;
+using sim::RankContext;
+using sim::Request;
+using sim::Task;
+
+namespace {
+
+// Call-site numbering is per program; keep them readable in reports.
+enum CgSites : sim::CallSiteId {
+  kCgIrecv = 10,  // +3*subloop
+  kCgSend = 11,
+  kCgWait = 12,
+  kCgAllreduce = 50,
+  kCgWarmupAllreduce = 51,
+};
+
+// Communication partner for CG's power-of-two exchange in sub-loop `s`.
+int xor_partner(int rank, int s, int size) {
+  int partner = rank ^ (1 << s);
+  return partner < size ? partner : -1;
+}
+
+Task cg_task(RankContext& ctx, NpbParams p) {
+  const int size = ctx.size();
+  // Warm-up: setup workloads unique per iteration (uncovered time — each
+  // execution lands in its own rare cluster).
+  for (int w = 0; w < p.warmup_iters; ++w) {
+    co_await ctx.compute(ComputeWorkload::balanced(
+        4e6 * p.scale * (1.0 + 0.37 * w), /*truth=*/1000 + w));
+    co_await ctx.allreduce(8.0, kCgWarmupAllreduce);
+  }
+  // Main cgit loop: Fig 4's structure, one irecv/send/wait triple per
+  // sub-loop, with sparse-matrix compute whose trip counts come from data
+  // (runtime-fixed only), plus a small statically provable vector update.
+  for (int it = 0; it < p.iters; ++it) {
+    for (int s = 0; s < p.sub_loops; ++s) {
+      const int partner = xor_partner(ctx.rank(), s, size);
+      Request r;
+      if (partner >= 0) {
+        r = co_await ctx.irecv(partner, kCgIrecv + 3 * s, /*tag=*/s);
+      }
+      // Sparse mat-vec slice: fixed at runtime, opaque to static analysis.
+      ComputeWorkload spmv =
+          ComputeWorkload::memory_bound(1.2e6 * p.scale, /*truth=*/s);
+      co_await ctx.compute(spmv);
+      if (partner >= 0) {
+        co_await ctx.send(partner, 64.0 * 1024, kCgSend + 3 * s, /*tag=*/s);
+        co_await ctx.wait(r, kCgWait + 3 * s);
+      }
+    }
+    // Statically fixed vector update (what vSensor can anchor on).
+    ComputeWorkload axpy = ComputeWorkload::balanced(2.5e6 * p.scale,
+                                                     /*truth=*/100);
+    axpy.statically_fixed = true;
+    co_await ctx.compute(axpy);
+    co_await ctx.allreduce(8.0, kCgAllreduce);
+  }
+}
+
+Task ep_task(RankContext& ctx, NpbParams p) {
+  // Embarrassingly parallel: long compute, a probe per batch (inserted by
+  // the tool via binary rewriting, §5), one reduction at the end.  The
+  // first and last batches run setup/drain paths with their own workload
+  // classes (RNG stream setup, tally accumulation).
+  const int batches = p.iters * 2;
+  for (int b = 0; b < batches; ++b) {
+    const std::int64_t cls = b == 0 ? 2 : (b == batches - 1 ? 3 : 1);
+    ComputeWorkload w = ComputeWorkload::compute_bound(
+        2.0e7 * p.scale * (cls == 1 ? 1.0 : 1.3), cls);
+    w.statically_fixed = true;  // static, but vSensor has no call to cut at
+    co_await ctx.compute(w);
+    co_await ctx.probe(/*site=*/10);
+  }
+  co_await ctx.allreduce(64.0, /*site=*/20);
+}
+
+Task ft_task(RankContext& ctx, NpbParams p) {
+  // FFT: loops a compiler can prove fixed, but the executed instruction
+  // count wobbles ±8% at runtime (transform shortcuts), so runtime
+  // clustering splits part of the executions into rare clusters while the
+  // static tool happily covers them — Table 1's FT inversion.
+  for (int it = 0; it < p.iters; ++it) {
+    // The transform takes one of a few data-dependent shortcut variants
+    // (≈6% apart, distinguishable by the clustering threshold), plus an
+    // occasional extreme irregular size that never repeats — runtime
+    // behaviour a compile-time "fixed workload" proof cannot see.
+    double wobble;
+    std::int64_t cls;
+    if (ctx.rng().bernoulli(0.08)) {
+      wobble = ctx.rng().uniform(1.3, 3.0);
+      cls = 200 + static_cast<std::int64_t>(
+                      std::log(wobble) / std::log(1.05));
+    } else {
+      const std::int64_t variant =
+          static_cast<std::int64_t>(ctx.rng().uniform_u64(5));
+      wobble = 0.88 + 0.06 * static_cast<double>(variant);
+      cls = 10 + variant;
+    }
+    ComputeWorkload butterfly = ComputeWorkload::balanced(
+        8e6 * p.scale * wobble, cls);
+    butterfly.statically_fixed = true;
+    co_await ctx.compute(butterfly);
+    co_await ctx.allreduce(1.0e6, /*site=*/10);  // transpose stand-in
+    ComputeWorkload evolve =
+        ComputeWorkload::balanced(2e6 * p.scale, /*truth=*/2);
+    evolve.statically_fixed = true;
+    co_await ctx.compute(evolve);
+    co_await ctx.barrier(/*site=*/11);
+  }
+}
+
+Task lu_task(RankContext& ctx, NpbParams p) {
+  // SSOR wavefront: many small pipelined messages → the highest call rate
+  // of the suite, nearly fully repeated compute.
+  const int sweeps = p.iters * 4;
+  for (int it = 0; it < sweeps; ++it) {
+    if (ctx.rank() > 0) co_await ctx.recv(ctx.rank() - 1, /*site=*/10);
+    ComputeWorkload lower =
+        ComputeWorkload::balanced(1.0e6 * p.scale, /*truth=*/1);
+    lower.statically_fixed = true;
+    co_await ctx.compute(lower);
+    if (ctx.rank() < ctx.size() - 1)
+      co_await ctx.send(ctx.rank() + 1, 2048.0, /*site=*/11);
+    ComputeWorkload upper =
+        ComputeWorkload::balanced(1.0e6 * p.scale, /*truth=*/2);
+    upper.statically_fixed = true;
+    co_await ctx.compute(upper);
+    if (it % 8 == 7) co_await ctx.allreduce(8.0, /*site=*/12);
+  }
+}
+
+Task mg_task(RankContext& ctx, NpbParams p) {
+  // V-cycles: the region path encodes the cycle index (adaptive recursion
+  // state), so context-aware states almost never repeat while context-free
+  // states do — workload clustering then separates the per-level classes.
+  constexpr int kLevels = 4;
+  for (int it = 0; it < p.iters; ++it) {
+    // The call path through the V-cycle encodes adaptive, data-dependent
+    // recursion decisions (residual-driven smoothing counts), so it almost
+    // never repeats — each context-aware state sees too few fragments to
+    // cluster, while context-free states merge across cycles.
+    const auto adaptive_path =
+        1000 + static_cast<std::uint32_t>(ctx.rng().uniform_u64(1u << 30));
+    auto cycle_region = ctx.region(adaptive_path);
+    for (int level = 0; level < kLevels; ++level) {
+      ComputeWorkload smooth = ComputeWorkload::memory_bound(
+          1.6e6 * p.scale / (1 << (2 * level)), /*truth=*/level);
+      co_await ctx.compute(smooth);
+      co_await ctx.allreduce(8.0, /*site=*/20);  // same site at every level
+    }
+  }
+}
+
+// ADI sweep used by both SP and BT; BT's compute is mostly statically
+// analyzable, SP's is runtime-fixed with a thin static slice.
+Task adi_task(RankContext& ctx, NpbParams p, bool mostly_static,
+              double static_slice_ins, sim::CallSiteId site_base) {
+  const int size = ctx.size();
+  for (int w = 0; w < p.warmup_iters; ++w) {
+    co_await ctx.compute(ComputeWorkload::balanced(
+        5e6 * p.scale * (1.0 + 0.4 * w), /*truth=*/2000 + w));
+    co_await ctx.barrier(site_base + 9);
+  }
+  for (int it = 0; it < p.iters; ++it) {
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      const int next = (ctx.rank() + 1) % size;
+      const int prev = (ctx.rank() + size - 1) % size;
+      Request r = co_await ctx.irecv(prev, site_base + 3 * sweep, /*tag=*/sweep);
+      ComputeWorkload solve = ComputeWorkload::balanced(
+          3.0e6 * p.scale, /*truth=*/sweep);
+      solve.statically_fixed = mostly_static;
+      co_await ctx.compute(solve);
+      co_await ctx.isend(next, 48.0 * 1024, site_base + 3 * sweep + 1,
+                         /*tag=*/sweep);
+      co_await ctx.wait(r, site_base + 3 * sweep + 2);
+    }
+    if (static_slice_ins > 0) {
+      ComputeWorkload rhs =
+          ComputeWorkload::balanced(static_slice_ins * p.scale, /*truth=*/50);
+      rhs.statically_fixed = true;
+      co_await ctx.compute(rhs);
+    }
+    co_await ctx.allreduce(8.0, site_base + 20);
+  }
+}
+
+}  // namespace
+
+sim::Simulator::RankProgram cg(NpbParams p) {
+  return [p](RankContext& ctx) { return cg_task(ctx, p); };
+}
+sim::Simulator::RankProgram ep(NpbParams p) {
+  return [p](RankContext& ctx) { return ep_task(ctx, p); };
+}
+sim::Simulator::RankProgram ft(NpbParams p) {
+  return [p](RankContext& ctx) { return ft_task(ctx, p); };
+}
+sim::Simulator::RankProgram lu(NpbParams p) {
+  return [p](RankContext& ctx) { return lu_task(ctx, p); };
+}
+sim::Simulator::RankProgram mg(NpbParams p) {
+  return [p](RankContext& ctx) { return mg_task(ctx, p); };
+}
+sim::Simulator::RankProgram sp(NpbParams p) {
+  return [p](RankContext& ctx) {
+    return adi_task(ctx, p, /*mostly_static=*/false,
+                    /*static_slice_ins=*/1.0e6, /*site_base=*/100);
+  };
+}
+sim::Simulator::RankProgram bt(NpbParams p) {
+  return [p](RankContext& ctx) {
+    return adi_task(ctx, p, /*mostly_static=*/true,
+                    /*static_slice_ins=*/1.0e6, /*site_base=*/200);
+  };
+}
+
+}  // namespace vapro::apps

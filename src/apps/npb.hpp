@@ -1,0 +1,50 @@
+// Mini NPB-like workloads (paper §6.1 evaluates BT, CG, EP, FT, LU, MG, SP).
+//
+// Each program reproduces the *structural* properties that matter to a
+// variance tool — communication pattern, call rate, workload-class mix, and
+// how much of the computation a static analysis could prove fixed — not the
+// physics.  The `iters`/`scale` parameters control virtual run length.
+//
+// Structural notes (drive the Table 1 coverage/overhead shape):
+//   CG — Fig 4's nested sub-loop pattern (irecv/send/wait per sub-loop +
+//        allreduce).  Most compute is runtime-fixed only (sparse matrix:
+//        trip counts from data) → vSensor sees a small statically fixed
+//        slice, Vapro sees almost everything.
+//   EP — embarrassingly parallel: one allreduce at the end.  Without
+//        probes a fragment spans the whole run (nothing to compare);
+//        Dyninst-style probes (§5) cut it into fixed-workload pieces.
+//        vSensor has no MPI calls to anchor on → coverage 0.
+//   FT — statically provable loops, but the runtime instruction count
+//        wobbles a few percent (data-dependent transform butterflies), so
+//        Vapro's 5%-threshold clustering splits part of them into rare
+//        clusters: the one case where static coverage beats runtime
+//        coverage, as in Table 1.
+//   LU — pipelined wavefront: very frequent small sends → high call rate
+//        (higher interception overhead), almost fully repeated compute.
+//   MG — V-cycles whose region path encodes the grid level, so a
+//        context-aware STG shatters states while context-free merges them
+//        (Table 1's MG: CA coverage collapses, CF stays high).
+//   SP/BT — ADI sweeps; a warm-up phase of unique workloads lowers
+//        coverage below CG/LU.
+#pragma once
+
+#include "src/sim/runtime.hpp"
+
+namespace vapro::apps {
+
+struct NpbParams {
+  int iters = 60;            // outer iterations
+  double scale = 1.0;        // multiplies per-fragment instruction counts
+  int sub_loops = 3;         // CG/SP inner structure
+  int warmup_iters = 5;      // unique-workload warm-up (uncovered time)
+};
+
+sim::Simulator::RankProgram cg(NpbParams p = {});
+sim::Simulator::RankProgram ep(NpbParams p = {});
+sim::Simulator::RankProgram ft(NpbParams p = {});
+sim::Simulator::RankProgram lu(NpbParams p = {});
+sim::Simulator::RankProgram mg(NpbParams p = {});
+sim::Simulator::RankProgram sp(NpbParams p = {});
+sim::Simulator::RankProgram bt(NpbParams p = {});
+
+}  // namespace vapro::apps

@@ -1,0 +1,163 @@
+#include "src/apps/solvers.hpp"
+
+namespace vapro::apps {
+
+using pmu::ComputeWorkload;
+using sim::RankContext;
+using sim::Request;
+using sim::Task;
+
+namespace {
+
+Task amg_task(RankContext& ctx, AmgParams p) {
+  // The Fig 3 snippet: `for (i = 0; i < num_cols * num_vectors; i++)` —
+  // not fixed at compile time, but at runtime only 7 distinct workloads
+  // occur.  The schedule below cycles the classes deterministically.
+  constexpr int kClasses = 7;
+  for (int it = 0; it < p.iters; ++it) {
+    for (int k = 0; k < 3; ++k) {
+      const int cls = (it * 3 + k) % kClasses;
+      ComputeWorkload level = ComputeWorkload::memory_bound(
+          0.6e6 * p.scale * (1.0 + 0.45 * cls), /*truth=*/cls);
+      co_await ctx.compute(level);  // statically_fixed stays false
+      co_await ctx.allreduce(8.0, /*site=*/10 + static_cast<sim::CallSiteId>(k));
+    }
+    const int next = (ctx.rank() + 1) % ctx.size();
+    const int prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+    Request r = co_await ctx.irecv(prev, /*site=*/20);
+    co_await ctx.isend(next, 16.0 * 1024, /*site=*/21);
+    co_await ctx.wait(r, /*site=*/22);
+  }
+}
+
+Task cesm_task(RankContext& ctx, CesmParams p) {
+  // Deep component stack: coupler → atmosphere → dynamics → ... .  The
+  // region ids are stable, so the *depth* (not churn) is what makes
+  // context-aware interception expensive.
+  struct DepthGuard {
+    RankContext& ctx;
+    int depth;
+    DepthGuard(RankContext& c, int d) : ctx(c), depth(d) {
+      for (int i = 0; i < depth; ++i) ctx.push_region(5000 + static_cast<std::uint32_t>(i));
+    }
+    ~DepthGuard() {
+      for (int i = 0; i < depth; ++i) ctx.pop_region();
+    }
+  } guard(ctx, p.call_depth);
+
+  const int neighbor = ctx.rank() ^ 1;
+  for (int step = 0; step < p.steps; ++step) {
+    // Three model components; half of each step's work is unique science
+    // (different forcing every step → its own rare cluster).
+    for (int comp = 0; comp < 3; ++comp) {
+      auto phase = ctx.region(6000 + static_cast<std::uint32_t>(step % 8));
+      ComputeWorkload physics = ComputeWorkload::balanced(
+          2.2e6 * p.scale, /*truth=*/comp);
+      co_await ctx.compute(physics);
+      co_await ctx.allreduce(64.0, /*site=*/30 + static_cast<sim::CallSiteId>(comp));
+      ComputeWorkload forcing = ComputeWorkload::balanced(
+          2.0e6 * p.scale * (1.0 + 0.13 * step), /*truth=*/9000 + step);
+      co_await ctx.compute(forcing);
+      if (neighbor < ctx.size()) {
+        Request r = co_await ctx.irecv(neighbor, /*site=*/40, /*tag=*/comp);
+        co_await ctx.isend(neighbor, 8.0 * 1024, /*site=*/41, /*tag=*/comp);
+        co_await ctx.wait(r, /*site=*/42);
+      }
+    }
+    if (step % 10 == 9 && ctx.rank() == 0)
+      co_await ctx.file_write(/*fd=*/3, 4.0e6, /*site=*/50);  // history file
+    co_await ctx.barrier(/*site=*/51);
+  }
+}
+
+Task hpl_task(RankContext& ctx, HplParams p) {
+  for (int k = 0; k < p.panels; ++k) {
+    const int owner = k % ctx.size();
+    // Panel factorization on the owner, broadcast, trailing update on all.
+    if (ctx.rank() == owner) {
+      ComputeWorkload panel = ComputeWorkload::compute_bound(
+          6.0e6 * p.scale, /*truth=*/500);
+      panel.statically_fixed = true;
+      co_await ctx.compute(panel);
+    }
+    co_await ctx.bcast(32.0 * 1024, owner, /*site=*/10);
+    // Trailing DGEMM: shrinks as the factorization proceeds; every rank
+    // runs the same class at step k → inter-process comparable clusters.
+    const double shrink = 1.0 - static_cast<double>(k) / (p.panels + 4);
+    ComputeWorkload update = ComputeWorkload::compute_bound(
+        3.0e7 * p.scale * shrink * shrink, /*truth=*/k);
+    update.statically_fixed = true;
+    co_await ctx.compute(update);
+    co_await ctx.allreduce(8.0, /*site=*/11);
+  }
+}
+
+Task nekbone_task(RankContext& ctx, NekboneParams p) {
+  for (int it = 0; it < p.iters; ++it) {
+    // Conjugate-gradient iteration: matrix apply (memory bound, fixed),
+    // then two reductions — all fixed workload, ideal for inter-process
+    // comparison.
+    ComputeWorkload ax = ComputeWorkload::memory_bound(
+        2.2e6 * p.scale, /*truth=*/1);
+    co_await ctx.compute(ax);
+    co_await ctx.allreduce(8.0, /*site=*/10);
+    ComputeWorkload axpy = ComputeWorkload::balanced(
+        1.2e6 * p.scale, /*truth=*/2);
+    axpy.statically_fixed = true;
+    co_await ctx.compute(axpy);
+    co_await ctx.allreduce(8.0, /*site=*/11);
+  }
+}
+
+Task raxml_task(RankContext& ctx, RaxmlParams p) {
+  // Bootstrap phase: rank 0 merges many small files from the shared
+  // filesystem (fixed sizes → fixed-workload IO fragments, Fig 19), then
+  // broadcasts the merged data.
+  if (ctx.rank() == 0) {
+    for (int i = 0; i < p.io_rounds; ++i) {
+      if (p.buffered && i >= 8 && i % 16 != 0) {
+        // File buffer: after warming, reads hit the in-memory buffer —
+        // a small memcpy instead of a filesystem round trip.  Every 16th
+        // round the buffer still flushes to the filesystem.
+        ComputeWorkload memcpy_like =
+            ComputeWorkload::balanced(5.0e4 * p.scale, /*truth=*/700);
+        co_await ctx.compute(memcpy_like);
+        co_await ctx.probe(/*site=*/14);
+      } else {
+        co_await ctx.file_read(/*fd=*/4, 64.0 * 1024, /*site=*/10);
+        co_await ctx.file_write(/*fd=*/5, 32.0 * 1024, /*site=*/11);
+      }
+      ComputeWorkload parse =
+          ComputeWorkload::balanced(2.0e5 * p.scale, /*truth=*/701);
+      co_await ctx.compute(parse);
+    }
+  }
+  co_await ctx.bcast(2.0e6, /*root=*/0, /*site=*/12);
+  // Likelihood evaluation rounds: fixed-workload compute + reduction.
+  for (int it = 0; it < p.compute_iters; ++it) {
+    ComputeWorkload likelihood = ComputeWorkload::balanced(
+        4.0e6 * p.scale, /*truth=*/1);
+    co_await ctx.compute(likelihood);
+    co_await ctx.allreduce(8.0, /*site=*/13);
+  }
+}
+
+}  // namespace
+
+sim::Simulator::RankProgram amg(AmgParams p) {
+  return [p](RankContext& ctx) { return amg_task(ctx, p); };
+}
+sim::Simulator::RankProgram cesm(CesmParams p) {
+  return [p](RankContext& ctx) { return cesm_task(ctx, p); };
+}
+sim::Simulator::RankProgram hpl(HplParams p) {
+  return [p](RankContext& ctx) { return hpl_task(ctx, p); };
+}
+sim::Simulator::RankProgram nekbone(NekboneParams p) {
+  return [p](RankContext& ctx) { return nekbone_task(ctx, p); };
+}
+sim::Simulator::RankProgram raxml(RaxmlParams p) {
+  return [p](RankContext& ctx) { return raxml_task(ctx, p); };
+}
+
+}  // namespace vapro::apps

@@ -1,0 +1,56 @@
+// Mini versions of the paper's standalone applications:
+//   AMG     — algebraic multigrid (§3.1's running example): one hot loop
+//             executed with exactly 7 workload classes that only exist at
+//             runtime, so static analysis covers nothing.
+//   CESM    — climate model stand-in: very deep call paths (the source of
+//             context-aware STG's 8% overhead in Table 1), a large state
+//             space, and only ~half the time in repeated work.
+//   HPL     — LINPACK: per-iteration panel factor + trailing update whose
+//             workload shrinks every iteration; each iteration's update is
+//             a fixed-workload class shared by all ranks (the inter-process
+//             comparison that catches the L2 hardware bug, §6.5.1).
+//   Nekbone — CG-kernel CFD proxy: memory-bound fixed-workload iterations
+//             (the slow-DIMM case, §6.5.2).
+//   RAxML   — phylogenetics: rank 0 merges many small files on the shared
+//             filesystem (the IO variance case, §6.5.3).  `buffered`
+//             switches on the file-buffer fix the paper implements.
+#pragma once
+
+#include "src/sim/runtime.hpp"
+
+namespace vapro::apps {
+
+struct AmgParams {
+  int iters = 80;
+  double scale = 1.0;
+};
+sim::Simulator::RankProgram amg(AmgParams p = {});
+
+struct CesmParams {
+  int steps = 40;
+  double scale = 1.0;
+  int call_depth = 40;  // nested model components on the stack
+};
+sim::Simulator::RankProgram cesm(CesmParams p = {});
+
+struct HplParams {
+  int panels = 48;
+  double scale = 1.0;
+};
+sim::Simulator::RankProgram hpl(HplParams p = {});
+
+struct NekboneParams {
+  int iters = 120;
+  double scale = 1.0;
+};
+sim::Simulator::RankProgram nekbone(NekboneParams p = {});
+
+struct RaxmlParams {
+  int io_rounds = 250;   // small-file merge operations on rank 0
+  int compute_iters = 60;
+  double scale = 1.0;
+  bool buffered = false;  // the paper's file-buffer optimization
+};
+sim::Simulator::RankProgram raxml(RaxmlParams p = {});
+
+}  // namespace vapro::apps

@@ -1,0 +1,182 @@
+#include "src/apps/threaded.hpp"
+
+namespace vapro::apps {
+
+using pmu::ComputeWorkload;
+using sim::RankContext;
+using sim::Request;
+using sim::Task;
+
+namespace {
+
+Task bert_task(RankContext& ctx, ThreadedParams p) {
+  // Inference batches through L transformer layers; each layer's GEMM is a
+  // fixed-workload kernel, the thread pool syncs per layer.
+  constexpr int kLayers = 12;
+  for (int batch = 0; batch < p.iters; ++batch) {
+    for (int layer = 0; layer < kLayers; ++layer) {
+      ComputeWorkload gemm = ComputeWorkload::compute_bound(
+          2.0e6 * p.scale, /*truth=*/layer);
+      co_await ctx.compute(gemm);
+      co_await ctx.barrier(/*site=*/10 + static_cast<sim::CallSiteId>(layer % 4));
+    }
+    // Tokenization/embedding differs per batch (input-dependent).
+    co_await ctx.compute(ComputeWorkload::balanced(
+        1.0e6 * p.scale * (1.0 + 0.2 * (batch % 9)), /*truth=*/8000 + batch % 9));
+    co_await ctx.barrier(/*site=*/20);
+  }
+}
+
+Task pagerank_task(RankContext& ctx, ThreadedParams p) {
+  // Two interleaved traversal kernels whose workloads differ by ~2% —
+  // below the 5% clustering threshold, so Vapro merges them into one
+  // cluster (ground-truth classes stay distinct → homogeneity < 1).
+  for (int it = 0; it < p.iters; ++it) {
+    co_await ctx.barrier(/*site=*/10);
+    const int cls = it % 2;
+    ComputeWorkload traverse = ComputeWorkload::memory_bound(
+        1.5e6 * p.scale * (cls == 0 ? 1.0 : 1.02), /*truth=*/cls);
+    co_await ctx.compute(traverse);
+    co_await ctx.barrier(/*site=*/11);
+    ComputeWorkload rank_update = ComputeWorkload::balanced(
+        0.8e6 * p.scale, /*truth=*/5);
+    co_await ctx.compute(rank_update);
+  }
+  // Join through the same site as the loop-top barrier so the final
+  // update execution shares its STG edge with all the others.
+  co_await ctx.barrier(/*site=*/10);
+}
+
+Task wordcount_task(RankContext& ctx, ThreadedParams p) {
+  const int size = ctx.size();
+  for (int round = 0; round < p.iters / 4; ++round) {
+    // Map: read an input split, tokenize.
+    co_await ctx.file_read(/*fd=*/3, 256.0 * 1024, /*site=*/10);
+    co_await ctx.compute(
+        ComputeWorkload::balanced(3.0e6 * p.scale, /*truth=*/1));
+    co_await ctx.barrier(/*site=*/11);
+    // Shuffle: exchange with the neighbor ring.
+    const int next = (ctx.rank() + 1) % size;
+    const int prev = (ctx.rank() + size - 1) % size;
+    Request r = co_await ctx.irecv(prev, /*site=*/12);
+    co_await ctx.isend(next, 64.0 * 1024, /*site=*/13);
+    co_await ctx.wait(r, /*site=*/14);
+    // Reduce.
+    co_await ctx.compute(
+        ComputeWorkload::balanced(1.5e6 * p.scale, /*truth=*/2));
+    co_await ctx.barrier(/*site=*/15);
+    if (ctx.rank() == 0)
+      co_await ctx.file_write(/*fd=*/4, 128.0 * 1024, /*site=*/16);
+  }
+}
+
+Task blackscholes_task(RankContext& ctx, ThreadedParams p) {
+  for (int it = 0; it < p.iters; ++it) {
+    ComputeWorkload price = ComputeWorkload::compute_bound(
+        4.0e6 * p.scale, /*truth=*/1);
+    price.statically_fixed = true;  // simple fixed-trip option loop
+    co_await ctx.compute(price);
+    co_await ctx.barrier(/*site=*/10);
+  }
+}
+
+Task canneal_task(RankContext& ctx, ThreadedParams p) {
+  for (int it = 0; it < p.iters; ++it) {
+    // Random element swaps: cache-hostile, slight per-round variation that
+    // stays inside the clustering tolerance.
+    const double wiggle = ctx.rng().uniform(0.985, 1.015);
+    co_await ctx.compute(ComputeWorkload::memory_bound(
+        1.2e6 * p.scale * wiggle, /*truth=*/1));
+    co_await ctx.barrier(/*site=*/10);
+  }
+}
+
+Task ferret_task(RankContext& ctx, ThreadedParams p) {
+  // Pipeline: stage s = rank % 4; items flow through the stages.
+  const int stage = ctx.rank() % 4;
+  const int size = ctx.size();
+  const int items = p.iters * 2;
+  for (int i = 0; i < items; ++i) {
+    if (stage > 0) co_await ctx.recv(ctx.rank() - 1, /*site=*/10);
+    ComputeWorkload work = ComputeWorkload::balanced(
+        (1.0 + 0.6 * stage) * 1.0e6 * p.scale, /*truth=*/stage);
+    co_await ctx.compute(work);
+    if (stage < 3 && ctx.rank() + 1 < size)
+      co_await ctx.send(ctx.rank() + 1, 8.0 * 1024, /*site=*/11);
+  }
+}
+
+Task swaptions_task(RankContext& ctx, ThreadedParams p) {
+  for (int it = 0; it < p.iters; ++it) {
+    ComputeWorkload sim_path = ComputeWorkload::compute_bound(
+        5.0e6 * p.scale, /*truth=*/1);
+    sim_path.statically_fixed = true;  // fixed trial count
+    co_await ctx.compute(sim_path);
+    if (it % 4 == 3) co_await ctx.barrier(/*site=*/10);
+    else co_await ctx.probe(/*site=*/11);
+  }
+}
+
+Task vips_task(RankContext& ctx, ThreadedParams p) {
+  for (int it = 0; it < p.iters; ++it) {
+    // Image tiles cycle through three operator classes.
+    const int op = it % 3;
+    co_await ctx.compute(ComputeWorkload::balanced(
+        (1.0 + 0.5 * op) * 1.4e6 * p.scale, /*truth=*/op));
+    co_await ctx.barrier(/*site=*/10 + static_cast<sim::CallSiteId>(op));
+  }
+}
+
+Task fft_task(RankContext& ctx, ThreadedParams p) {
+  const int size = ctx.size();
+  for (int it = 0; it < p.iters / 2; ++it) {
+    // Unique bit-reversal permutation setup per round (uncovered).
+    co_await ctx.compute(ComputeWorkload::memory_bound(
+        0.6e6 * p.scale * (1.0 + 0.15 * (it % 16)), /*truth=*/7000 + it % 16));
+    co_await ctx.barrier(/*site=*/10);
+    // Butterfly stages: pairwise exchanges.
+    for (int s = 0, span = 1; span < size; ++s, span <<= 1) {
+      const int partner = ctx.rank() ^ span;
+      if (partner < size) {
+        Request r = co_await ctx.irecv(partner, /*site=*/20, /*tag=*/s);
+        co_await ctx.isend(partner, 32.0 * 1024, /*site=*/21, /*tag=*/s);
+        co_await ctx.wait(r, /*site=*/22);
+      }
+      co_await ctx.compute(ComputeWorkload::balanced(
+          1.1e6 * p.scale, /*truth=*/100 + s));
+    }
+    co_await ctx.barrier(/*site=*/30);
+  }
+}
+
+}  // namespace
+
+sim::Simulator::RankProgram bert(ThreadedParams p) {
+  return [p](RankContext& ctx) { return bert_task(ctx, p); };
+}
+sim::Simulator::RankProgram pagerank(ThreadedParams p) {
+  return [p](RankContext& ctx) { return pagerank_task(ctx, p); };
+}
+sim::Simulator::RankProgram wordcount(ThreadedParams p) {
+  return [p](RankContext& ctx) { return wordcount_task(ctx, p); };
+}
+sim::Simulator::RankProgram blackscholes(ThreadedParams p) {
+  return [p](RankContext& ctx) { return blackscholes_task(ctx, p); };
+}
+sim::Simulator::RankProgram canneal(ThreadedParams p) {
+  return [p](RankContext& ctx) { return canneal_task(ctx, p); };
+}
+sim::Simulator::RankProgram ferret(ThreadedParams p) {
+  return [p](RankContext& ctx) { return ferret_task(ctx, p); };
+}
+sim::Simulator::RankProgram swaptions(ThreadedParams p) {
+  return [p](RankContext& ctx) { return swaptions_task(ctx, p); };
+}
+sim::Simulator::RankProgram vips(ThreadedParams p) {
+  return [p](RankContext& ctx) { return vips_task(ctx, p); };
+}
+sim::Simulator::RankProgram fft(ThreadedParams p) {
+  return [p](RankContext& ctx) { return fft_task(ctx, p); };
+}
+
+}  // namespace vapro::apps

@@ -1,0 +1,32 @@
+// Multithreaded applications (paper §6.1: BERT, PageRank, WordCount, and
+// six PARSEC programs).  In the simulator, "threads" are ranks placed on
+// the cores of a single node; pthread synchronization maps to intercepted
+// barrier/send/recv invocations — exactly the POSIX-pthread interposition
+// Vapro's real implementation performs (§5).
+//
+// PageRank carries two workload classes whose instruction counts differ by
+// only ~2% — below the clustering threshold — so Vapro merges them: the
+// deliberate homogeneity < 1 case of Table 2.
+#pragma once
+
+#include "src/sim/runtime.hpp"
+
+namespace vapro::apps {
+
+struct ThreadedParams {
+  int iters = 60;
+  double scale = 1.0;
+};
+
+sim::Simulator::RankProgram bert(ThreadedParams p = {});
+sim::Simulator::RankProgram pagerank(ThreadedParams p = {});
+sim::Simulator::RankProgram wordcount(ThreadedParams p = {});
+// PARSEC-like suite.
+sim::Simulator::RankProgram blackscholes(ThreadedParams p = {});
+sim::Simulator::RankProgram canneal(ThreadedParams p = {});
+sim::Simulator::RankProgram ferret(ThreadedParams p = {});
+sim::Simulator::RankProgram swaptions(ThreadedParams p = {});
+sim::Simulator::RankProgram vips(ThreadedParams p = {});
+sim::Simulator::RankProgram fft(ThreadedParams p = {});
+
+}  // namespace vapro::apps

@@ -1,0 +1,75 @@
+#include "src/baselines/mpip.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.hpp"
+#include "src/util/table.hpp"
+
+namespace vapro::baselines {
+
+MpipProfiler::MpipProfiler(int ranks)
+    : ranks_(static_cast<std::size_t>(ranks)) {}
+
+void MpipProfiler::on_call_begin(const sim::InvocationInfo& info, double time,
+                                 const pmu::CounterSample& /*gt*/) {
+  ranks_[static_cast<std::size_t>(info.rank)].call_begin = time;
+}
+
+void MpipProfiler::on_call_end(const sim::InvocationInfo& info, double time,
+                               const pmu::CounterSample& /*gt*/) {
+  RankStats& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  const double dur = time - rs.call_begin;
+  if (sim::is_io_op(info.kind)) {
+    rs.io_seconds += dur;
+  } else if (sim::is_comm_op(info.kind)) {
+    rs.comm_seconds += dur;
+  }
+}
+
+void MpipProfiler::on_program_end(sim::RankId rank, double time) {
+  ranks_[static_cast<std::size_t>(rank)].finish_time = time;
+}
+
+double MpipProfiler::communication_seconds(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].comm_seconds;
+}
+
+double MpipProfiler::io_seconds(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].io_seconds;
+}
+
+double MpipProfiler::total_seconds(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].finish_time;
+}
+
+double MpipProfiler::computation_seconds(int rank) const {
+  const RankStats& rs = ranks_[static_cast<std::size_t>(rank)];
+  return std::max(0.0, rs.finish_time - rs.comm_seconds - rs.io_seconds);
+}
+
+std::string MpipProfiler::summary(int max_rows) const {
+  util::TextTable table({"rank", "total(s)", "comp(s)", "comm(s)", "io(s)",
+                         "comm%"});
+  const int step =
+      std::max<int>(1, static_cast<int>(ranks_.size()) / max_rows);
+  for (std::size_t r = 0; r < ranks_.size(); r += static_cast<std::size_t>(step)) {
+    const double total = total_seconds(static_cast<int>(r));
+    table.add_row({std::to_string(r), util::fmt(total, 3),
+                   util::fmt(computation_seconds(static_cast<int>(r)), 3),
+                   util::fmt(communication_seconds(static_cast<int>(r)), 3),
+                   util::fmt(io_seconds(static_cast<int>(r)), 3),
+                   util::fmt(total > 0
+                                 ? 100.0 *
+                                       communication_seconds(static_cast<int>(r)) /
+                                       total
+                                 : 0.0,
+                             1)});
+  }
+  std::ostringstream oss;
+  oss << "mpiP-style profile (one row per " << step << " ranks):\n";
+  table.print(oss);
+  return oss.str();
+}
+
+}  // namespace vapro::baselines

@@ -1,0 +1,44 @@
+// mpiP-like baseline profiler (Vetter & Chambreau) — used for the Fig 14
+// comparison: a classic profile sums communication time per rank and leaves
+// "computation" as everything else, which misattributes dependency-induced
+// waiting to the network and hides small computation slowdowns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/intercept.hpp"
+
+namespace vapro::baselines {
+
+class MpipProfiler final : public sim::Interceptor {
+ public:
+  explicit MpipProfiler(int ranks);
+
+  void on_call_begin(const sim::InvocationInfo& info, double time,
+                     const pmu::CounterSample& ground_truth) override;
+  void on_call_end(const sim::InvocationInfo& info, double time,
+                   const pmu::CounterSample& ground_truth) override;
+  void on_program_end(sim::RankId rank, double time) override;
+
+  // Per-rank summary, valid after the run.
+  double communication_seconds(int rank) const;
+  double io_seconds(int rank) const;
+  double total_seconds(int rank) const;
+  // "Computation" the way a profile reports it: wall minus profiled calls.
+  double computation_seconds(int rank) const;
+
+  // Aggregate report resembling mpiP's output header.
+  std::string summary(int max_rows = 16) const;
+
+ private:
+  struct RankStats {
+    double call_begin = 0.0;
+    double comm_seconds = 0.0;
+    double io_seconds = 0.0;
+    double finish_time = 0.0;
+  };
+  std::vector<RankStats> ranks_;
+};
+
+}  // namespace vapro::baselines

@@ -1,0 +1,72 @@
+#include "src/baselines/vsensor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace vapro::baselines {
+
+VsensorTool::VsensorTool(int ranks, VsensorOptions opts)
+    : opts_(opts),
+      ranks_(static_cast<std::size_t>(ranks)),
+      map_(ranks, opts.bin_seconds) {}
+
+void VsensorTool::on_call_begin(const sim::InvocationInfo& info, double time,
+                                const pmu::CounterSample& /*gt*/) {
+  // Probes are inserted by Vapro's binary rewriting (§5); vSensor has no
+  // equivalent and never sees them as snippet delimiters.
+  if (info.kind == sim::OpKind::kProbe) return;
+  RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  if (rs.has_last && info.statically_fixed_since_last) {
+    // One execution of a statically identified fixed-workload snippet.
+    const std::uint64_t key =
+        (rs.last_site << 32) ^ static_cast<std::uint64_t>(info.site);
+    snippets_[key].executions.push_back(
+        Execution{info.rank, rs.last_end_time, time});
+  }
+  rs.last_site = info.site;
+}
+
+void VsensorTool::on_call_end(const sim::InvocationInfo& info, double time,
+                              const pmu::CounterSample& /*gt*/) {
+  if (info.kind == sim::OpKind::kProbe) return;
+  RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  rs.has_last = true;
+  rs.last_site = info.site;
+  rs.last_end_time = time;
+}
+
+void VsensorTool::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (auto& [key, snippet] : snippets_) {
+    if (snippet.executions.size() <
+        static_cast<std::size_t>(opts_.min_snippet_executions))
+      continue;
+    double fastest = std::numeric_limits<double>::infinity();
+    for (const Execution& e : snippet.executions)
+      fastest = std::min(fastest, e.end - e.start);
+    snippet.fastest = fastest;
+    if (fastest <= 0.0) continue;
+    for (const Execution& e : snippet.executions) {
+      const double dur = e.end - e.start;
+      covered_seconds_ += dur;
+      const double perf = dur > 0.0 ? std::min(1.0, fastest / dur) : 1.0;
+      map_.deposit(e.rank, e.start, e.end, perf);
+    }
+  }
+}
+
+std::vector<core::VarianceRegion> VsensorTool::locate() const {
+  VAPRO_CHECK_MSG(finalized_, "call finalize() before locate()");
+  return core::find_variance_regions(map_, opts_.variance_threshold);
+}
+
+double VsensorTool::coverage(double total_execution_seconds) const {
+  VAPRO_CHECK_MSG(finalized_, "call finalize() before coverage()");
+  if (total_execution_seconds <= 0.0) return 0.0;
+  return std::min(1.0, covered_seconds_ / total_execution_seconds);
+}
+
+}  // namespace vapro::baselines

@@ -1,0 +1,78 @@
+// vSensor-like baseline (Tang et al., PPoPP'18 — the paper's state of the
+// art comparator).
+//
+// vSensor identifies fixed-workload snippets by *static* source analysis at
+// compile time and instruments exactly those, so at runtime it can use a
+// snippet only when the compiler could prove its workload fixed.  Our
+// simulated stand-in consumes the same interception stream as Vapro but:
+//   * keeps only computation fragments whose entire span was marked
+//     statically fixed (ComputeWorkload::statically_fixed);
+//   * treats every instrumented snippet (STG edge) as one fixed-workload
+//     class — no runtime clustering, so de-facto-fixed snippets with
+//     several runtime workload classes are lost, exactly the limitation
+//     §3.1 describes;
+//   * cannot diagnose (it records no breakdown counters).
+//
+// It reports normalized performance per snippet relative to the fastest
+// observed execution and a coverage figure comparable to Table 1.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/heatmap.hpp"
+#include "src/sim/intercept.hpp"
+
+namespace vapro::baselines {
+
+struct VsensorOptions {
+  double bin_seconds = 0.25;
+  double variance_threshold = 0.85;
+  int min_snippet_executions = 5;
+};
+
+class VsensorTool final : public sim::Interceptor {
+ public:
+  VsensorTool(int ranks, VsensorOptions opts);
+
+  // sim::Interceptor (context-free: vSensor instruments call sites).
+  void on_call_begin(const sim::InvocationInfo& info, double time,
+                     const pmu::CounterSample& ground_truth) override;
+  void on_call_end(const sim::InvocationInfo& info, double time,
+                   const pmu::CounterSample& ground_truth) override;
+
+  // Must be called once the run ends: normalizes the recorded snippet
+  // executions and builds the heat map.
+  void finalize();
+
+  const core::Heatmap& computation_map() const { return map_; }
+  std::vector<core::VarianceRegion> locate() const;
+
+  // Time covered by statically-fixed snippet executions.
+  double covered_seconds() const { return covered_seconds_; }
+  double coverage(double total_execution_seconds) const;
+
+ private:
+  struct Execution {
+    int rank;
+    double start, end;
+  };
+  struct Snippet {
+    std::vector<Execution> executions;
+    double fastest = 0.0;
+  };
+  struct RankState {
+    bool has_last = false;
+    std::uint64_t last_site = 0;
+    double last_end_time = 0.0;
+  };
+
+  VsensorOptions opts_;
+  std::vector<RankState> ranks_;
+  std::unordered_map<std::uint64_t, Snippet> snippets_;  // keyed by edge
+  core::Heatmap map_;
+  double covered_seconds_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace vapro::baselines

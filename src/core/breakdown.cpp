@@ -1,0 +1,150 @@
+#include "src/core/breakdown.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+namespace {
+
+using pmu::Counter;
+
+const std::array<FactorDef, kFactorCount>& factor_table() {
+  static const std::array<FactorDef, kFactorCount> kTable = [] {
+    std::array<FactorDef, kFactorCount> t{};
+    auto def = [&t](FactorId id, std::string_view name, FactorId parent,
+                    int stage, bool quantified,
+                    std::vector<Counter> required) {
+      t[static_cast<std::size_t>(id)] =
+          FactorDef{id, name, parent, stage, quantified, std::move(required)};
+    };
+    def(FactorId::kRoot, "root", FactorId::kRoot, 0, true, {});
+    // S1 — top-down level 1 + OS suspension.
+    def(FactorId::kFrontend, "frontend bound", FactorId::kRoot, 1, true,
+        {Counter::kSlotsFrontend});
+    def(FactorId::kBadSpec, "bad speculation", FactorId::kRoot, 1, true,
+        {Counter::kSlotsBadSpec});
+    def(FactorId::kRetiring, "retiring", FactorId::kRoot, 1, true,
+        {Counter::kSlotsRetiring});
+    def(FactorId::kBackend, "backend bound", FactorId::kRoot, 1, true,
+        {Counter::kSlotsBackend});
+    // Suspension = wall − on-CPU; both from fixed counters.
+    def(FactorId::kSuspension, "suspension", FactorId::kRoot, 1, true, {});
+    // S2.
+    def(FactorId::kCoreBound, "core bound", FactorId::kBackend, 2, true,
+        {Counter::kStallsCore});
+    def(FactorId::kMemoryBound, "memory bound", FactorId::kBackend, 2, true,
+        {Counter::kSlotsBackend, Counter::kStallsCore});
+    def(FactorId::kPageFault, "page fault", FactorId::kSuspension, 2, false,
+        {});
+    def(FactorId::kContextSwitch, "context switch", FactorId::kSuspension, 2,
+        false, {});
+    def(FactorId::kSignal, "signal", FactorId::kSuspension, 2, false, {});
+    // S3.
+    def(FactorId::kL1Bound, "L1 bound", FactorId::kMemoryBound, 3, true,
+        {Counter::kStallsL1});
+    def(FactorId::kL2Bound, "L2 bound", FactorId::kMemoryBound, 3, true,
+        {Counter::kStallsL2});
+    def(FactorId::kL3Bound, "L3 bound", FactorId::kMemoryBound, 3, true,
+        {Counter::kStallsL3});
+    def(FactorId::kDramBound, "DRAM bound", FactorId::kMemoryBound, 3, true,
+        {Counter::kStallsDram});
+    def(FactorId::kSoftPageFault, "soft page fault", FactorId::kPageFault, 3,
+        false, {});
+    def(FactorId::kHardPageFault, "hard page fault", FactorId::kPageFault, 3,
+        false, {});
+    def(FactorId::kVoluntaryCs, "voluntary context switch",
+        FactorId::kContextSwitch, 3, false, {});
+    def(FactorId::kInvoluntaryCs, "involuntary context switch",
+        FactorId::kContextSwitch, 3, false, {});
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+const FactorDef& factor_def(FactorId id) {
+  VAPRO_CHECK(id != FactorId::kCount);
+  return factor_table()[static_cast<std::size_t>(id)];
+}
+
+std::vector<FactorId> children_of(FactorId id) {
+  std::vector<FactorId> out;
+  for (const FactorDef& def : factor_table()) {
+    if (def.id != FactorId::kRoot && def.parent == id) out.push_back(def.id);
+  }
+  return out;
+}
+
+std::string_view factor_name(FactorId id) { return factor_def(id).name; }
+
+double factor_value(FactorId id, const pmu::CounterSample& delta,
+                    const pmu::MachineParams& machine) {
+  using pmu::Counter;
+  const double slot_seconds =
+      1.0 / (machine.pipeline_width * machine.frequency_hz);
+  switch (id) {
+    case FactorId::kFrontend:
+      return delta[Counter::kSlotsFrontend] * slot_seconds;
+    case FactorId::kBadSpec:
+      return delta[Counter::kSlotsBadSpec] * slot_seconds;
+    case FactorId::kRetiring:
+      return delta[Counter::kSlotsRetiring] * slot_seconds;
+    case FactorId::kBackend:
+      return delta[Counter::kSlotsBackend] * slot_seconds;
+    case FactorId::kSuspension:
+      // Wall cycles minus unhalted cycles = time off-CPU.
+      return std::max(0.0, (delta[Counter::kTsc] -
+                            delta[Counter::kCpuClkUnhalted]) /
+                               machine.frequency_hz);
+    case FactorId::kCoreBound:
+      return delta[Counter::kStallsCore] * slot_seconds;
+    case FactorId::kMemoryBound:
+      // Derived: memory bound = backend − core bound (saves a counter).
+      return std::max(0.0, (delta[Counter::kSlotsBackend] -
+                            delta[Counter::kStallsCore]) *
+                               slot_seconds);
+    case FactorId::kL1Bound:
+      return delta[Counter::kStallsL1] * slot_seconds;
+    case FactorId::kL2Bound:
+      return delta[Counter::kStallsL2] * slot_seconds;
+    case FactorId::kL3Bound:
+      return delta[Counter::kStallsL3] * slot_seconds;
+    case FactorId::kDramBound:
+      return delta[Counter::kStallsDram] * slot_seconds;
+    case FactorId::kPageFault:
+      return delta[Counter::kPageFaultsSoft] + delta[Counter::kPageFaultsHard];
+    case FactorId::kContextSwitch:
+      return delta[Counter::kCtxSwitchVoluntary] +
+             delta[Counter::kCtxSwitchInvoluntary];
+    case FactorId::kSignal:
+      return delta[Counter::kSignals];
+    case FactorId::kSoftPageFault:
+      return delta[Counter::kPageFaultsSoft];
+    case FactorId::kHardPageFault:
+      return delta[Counter::kPageFaultsHard];
+    case FactorId::kVoluntaryCs:
+      return delta[Counter::kCtxSwitchVoluntary];
+    case FactorId::kInvoluntaryCs:
+      return delta[Counter::kCtxSwitchInvoluntary];
+    case FactorId::kRoot:
+    case FactorId::kCount:
+      break;
+  }
+  VAPRO_CHECK_MSG(false, "factor_value on invalid factor");
+}
+
+std::vector<pmu::Counter> counters_for(const std::vector<FactorId>& factors) {
+  std::vector<pmu::Counter> out;
+  for (FactorId f : factors) {
+    for (pmu::Counter c : factor_def(f).required_programmable) {
+      if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,79 @@
+// The variance breakdown model of §4.1 (paper Fig 10).
+//
+// A hierarchy of factors accounts for the execution time of fixed-workload
+// computation fragments:
+//
+//   S1:  frontend | bad speculation | retiring | backend | suspension
+//   S2:  backend    → core bound, memory bound
+//        suspension → page fault, context switch, signal
+//   S3:  memory     → L1 / L2 / L3 / DRAM bound
+//        page fault → soft / hard
+//        context sw → voluntary / involuntary
+//
+// Factors are either *time-quantified* — a PMU formula converts their
+// counters directly to seconds (the "formula-based method" of §4.2, e.g.
+// frontend time = SLOTS_FRONTEND / (width · frequency)) — or *count-only*
+// (page faults, context switches, signals), whose per-event time cost must
+// be estimated statistically (the OLS method, diagnosis.hpp).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/pmu/core_model.hpp"
+#include "src/pmu/counters.hpp"
+
+namespace vapro::core {
+
+enum class FactorId : int {
+  kRoot = 0,
+  // S1
+  kFrontend,
+  kBadSpec,
+  kRetiring,
+  kBackend,
+  kSuspension,
+  // S2
+  kCoreBound,
+  kMemoryBound,
+  kPageFault,
+  kContextSwitch,
+  kSignal,
+  // S3
+  kL1Bound,
+  kL2Bound,
+  kL3Bound,
+  kDramBound,
+  kSoftPageFault,
+  kHardPageFault,
+  kVoluntaryCs,
+  kInvoluntaryCs,
+  kCount,
+};
+
+inline constexpr int kFactorCount = static_cast<int>(FactorId::kCount);
+
+struct FactorDef {
+  FactorId id = FactorId::kRoot;
+  std::string_view name;
+  FactorId parent = FactorId::kRoot;
+  int stage = 0;  // 1, 2, 3 (0 for root)
+  bool time_quantified = false;
+  // Programmable counters that must be active for factor_value to be
+  // meaningful (free counters need not be listed).
+  std::vector<pmu::Counter> required_programmable;
+};
+
+const FactorDef& factor_def(FactorId id);
+std::vector<FactorId> children_of(FactorId id);
+std::string_view factor_name(FactorId id);
+
+// Per-fragment factor value from a counter delta: seconds for
+// time-quantified factors, event count otherwise.
+double factor_value(FactorId id, const pmu::CounterSample& delta,
+                    const pmu::MachineParams& machine);
+
+// Union of programmable counters needed to evaluate all `factors` at once.
+std::vector<pmu::Counter> counters_for(const std::vector<FactorId>& factors);
+
+}  // namespace vapro::core

@@ -1,0 +1,147 @@
+#include "src/core/client.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+namespace {
+bool is_power_of_two(std::uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+VaproClient::VaproClient(int ranks, ClientOptions opts) : opts_(opts) {
+  VAPRO_CHECK(ranks > 0);
+  util::Rng seeder(opts.seed ^ 0x5eed5eed5eed5eedULL);
+  ranks_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    ranks_.emplace_back(seeder.fork(static_cast<std::uint64_t>(r)).next_u64(),
+                        opts.pmu_budget, opts.pmu_jitter);
+  }
+}
+
+bool VaproClient::should_record(RankState& rs, sim::CallSiteId site) {
+  if (opts_.sampling == SamplingPolicy::kNone) return true;
+  RankState::SiteStats& stats = rs.sites[site];
+  const std::uint64_t n = ++stats.count;
+  if (n <= static_cast<std::uint64_t>(opts_.sampling_warmup)) return true;
+  switch (opts_.sampling) {
+    case SamplingPolicy::kBackoff:
+      return is_power_of_two(n);
+    case SamplingPolicy::kSkipShort:
+      // Long fragments are always recorded; short ones are decimated.
+      if (stats.mean_span >= opts_.short_threshold_seconds) return true;
+      return n % static_cast<std::uint64_t>(opts_.short_keep_one_in) == 0;
+    case SamplingPolicy::kNone:
+      break;
+  }
+  return true;
+}
+
+void VaproClient::account(const Fragment& f) {
+  ++fragments_recorded_;
+  // Rough wire size: fixed header + active counter payload + path.
+  bytes_recorded_ += 56 + 8 * pmu::kCounterCount / 4;
+  (void)f;
+}
+
+void VaproClient::on_call_begin(const sim::InvocationInfo& info, double time,
+                                const pmu::CounterSample& ground_truth) {
+  RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  ++invocations_seen_;
+  rs.record_current = should_record(rs, info.site);
+  if (!rs.record_current) {
+    ++sampled_out_;
+    rs.begin_time = time;
+    return;
+  }
+
+  const StateKey key = make_state_key(opts_.stg_mode, info);
+  if (announced_.insert(key).second) buffer_.new_states.push_back(info);
+
+  // Computation fragment: previous call end → this call begin.
+  Fragment comp;
+  comp.kind = FragmentKind::kComputation;
+  comp.rank = info.rank;
+  comp.from = rs.has_last ? rs.last_state : kStartState;
+  comp.to = key;
+  comp.start_time = rs.last_end_time;
+  comp.end_time = time;
+  comp.counters = rs.counters.read_delta(rs.last_gt, ground_truth);
+  comp.truth_class = info.truth_class_since_last;
+  account(comp);
+  buffer_.fragments.push_back(std::move(comp));
+
+  rs.begin_time = time;
+}
+
+void VaproClient::on_call_end(const sim::InvocationInfo& info, double time,
+                              const pmu::CounterSample& ground_truth) {
+  RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
+  const StateKey key = make_state_key(opts_.stg_mode, info);
+
+  if (rs.record_current && info.kind != sim::OpKind::kProbe) {
+    // The invocation itself: a vertex fragment with its arguments.
+    Fragment inv;
+    inv.kind = sim::is_io_op(info.kind) ? FragmentKind::kIo
+                                        : FragmentKind::kCommunication;
+    inv.rank = info.rank;
+    inv.from = key;
+    inv.to = key;
+    inv.start_time = rs.begin_time;
+    inv.end_time = time;
+    // With an enhanced profiling layer (§3.3) the library exposes the true
+    // transfer time; use it instead of the wait-inflated elapsed time.
+    if (info.args.transfer_seconds >= 0.0) {
+      inv.end_time = inv.start_time +
+                     std::min(time - rs.begin_time, info.args.transfer_seconds);
+    }
+    inv.args = info.args;
+    inv.op = info.kind;
+    account(inv);
+    buffer_.fragments.push_back(std::move(inv));
+  }
+
+  // Update the per-site span statistic (previous call end → this call end)
+  // driving the skip-short sampling heuristic.
+  if (opts_.sampling == SamplingPolicy::kSkipShort && rs.has_last) {
+    RankState::SiteStats& stats = rs.sites[info.site];
+    const double span = time - rs.last_end_time;
+    const std::uint64_t n = std::max<std::uint64_t>(1, stats.count);
+    stats.mean_span += (span - stats.mean_span) / static_cast<double>(n);
+  }
+
+  rs.has_last = true;
+  rs.last_state = key;
+  rs.last_end_time = time;
+  rs.last_gt = ground_truth;
+}
+
+void VaproClient::on_program_end(sim::RankId rank, double time) {
+  (void)rank;
+  (void)time;
+  // The tail computation after the last external call is not observable
+  // through interception — same blind spot as the real tool.
+}
+
+bool VaproClient::configure_counters(
+    const std::vector<pmu::Counter>& programmable) {
+  // Validate against the budget once, then apply everywhere.
+  for (RankState& rs : ranks_) {
+    if (!rs.counters.configure(programmable)) return false;
+  }
+  return true;
+}
+
+void VaproClient::configure_counters_multiplexed(
+    const std::vector<pmu::Counter>& programmable) {
+  for (RankState& rs : ranks_) rs.counters.configure_multiplexed(programmable);
+}
+
+FragmentBatch VaproClient::drain() {
+  FragmentBatch out = std::move(buffer_);
+  buffer_ = FragmentBatch{};
+  return out;
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,140 @@
+#include "src/core/clustering.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+std::size_t ClusteringResult::rare_count() const {
+  std::size_t n = 0;
+  for (const auto& c : clusters)
+    if (c.rare) ++n;
+  return n;
+}
+
+std::vector<Cluster> cluster_fragments(const Stg& stg,
+                                       const std::vector<std::size_t>& indices,
+                                       const ClusterOptions& opts) {
+  std::vector<Cluster> out;
+  if (indices.empty()) return out;
+
+  struct Entry {
+    std::size_t frag_idx;
+    WorkloadVector vec;
+    double norm;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    WorkloadVector v = make_workload_vector(stg.fragment(idx), opts.proxies);
+    double n = v.norm();
+    entries.push_back(Entry{idx, std::move(v), n});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.norm < b.norm; });
+
+  const Fragment& first = stg.fragment(indices.front());
+  std::vector<bool> used(entries.size(), false);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (used[i]) continue;
+    // Smallest-norm unprocessed fragment seeds a new cluster.
+    Cluster cluster;
+    cluster.from = first.from;
+    cluster.to = first.to;
+    cluster.kind = first.kind;
+    cluster.seed_norm = entries[i].norm;
+    cluster.members.push_back(entries[i].frag_idx);
+    used[i] = true;
+    // Absolute radius: relative threshold of the seed norm, with a floor so
+    // zero-norm seeds (e.g. empty transitions) still form a cluster.
+    const double radius = std::max(entries[i].norm * opts.threshold, 1e-12);
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[j].norm - entries[i].norm > radius) break;  // sorted sweep
+      if (used[j]) continue;
+      if (entries[i].vec.distance(entries[j].vec) <= radius) {
+        cluster.members.push_back(entries[j].frag_idx);
+        used[j] = true;
+      }
+    }
+    cluster.rare =
+        cluster.members.size() < static_cast<std::size_t>(opts.min_cluster_size);
+    out.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+namespace {
+
+// Work items (edge/vertex fragment lists) in deterministic key order.
+std::vector<const std::vector<std::size_t>*> gather_work(const Stg& stg) {
+  std::vector<std::pair<std::uint64_t, const std::vector<std::size_t>*>> keyed;
+  keyed.reserve(stg.edge_count() + stg.vertex_count());
+  for (const auto& [key, edge] : stg.edges()) {
+    if (!edge.fragments.empty()) keyed.emplace_back(key, &edge.fragments);
+  }
+  for (const auto& [key, vertex] : stg.vertices()) {
+    if (!vertex.fragments.empty()) keyed.emplace_back(key, &vertex.fragments);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const std::vector<std::size_t>*> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, frags] : keyed) out.push_back(frags);
+  return out;
+}
+
+ClusteringResult merge_item_clusters(
+    std::vector<std::vector<Cluster>>&& per_item) {
+  ClusteringResult result;
+  for (auto& item : per_item) {
+    for (auto& c : item) {
+      const std::size_t cluster_idx = result.clusters.size();
+      for (std::size_t frag : c.members) result.assignment[frag] = cluster_idx;
+      result.clusters.push_back(std::move(c));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ClusteringResult cluster_stg(const Stg& stg, const ClusterOptions& opts) {
+  auto work = gather_work(stg);
+  std::vector<std::vector<Cluster>> per_item(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i)
+    per_item[i] = cluster_fragments(stg, *work[i], opts);
+  return merge_item_clusters(std::move(per_item));
+}
+
+ClusteringResult cluster_stg_parallel(const Stg& stg,
+                                      const ClusterOptions& opts,
+                                      int threads) {
+  VAPRO_CHECK(threads >= 1);
+  auto work = gather_work(stg);
+  if (threads == 1 || work.size() < 2) {
+    std::vector<std::vector<Cluster>> per_item(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i)
+      per_item[i] = cluster_fragments(stg, *work[i], opts);
+    return merge_item_clusters(std::move(per_item));
+  }
+  std::vector<std::vector<Cluster>> per_item(work.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= work.size()) return;
+      per_item[i] = cluster_fragments(stg, *work[i], opts);
+    }
+  };
+  std::vector<std::thread> pool;
+  const int n = std::min<int>(threads, static_cast<int>(work.size()));
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return merge_item_clusters(std::move(per_item));
+}
+
+}  // namespace vapro::core

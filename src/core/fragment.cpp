@@ -1,0 +1,57 @@
+#include "src/core/fragment.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+const char* fragment_kind_name(FragmentKind k) {
+  switch (k) {
+    case FragmentKind::kComputation: return "computation";
+    case FragmentKind::kCommunication: return "communication";
+    case FragmentKind::kIo: return "io";
+  }
+  return "?";
+}
+
+double WorkloadVector::norm() const {
+  double s = 0.0;
+  for (double d : dims) s += d * d;
+  return std::sqrt(s);
+}
+
+double WorkloadVector::distance(const WorkloadVector& other) const {
+  VAPRO_DCHECK(dims.size() == other.dims.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    double d = dims[i] - other.dims[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+WorkloadVector make_workload_vector(
+    const Fragment& f, const std::vector<pmu::Counter>& proxies) {
+  WorkloadVector v;
+  switch (f.kind) {
+    case FragmentKind::kComputation:
+      v.dims.reserve(proxies.size());
+      for (pmu::Counter c : proxies) v.dims.push_back(f.counters[c]);
+      break;
+    case FragmentKind::kCommunication:
+      // Arguments approximate communication workload (§3.3): size, peer,
+      // and the operation.  Peer/op are scaled so that distinct values land
+      // in distinct clusters regardless of the byte dimension.
+      v.dims = {f.args.bytes, static_cast<double>(f.args.peer) * 1e3,
+                static_cast<double>(f.op) * 1e3};
+      break;
+    case FragmentKind::kIo:
+      v.dims = {f.args.bytes, static_cast<double>(f.args.fd) * 1e3,
+                static_cast<double>(f.op) * 1e3};
+      break;
+  }
+  return v;
+}
+
+}  // namespace vapro::core

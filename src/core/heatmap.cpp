@@ -1,0 +1,213 @@
+#include "src/core/heatmap.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "src/util/check.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/table.hpp"
+
+namespace vapro::core {
+
+Heatmap::Heatmap(int ranks, double bin_seconds)
+    : ranks_(ranks), bin_seconds_(bin_seconds) {
+  VAPRO_CHECK(ranks > 0 && bin_seconds > 0.0);
+}
+
+void Heatmap::ensure_bins(int bin) {
+  if (bin < bins_) return;
+  const int new_bins = bin + 1;
+  std::vector<double> weighted(static_cast<std::size_t>(ranks_) * new_bins, 0.0);
+  std::vector<double> weights(static_cast<std::size_t>(ranks_) * new_bins, 0.0);
+  for (int r = 0; r < ranks_; ++r) {
+    for (int b = 0; b < bins_; ++b) {
+      weighted[static_cast<std::size_t>(r) * new_bins + b] =
+          weighted_[static_cast<std::size_t>(r) * bins_ + b];
+      weights[static_cast<std::size_t>(r) * new_bins + b] =
+          weights_[static_cast<std::size_t>(r) * bins_ + b];
+    }
+  }
+  weighted_ = std::move(weighted);
+  weights_ = std::move(weights);
+  bins_ = new_bins;
+}
+
+void Heatmap::deposit(int rank, double start, double end, double perf) {
+  VAPRO_CHECK(rank >= 0 && rank < ranks_);
+  if (end <= start) return;
+  const int first = static_cast<int>(start / bin_seconds_);
+  const int last = static_cast<int>(end / bin_seconds_);
+  ensure_bins(last);
+  for (int b = first; b <= last; ++b) {
+    const double lo = std::max(start, b * bin_seconds_);
+    const double hi = std::min(end, (b + 1) * bin_seconds_);
+    const double w = hi - lo;
+    if (w <= 0.0) continue;
+    weighted_[static_cast<std::size_t>(rank) * bins_ + b] += perf * w;
+    weights_[static_cast<std::size_t>(rank) * bins_ + b] += w;
+  }
+}
+
+void Heatmap::merge(const Heatmap& other) {
+  VAPRO_CHECK(other.ranks_ == ranks_);
+  VAPRO_CHECK(other.bin_seconds_ == bin_seconds_);
+  if (other.bins_ == 0) return;
+  ensure_bins(other.bins_ - 1);
+  for (int r = 0; r < ranks_; ++r) {
+    for (int b = 0; b < other.bins_; ++b) {
+      weighted_[static_cast<std::size_t>(r) * bins_ + b] +=
+          other.weighted_[static_cast<std::size_t>(r) * other.bins_ + b];
+      weights_[static_cast<std::size_t>(r) * bins_ + b] +=
+          other.weights_[static_cast<std::size_t>(r) * other.bins_ + b];
+    }
+  }
+}
+
+bool Heatmap::has_data(int rank, int bin) const {
+  if (bin >= bins_) return false;
+  return weights_[static_cast<std::size_t>(rank) * bins_ + bin] > 0.0;
+}
+
+double Heatmap::cell(int rank, int bin) const {
+  if (!has_data(rank, bin)) return std::numeric_limits<double>::quiet_NaN();
+  const std::size_t i = static_cast<std::size_t>(rank) * bins_ + bin;
+  return weighted_[i] / weights_[i];
+}
+
+double Heatmap::weight(int rank, int bin) const {
+  if (bin >= bins_) return 0.0;
+  return weights_[static_cast<std::size_t>(rank) * bins_ + bin];
+}
+
+double Heatmap::row_mean(int rank) const {
+  double num = 0.0, den = 0.0;
+  for (int b = 0; b < bins_; ++b) {
+    const std::size_t i = static_cast<std::size_t>(rank) * bins_ + b;
+    num += weighted_[i];
+    den += weights_[i];
+  }
+  return den > 0.0 ? num / den : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Heatmap::overall_mean() const {
+  double num = 0.0, den = 0.0;
+  for (double w : weights_) den += w;
+  for (std::size_t i = 0; i < weighted_.size(); ++i) num += weighted_[i];
+  return den > 0.0 ? num / den : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string Heatmap::render_ascii(int max_rows, int max_cols) const {
+  // Dark = slow.  Index 0 is the slowest bucket.
+  static constexpr char kRamp[] = {'#', '@', '%', '+', '-', '.', ' '};
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp));
+
+  const int row_step = std::max(1, (ranks_ + max_rows - 1) / max_rows);
+  const int col_step = std::max(1, (bins_ + max_cols - 1) / max_cols);
+  std::ostringstream oss;
+  oss << "normalized performance heat map (" << ranks_ << " ranks x " << bins_
+      << " bins of " << bin_seconds_ << "s; '#'=slow, ' '=fast, '?'=no data)\n";
+  for (int r0 = 0; r0 < ranks_; r0 += row_step) {
+    oss << "rank ";
+    oss.width(5);
+    oss << r0 << " |";
+    for (int b0 = 0; b0 < bins_; b0 += col_step) {
+      double num = 0.0, den = 0.0;
+      for (int r = r0; r < std::min(ranks_, r0 + row_step); ++r) {
+        for (int b = b0; b < std::min(bins_, b0 + col_step); ++b) {
+          const std::size_t i = static_cast<std::size_t>(r) * bins_ + b;
+          num += weighted_[i];
+          den += weights_[i];
+        }
+      }
+      if (den <= 0.0) {
+        oss << '?';
+      } else {
+        double perf = std::clamp(num / den, 0.0, 1.0);
+        oss << kRamp[std::min(kLevels - 1, static_cast<int>(perf * kLevels))];
+      }
+    }
+    oss << "|\n";
+  }
+  return oss.str();
+}
+
+void Heatmap::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  std::vector<std::string> header;
+  header.push_back("rank\\time_s");
+  for (int b = 0; b < bins_; ++b)
+    header.push_back(util::fmt(b * bin_seconds_, 3));
+  csv.write_row(header);
+  for (int r = 0; r < ranks_; ++r) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(r));
+    for (int b = 0; b < bins_; ++b) {
+      double v = cell(r, b);
+      row.push_back(std::isnan(v) ? "" : util::fmt(v, 4));
+    }
+    csv.write_row(row);
+  }
+}
+
+std::vector<VarianceRegion> find_variance_regions(const Heatmap& map,
+                                                  double threshold) {
+  const int ranks = map.ranks();
+  const int bins = map.bins();
+  std::vector<int> visited(static_cast<std::size_t>(ranks) * bins, 0);
+  auto idx = [bins](int r, int b) {
+    return static_cast<std::size_t>(r) * bins + b;
+  };
+  auto is_low = [&](int r, int b) {
+    if (r < 0 || r >= ranks || b < 0 || b >= bins) return false;
+    double v = map.cell(r, b);
+    return !std::isnan(v) && v < threshold;
+  };
+
+  std::vector<VarianceRegion> regions;
+  for (int r = 0; r < ranks; ++r) {
+    for (int b = 0; b < bins; ++b) {
+      if (visited[idx(r, b)] || !is_low(r, b)) continue;
+      // BFS region growing with 4-connectivity.
+      VarianceRegion region;
+      region.rank_lo = region.rank_hi = r;
+      region.bin_lo = region.bin_hi = b;
+      double perf_weighted = 0.0, weight_total = 0.0;
+      std::deque<std::pair<int, int>> frontier{{r, b}};
+      visited[idx(r, b)] = 1;
+      while (!frontier.empty()) {
+        auto [cr, cb] = frontier.front();
+        frontier.pop_front();
+        ++region.cells;
+        region.rank_lo = std::min(region.rank_lo, cr);
+        region.rank_hi = std::max(region.rank_hi, cr);
+        region.bin_lo = std::min(region.bin_lo, cb);
+        region.bin_hi = std::max(region.bin_hi, cb);
+        const double perf = map.cell(cr, cb);
+        const double w = map.weight(cr, cb);
+        perf_weighted += perf * w;
+        weight_total += w;
+        region.impact_seconds += (1.0 - perf) * w;
+        constexpr int dr[] = {1, -1, 0, 0};
+        constexpr int db[] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          int nr = cr + dr[k], nb = cb + db[k];
+          if (is_low(nr, nb) && !visited[idx(nr, nb)]) {
+            visited[idx(nr, nb)] = 1;
+            frontier.emplace_back(nr, nb);
+          }
+        }
+      }
+      region.mean_perf = weight_total > 0.0 ? perf_weighted / weight_total : 1.0;
+      regions.push_back(region);
+    }
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const VarianceRegion& a, const VarianceRegion& b) {
+              return a.impact_seconds > b.impact_seconds;
+            });
+  return regions;
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,78 @@
+// The (process × time) normalized-performance heat map of §3.5 and the
+// region-growing variance locator.
+//
+// Each normalized fragment deposits its performance into the time bins it
+// overlaps, weighted by overlap duration.  Cells without data are "quiet"
+// (no fixed-workload fragment executed there) and never count as variance.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace vapro::core {
+
+class Heatmap {
+ public:
+  // `bin_seconds` — time resolution; rows are ranks.
+  Heatmap(int ranks, double bin_seconds);
+
+  void deposit(int rank, double start, double end, double perf);
+
+  // Accumulates another map's cells (same ranks and bin size) — used by
+  // the multi-server aggregation root.
+  void merge(const Heatmap& other);
+
+  int ranks() const { return ranks_; }
+  int bins() const { return bins_; }
+  double bin_seconds() const { return bin_seconds_; }
+
+  bool has_data(int rank, int bin) const;
+  // Mean normalized performance in a cell; NaN when no data.
+  double cell(int rank, int bin) const;
+  // Total fragment-seconds deposited in a cell.
+  double weight(int rank, int bin) const;
+
+  // Mean performance over a whole row/column (ignoring empty cells).
+  double row_mean(int rank) const;
+  // Weighted mean over the entire map; NaN when empty.
+  double overall_mean() const;
+
+  // ASCII rendering: rows capped at `max_rows` by subsampling, bins at
+  // `max_cols` by aggregation.  '#'..' ' ramp, low performance = dark.
+  std::string render_ascii(int max_rows = 32, int max_cols = 100) const;
+
+  // CSV dump: header row of bin times, one row per rank.
+  void write_csv(const std::string& path) const;
+
+ private:
+  void ensure_bins(int bin);
+  int ranks_;
+  double bin_seconds_;
+  int bins_ = 0;
+  // Row-major [rank][bin]; parallel arrays of Σ perf·w and Σ w.
+  std::vector<double> weighted_;
+  std::vector<double> weights_;
+};
+
+// A contiguous low-performance region found by region growing (§3.5:
+// threshold 0.85, 4-connectivity on cells below threshold).
+struct VarianceRegion {
+  int rank_lo = 0, rank_hi = 0;  // inclusive bounding box
+  int bin_lo = 0, bin_hi = 0;
+  std::size_t cells = 0;
+  double mean_perf = 1.0;
+  // Quantified performance loss: Σ over cells of (1 - perf) · fragment
+  // seconds in the cell — the paper's "impact on performance".
+  double impact_seconds = 0.0;
+
+  double time_lo(double bin_seconds) const { return bin_lo * bin_seconds; }
+  double time_hi(double bin_seconds) const { return (bin_hi + 1) * bin_seconds; }
+};
+
+// Finds all variance regions below `threshold`, sorted by impact
+// (descending) as the paper reports them.
+std::vector<VarianceRegion> find_variance_regions(const Heatmap& map,
+                                                  double threshold = 0.85);
+
+}  // namespace vapro::core

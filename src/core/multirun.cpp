@@ -1,0 +1,56 @@
+#include "src/core/multirun.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/table.hpp"
+
+namespace vapro::core {
+
+MultiRunStudy::MultiRunStudy(VaproOptions opts)
+    : opts_(std::move(opts)), baseline_(opts_.cluster.threshold) {
+  // Cross-run scoring needs no diagnosis; keep per-run cost minimal.
+  opts_.run_diagnosis = false;
+}
+
+RunSummary MultiRunStudy::execute(
+    sim::Simulator& simulator, const sim::Simulator::RankProgram& program) {
+  // The session plumbs the study's baseline into its server so every run
+  // is normalized against the best fragments of all runs so far.
+  VaproSession session(simulator, opts_, &baseline_);
+  auto result = simulator.run(program);
+
+  RunSummary summary;
+  summary.index = static_cast<int>(runs_.size());
+  summary.makespan = result.makespan;
+  const double mean = session.computation_map().overall_mean();
+  summary.mean_computation_perf = std::isnan(mean) ? 1.0 : mean;
+  double total = 0.0;
+  for (double t : result.finish_times) total += t;
+  summary.coverage = session.coverage(total);
+  summary.fragments = session.fragments_recorded();
+  runs_.push_back(summary);
+  return summary;
+}
+
+std::vector<int> MultiRunStudy::slow_runs(double threshold) const {
+  std::vector<int> out;
+  for (const RunSummary& r : runs_) {
+    if (r.mean_computation_perf < threshold) out.push_back(r.index);
+  }
+  return out;
+}
+
+std::string MultiRunStudy::summary(double threshold) const {
+  std::ostringstream oss;
+  util::TextTable table({"run", "makespan(s)", "mean comp perf", "verdict"});
+  for (const RunSummary& r : runs_) {
+    table.add_row({std::to_string(r.index), util::fmt(r.makespan, 3),
+                   util::fmt(r.mean_computation_perf, 3),
+                   r.mean_computation_perf < threshold ? "SLOW" : "ok"});
+  }
+  table.print(oss);
+  return oss.str();
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,56 @@
+// Between-executions variance analysis (paper §1: variance "happens in
+// different processes or threads within one execution and between
+// executions", Fig 1's repeated submissions).
+//
+// A MultiRunStudy owns one ClusterBaseline shared across executions: every
+// run's fixed-workload fragments are normalized against the fastest twin
+// observed in ANY run so far, so a submission that is uniformly slow —
+// invisible to within-run comparison — still scores below 1.0.  After a
+// calibration pass, slow submissions are flagged the moment they run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/detection.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::core {
+
+struct RunSummary {
+  int index = 0;
+  double makespan = 0.0;
+  // Weighted mean normalized computation performance vs the cross-run
+  // baseline: ≈1 for a good run, < 1 for a slow submission.
+  double mean_computation_perf = 1.0;
+  double coverage = 0.0;
+  std::uint64_t fragments = 0;
+};
+
+class MultiRunStudy {
+ public:
+  explicit MultiRunStudy(VaproOptions opts = {});
+
+  // Runs `program` once on `simulator` with a fresh session whose
+  // normalization baseline is the study-wide one.  Simulator::run()
+  // reseeds per call, so repeated execute() calls on one simulator model
+  // repeated job submissions.
+  RunSummary execute(sim::Simulator& simulator,
+                     const sim::Simulator::RankProgram& program);
+
+  const std::vector<RunSummary>& runs() const { return runs_; }
+
+  // Runs whose mean normalized performance is below `threshold`.
+  std::vector<int> slow_runs(double threshold = 0.85) const;
+
+  // Text report: per-run perf scores with slow submissions flagged.
+  std::string summary(double threshold = 0.85) const;
+
+ private:
+  VaproOptions opts_;
+  ClusterBaseline baseline_;
+  std::vector<RunSummary> runs_;
+};
+
+}  // namespace vapro::core

@@ -1,0 +1,128 @@
+#include "src/core/server.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
+    : opts_(opts),
+      ranks_(ranks),
+      stg_(opts.stg_mode),
+      baseline_(opts.cluster.threshold),
+      comp_map_(ranks, opts.bin_seconds),
+      comm_map_(ranks, opts.bin_seconds),
+      io_map_(ranks, opts.bin_seconds),
+      diagnoser_(opts.machine, opts.diagnosis) {
+  VAPRO_CHECK(ranks > 0);
+}
+
+void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
+  diagnoser_.restart(std::move(focus));
+}
+
+void AnalysisServer::process_window(FragmentBatch batch) {
+  for (const sim::InvocationInfo& info : batch.new_states)
+    stg_.touch_vertex(info);
+  // Carry-ins from the previous window's tail enter the STG first so
+  // indices below `live_begin` are exactly the carried fragments.
+  const std::size_t live_begin = overlap_carry_.size();
+  for (Fragment& f : overlap_carry_) stg_.add_fragment(std::move(f));
+  overlap_carry_.clear();
+  for (Fragment& f : batch.fragments) {
+    if (opts_.window_overlap_seconds > 0.0) {
+      overlap_carry_.push_back(f);  // candidate for the next window
+    }
+    stg_.add_fragment(std::move(f));
+  }
+  fragments_ += batch.fragments.size();
+  if (!overlap_carry_.empty()) {
+    double window_end = 0.0;
+    for (const Fragment& f : overlap_carry_)
+      window_end = std::max(window_end, f.end_time);
+    const double cut = window_end - opts_.window_overlap_seconds;
+    std::erase_if(overlap_carry_,
+                  [cut](const Fragment& f) { return f.end_time < cut; });
+  }
+
+  ClusteringResult clusters =
+      cluster_stg_parallel(stg_, opts_.cluster, opts_.analysis_threads);
+  rare_clusters_ += clusters.rare_count();
+
+  // Algorithm 1 line 8: surface rare-but-expensive execution paths
+  // (carry-ins were reported by the previous window already).
+  for (const Cluster& c : clusters.clusters) {
+    if (!c.rare) continue;
+    RareFinding finding;
+    finding.kind = c.kind;
+    double first_start = 1e300;
+    for (std::size_t idx : c.members) {
+      if (idx < live_begin) continue;
+      const Fragment& f = stg_.fragment(idx);
+      ++finding.executions;
+      finding.total_seconds += f.duration();
+      finding.longest_seconds = std::max(finding.longest_seconds, f.duration());
+      first_start = std::min(first_start, f.start_time);
+    }
+    if (finding.total_seconds < opts_.rare_report_min_seconds) continue;
+    finding.state = c.kind == FragmentKind::kComputation
+                        ? stg_.state_name(c.from) + " -> " + stg_.state_name(c.to)
+                        : stg_.state_name(c.to);
+    finding.window_start = first_start;
+    rare_findings_.push_back(std::move(finding));
+  }
+  if (rare_findings_.size() > opts_.rare_report_limit) {
+    std::sort(rare_findings_.begin(), rare_findings_.end(),
+              [](const RareFinding& a, const RareFinding& b) {
+                return a.total_seconds > b.total_seconds;
+              });
+    rare_findings_.resize(opts_.rare_report_limit);
+  }
+
+  ClusterBaseline* baseline =
+      opts_.shared_baseline ? opts_.shared_baseline : &baseline_;
+  std::vector<NormalizedFragment> normalized =
+      normalize_fragments(stg_, clusters, baseline, live_begin);
+  deposit_fragments(normalized, comp_map_, comm_map_, io_map_);
+  coverage_.add(stg_, clusters, live_begin);
+
+  if (opts_.record_eval_pairs) {
+    // Map each labelled computation fragment to its cluster's stable id.
+    for (const Cluster& c : clusters.clusters) {
+      if (c.kind != FragmentKind::kComputation) continue;
+      const std::uint64_t label = baseline_.key_of(c);
+      for (std::size_t idx : c.members) {
+        if (idx < live_begin) continue;
+        const Fragment& f = stg_.fragment(idx);
+        if (f.truth_class < 0) continue;
+        eval_truth_.push_back(static_cast<int>(f.truth_class % 1000000007));
+        eval_predicted_.push_back(static_cast<int>(label % 1000000007));
+      }
+    }
+  }
+
+  if (opts_.run_diagnosis) diagnoser_.feed(stg_, clusters, live_begin);
+  if (opts_.window_observer) opts_.window_observer(stg_, clusters);
+
+  stg_.clear_fragments();
+  ++windows_;
+}
+
+std::vector<VarianceRegion> AnalysisServer::locate(FragmentKind kind) const {
+  switch (kind) {
+    case FragmentKind::kComputation:
+      return find_variance_regions(comp_map_, opts_.variance_threshold);
+    case FragmentKind::kCommunication:
+      return find_variance_regions(comm_map_, opts_.variance_threshold);
+    case FragmentKind::kIo:
+      return find_variance_regions(io_map_, opts_.variance_threshold);
+  }
+  return {};
+}
+
+stats::VMeasure AnalysisServer::clustering_quality() const {
+  return stats::v_measure(eval_truth_, eval_predicted_);
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,129 @@
+// The Vapro analysis server (paper Fig 2 steps 4–6, Fig 8).
+//
+// Consumes fragment batches drained from clients at the end of each
+// analysis window, grows the STG, clusters fragments (multi-threaded across
+// STG edges/vertices), normalizes performance against a cross-window
+// baseline, deposits the result into per-category heat maps, accumulates
+// coverage, drives the progressive diagnoser, and — when evaluation mode is
+// on — records (truth class, stable cluster id) pairs for V-measure scoring
+// (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/core/clustering.hpp"
+#include "src/core/detection.hpp"
+#include "src/core/diagnosis.hpp"
+#include "src/core/heatmap.hpp"
+#include "src/core/stg.hpp"
+#include "src/stats/vmeasure.hpp"
+
+namespace vapro::core {
+
+struct ServerOptions {
+  StgMode stg_mode = StgMode::kContextFree;
+  ClusterOptions cluster;
+  DiagnosisOptions diagnosis;
+  pmu::MachineParams machine;
+  double variance_threshold = 0.85;  // heat-map region growing (§3.5)
+  double bin_seconds = 0.25;
+  // Overlapping analysis windows (Fig 8): fragments from the last
+  // `window_overlap_seconds` of each window are carried into the next so
+  // clusters spanning a boundary still find their twins (minima, the
+  // min-cluster-size cut).  Carry-ins never double-count in the heat map,
+  // coverage, diagnosis, or evaluation pairs.
+  double window_overlap_seconds = 0.0;
+  int analysis_threads = 1;          // the "multiple servers" of §5
+  bool run_diagnosis = true;
+  bool record_eval_pairs = false;    // Table 2 scoring
+  // Rare-path reporting (Algorithm 1 line 8): clusters with too few
+  // fragments whose total time exceeds this are surfaced to the user.
+  double rare_report_min_seconds = 0.02;
+  std::size_t rare_report_limit = 64;
+  // Invoked after each window is clustered, before fragments are dropped —
+  // visualization/experiment hooks read raw per-fragment data here.
+  std::function<void(const Stg&, const ClusteringResult&)> window_observer;
+  // When set, normalization minima live in this externally owned baseline
+  // instead of a per-server one — sharing it across executions compares
+  // each run against the best twin ever seen (between-executions variance,
+  // §1).  Must outlive the server.
+  ClusterBaseline* shared_baseline = nullptr;
+};
+
+// A non-repeated execution path that nonetheless consumed noticeable time —
+// Algorithm 1 line 8 asks the user to check whether it is abnormal.
+struct RareFinding {
+  std::string state;          // human-readable edge/vertex description
+  FragmentKind kind = FragmentKind::kComputation;
+  std::size_t executions = 0;
+  double total_seconds = 0.0;
+  double longest_seconds = 0.0;
+  double window_start = 0.0;  // virtual time of the window that saw it
+};
+
+class AnalysisServer {
+ public:
+  AnalysisServer(int ranks, ServerOptions opts);
+
+  // Ingests and analyzes one window of client data.
+  void process_window(FragmentBatch batch);
+
+  // Restarts diagnosis, optionally focused on a heat-map region the user
+  // selected (§3.5): subsequent windows attribute only that region's
+  // abnormal fragments.
+  void refocus_diagnosis(std::optional<FocusRegion> focus);
+
+  // --- detection outputs ---
+  const Heatmap& computation_map() const { return comp_map_; }
+  const Heatmap& communication_map() const { return comm_map_; }
+  const Heatmap& io_map() const { return io_map_; }
+  std::vector<VarianceRegion> locate(FragmentKind kind) const;
+
+  // --- diagnosis outputs ---
+  const DiagnosisReport& diagnosis() const { return diagnoser_.report(); }
+  bool diagnosis_finished() const { return diagnoser_.finished(); }
+  // Counters the clients should activate for the next window.
+  std::vector<pmu::Counter> counters_needed() const {
+    return diagnoser_.counters_needed();
+  }
+
+  // --- bookkeeping ---
+  const CoverageAccumulator& coverage() const { return coverage_; }
+  std::size_t windows_processed() const { return windows_; }
+  std::size_t fragments_processed() const { return fragments_; }
+  std::size_t rare_clusters_reported() const { return rare_clusters_; }
+  // Rare-but-expensive paths surfaced per Algorithm 1 line 8, sorted by
+  // total time (descending), capped at rare_report_limit.
+  const std::vector<RareFinding>& rare_findings() const {
+    return rare_findings_;
+  }
+  const Stg& stg() const { return stg_; }
+
+  // V-measure of fixed-workload identification vs ground truth — valid
+  // when record_eval_pairs was set and labelled fragments were seen.
+  stats::VMeasure clustering_quality() const;
+
+ private:
+  ServerOptions opts_;
+  int ranks_;
+  Stg stg_;
+  ClusterBaseline baseline_;
+  Heatmap comp_map_;
+  Heatmap comm_map_;
+  Heatmap io_map_;
+  CoverageAccumulator coverage_;
+  ProgressiveDiagnoser diagnoser_;
+  std::size_t windows_ = 0;
+  std::size_t fragments_ = 0;
+  std::size_t rare_clusters_ = 0;
+  std::vector<RareFinding> rare_findings_;
+  std::vector<Fragment> overlap_carry_;
+  // (truth label, predicted cluster label) for labelled comp fragments.
+  std::vector<int> eval_truth_;
+  std::vector<int> eval_predicted_;
+};
+
+}  // namespace vapro::core

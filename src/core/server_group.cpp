@@ -1,0 +1,117 @@
+#include "src/core/server_group.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+ServerGroup::ServerGroup(int ranks, int servers, ServerOptions opts)
+    : ranks_(ranks),
+      variance_threshold_(opts.variance_threshold),
+      bin_seconds_(opts.bin_seconds) {
+  VAPRO_CHECK(servers >= 1 && ranks >= 1);
+  // Each leaf runs its own analysis; intra-leaf threading stays at 1 since
+  // the leaves themselves run concurrently.
+  opts.analysis_threads = 1;
+  leaves_.reserve(static_cast<std::size_t>(servers));
+  for (int s = 0; s < servers; ++s)
+    leaves_.push_back(std::make_unique<AnalysisServer>(ranks, opts));
+}
+
+void ServerGroup::process_window(FragmentBatch batch) {
+  const int n = servers();
+  std::vector<FragmentBatch> shards(static_cast<std::size_t>(n));
+  // State announcements go to every leaf (cheap, idempotent).
+  for (auto& shard : shards) shard.new_states = batch.new_states;
+  for (Fragment& f : batch.fragments) {
+    shards[static_cast<std::size_t>(f.rank % n)].fragments.push_back(
+        std::move(f));
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    pool.emplace_back([this, s, &shards] {
+      leaves_[static_cast<std::size_t>(s)]->process_window(
+          std::move(shards[static_cast<std::size_t>(s)]));
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+Heatmap ServerGroup::merged_map(FragmentKind kind) const {
+  Heatmap merged(ranks_, bin_seconds_);
+  for (const auto& leaf : leaves_) {
+    switch (kind) {
+      case FragmentKind::kComputation:
+        merged.merge(leaf->computation_map());
+        break;
+      case FragmentKind::kCommunication:
+        merged.merge(leaf->communication_map());
+        break;
+      case FragmentKind::kIo:
+        merged.merge(leaf->io_map());
+        break;
+    }
+  }
+  return merged;
+}
+
+std::vector<VarianceRegion> ServerGroup::locate(FragmentKind kind) const {
+  return find_variance_regions(merged_map(kind), variance_threshold_);
+}
+
+CoverageAccumulator ServerGroup::merged_coverage() const {
+  CoverageAccumulator out;
+  for (const auto& leaf : leaves_) {
+    const CoverageAccumulator& c = leaf->coverage();
+    for (int k = 0; k < 3; ++k) {
+      out.covered[k] += c.covered[k];
+      out.observed[k] += c.observed[k];
+    }
+  }
+  return out;
+}
+
+std::vector<RareFinding> ServerGroup::merged_rare_findings() const {
+  std::vector<RareFinding> out;
+  for (const auto& leaf : leaves_) {
+    const auto& findings = leaf->rare_findings();
+    out.insert(out.end(), findings.begin(), findings.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RareFinding& a, const RareFinding& b) {
+              return a.total_seconds > b.total_seconds;
+            });
+  return out;
+}
+
+std::vector<pmu::Counter> ServerGroup::counters_needed() const {
+  std::vector<pmu::Counter> out;
+  for (const auto& leaf : leaves_) {
+    for (pmu::Counter c : leaf->counters_needed()) {
+      if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<FactorId> ServerGroup::merged_culprits() const {
+  std::vector<FactorId> out;
+  for (const auto& leaf : leaves_) {
+    if (!leaf->diagnosis_finished()) continue;
+    for (FactorId f : leaf->diagnosis().culprits) {
+      if (std::find(out.begin(), out.end(), f) == out.end()) out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::size_t ServerGroup::fragments_processed() const {
+  std::size_t n = 0;
+  for (const auto& leaf : leaves_) n += leaf->fragments_processed();
+  return n;
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,56 @@
+// Multi-server data collection (paper §5: "Vapro supports concurrent data
+// collection with multiple servers to improve throughput.  By equally
+// assigning parallel processes to different servers, servers can achieve
+// load balance.  Further optimizations are feasible with ... MRNet, which
+// organizes servers into a tree-like structure.")
+//
+// A ServerGroup shards ranks across N leaf AnalysisServers (rank % N) and
+// aggregates their outputs at the root: merged heat maps, summed coverage,
+// concatenated rare findings, and the union of per-shard diagnosis
+// culprits.  Each leaf processes its shard on its own thread per window.
+//
+// Trade-off vs a single server (tested in test_server_group.cpp): leaf
+// clustering only compares ranks within a shard, so cross-shard twins are
+// not merged — harmless for SPMD programs where every shard holds many
+// ranks, which is exactly the load-balanced assignment the paper uses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/server.hpp"
+
+namespace vapro::core {
+
+class ServerGroup {
+ public:
+  // `servers` leaf servers for `ranks` ranks; options are shared.
+  ServerGroup(int ranks, int servers, ServerOptions opts);
+
+  // Splits the batch by rank shard and processes all shards concurrently.
+  void process_window(FragmentBatch batch);
+
+  int servers() const { return static_cast<int>(leaves_.size()); }
+  const AnalysisServer& leaf(int i) const { return *leaves_[static_cast<std::size_t>(i)]; }
+
+  // --- aggregated (root) views ---
+  // Merged heat map for one category, built by re-depositing leaf cells.
+  Heatmap merged_map(FragmentKind kind) const;
+  std::vector<VarianceRegion> locate(FragmentKind kind) const;
+  CoverageAccumulator merged_coverage() const;
+  std::vector<RareFinding> merged_rare_findings() const;
+  // Counter demand: the union over leaves (they advance independently).
+  std::vector<pmu::Counter> counters_needed() const;
+  // Culprits reported by any leaf's finished diagnosis.
+  std::vector<FactorId> merged_culprits() const;
+
+  std::size_t fragments_processed() const;
+
+ private:
+  int ranks_;
+  double variance_threshold_;
+  double bin_seconds_;
+  std::vector<std::unique_ptr<AnalysisServer>> leaves_;
+};
+
+}  // namespace vapro::core

@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/vapro.hpp"
+#include "src/util/log.hpp"
+#include "src/util/table.hpp"
+
+namespace vapro::core {
+
+VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
+                           ClusterBaseline* shared_baseline)
+    : simulator_(simulator), opts_(opts) {
+  ClientOptions copts;
+  copts.stg_mode = opts.stg_mode;
+  copts.pmu_budget = opts.pmu_budget;
+  copts.pmu_jitter = opts.pmu_jitter;
+  copts.sampling = opts.sampling;
+  copts.sampling_warmup = opts.sampling_warmup;
+  copts.seed = opts.seed;
+  client_ =
+      std::make_unique<VaproClient>(simulator.config().ranks, copts);
+
+  ServerOptions sopts;
+  sopts.stg_mode = opts.stg_mode;
+  sopts.cluster = opts.cluster;
+  sopts.diagnosis = opts.diagnosis;
+  sopts.machine = simulator.config().machine;
+  sopts.variance_threshold = opts.variance_threshold;
+  sopts.bin_seconds = opts.bin_seconds;
+  sopts.window_overlap_seconds = opts.window_overlap_seconds;
+  sopts.analysis_threads = opts.analysis_threads;
+  sopts.run_diagnosis = opts.run_diagnosis;
+  sopts.record_eval_pairs = opts.record_eval_pairs;
+  sopts.window_observer = opts.window_observer;
+  sopts.shared_baseline = shared_baseline;
+  server_ = std::make_unique<AnalysisServer>(simulator.config().ranks, sopts);
+
+  // Stage-1 counters must be live from the start.  User-specified proxy
+  // metrics (§3.4: "users are able to specify other PMU metrics") ride
+  // along with whatever the diagnosis stage needs — they must fit the
+  // programmable budget together.
+  auto with_proxies = [this](std::vector<pmu::Counter> counters) {
+    for (pmu::Counter proxy : opts_.cluster.proxies) {
+      if (pmu::is_free_counter(proxy)) continue;
+      if (std::find(counters.begin(), counters.end(), proxy) == counters.end())
+        counters.push_back(proxy);
+    }
+    return counters;
+  };
+  auto reprogram = [this, with_proxies] {
+    auto wanted = with_proxies(server_->counters_needed());
+    if (client_->configure_counters(wanted)) return;
+    if (opts_.allow_multiplexing) {
+      client_->configure_counters_multiplexed(wanted);
+      return;
+    }
+    VAPRO_LOG_WARN << "proxy metrics + stage counters exceed the PMU budget; "
+                      "raise pmu_budget or set allow_multiplexing";
+    client_->configure_counters(server_->counters_needed());
+  };
+  reprogram();
+
+  simulator_.set_interceptor(client_.get());
+  periodic_id_ =
+      simulator_.add_periodic(opts.window_seconds, [this, reprogram](double) {
+        server_->process_window(client_->drain());
+        // Progressive diagnosis may have moved to a finer stage; reprogram
+        // the clients' PMU sets for the next window.
+        reprogram();
+      });
+}
+
+VaproSession::~VaproSession() {
+  simulator_.set_interceptor(nullptr);
+  simulator_.remove_periodic(periodic_id_);
+}
+
+std::string VaproSession::detection_summary() const {
+  std::ostringstream oss;
+  static constexpr FragmentKind kKinds[] = {FragmentKind::kComputation,
+                                            FragmentKind::kCommunication,
+                                            FragmentKind::kIo};
+  bool any = false;
+  for (FragmentKind kind : kKinds) {
+    auto regions = locate(kind);
+    if (regions.empty()) continue;
+    any = true;
+    oss << fragment_kind_name(kind) << " variance regions (impact-ordered):\n";
+    const double bin = opts_.bin_seconds;
+    std::size_t shown = 0;
+    for (const VarianceRegion& r : regions) {
+      if (++shown > 8) {
+        oss << "  ... " << regions.size() - 8 << " more\n";
+        break;
+      }
+      oss << "  ranks " << r.rank_lo << "-" << r.rank_hi << ", t=["
+          << util::fmt(r.time_lo(bin), 2) << "s, " << util::fmt(r.time_hi(bin), 2)
+          << "s): mean normalized performance " << util::fmt(r.mean_perf, 3)
+          << " (" << util::fmt((1.0 - r.mean_perf) * 100.0, 1)
+          << "% loss), impact " << util::fmt(r.impact_seconds, 3)
+          << " fragment-seconds\n";
+    }
+  }
+  if (!any) oss << "no variance regions detected\n";
+  return oss.str();
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,74 @@
+#include "src/core/stg.hpp"
+
+#include <sstream>
+
+#include "src/util/check.hpp"
+
+namespace vapro::core {
+
+StateKey make_state_key(StgMode mode, const sim::InvocationInfo& info) {
+  // Never collide with the reserved start state: offset the site hash.
+  std::uint64_t h = 0x100 + static_cast<std::uint64_t>(info.site) * 0x9e3779b97f4a7c15ULL;
+  if (mode == StgMode::kContextAware) {
+    for (std::uint32_t frame : info.path) {
+      h ^= frame + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+  }
+  return h == kStartState ? 1 : h;
+}
+
+StateKey Stg::touch_vertex(const sim::InvocationInfo& info) {
+  StateKey key = make_state_key(mode_, info);
+  auto [it, inserted] = vertices_.try_emplace(key);
+  if (inserted) {
+    it->second.key = key;
+    it->second.site = info.site;
+    it->second.kind = info.kind;
+    it->second.path = info.path;
+  }
+  return key;
+}
+
+std::size_t Stg::add_fragment(Fragment f) {
+  const std::size_t idx = fragments_.size();
+  if (f.kind == FragmentKind::kComputation) {
+    auto [it, inserted] = edges_.try_emplace(edge_key(f.from, f.to));
+    if (inserted) {
+      it->second.from = f.from;
+      it->second.to = f.to;
+    }
+    it->second.fragments.push_back(idx);
+  } else {
+    auto it = vertices_.find(f.to);
+    VAPRO_CHECK_MSG(it != vertices_.end(),
+                    "vertex fragment for unknown state " << f.to);
+    it->second.fragments.push_back(idx);
+  }
+  fragments_.push_back(std::move(f));
+  return idx;
+}
+
+std::string Stg::state_name(StateKey key) const {
+  if (key == kStartState) return "<start>";
+  auto it = vertices_.find(key);
+  if (it == vertices_.end()) return "<unknown>";
+  std::ostringstream oss;
+  oss << sim::op_kind_name(it->second.kind) << "@site" << it->second.site;
+  if (mode_ == StgMode::kContextAware && !it->second.path.empty()) {
+    oss << " path[";
+    for (std::size_t i = 0; i < it->second.path.size(); ++i) {
+      if (i) oss << '/';
+      oss << it->second.path[i];
+    }
+    oss << ']';
+  }
+  return oss.str();
+}
+
+void Stg::clear_fragments() {
+  fragments_.clear();
+  for (auto& [key, v] : vertices_) v.fragments.clear();
+  for (auto& [key, e] : edges_) e.fragments.clear();
+}
+
+}  // namespace vapro::core

@@ -1,0 +1,126 @@
+// Public entry point of the Vapro library.
+//
+// Attach a VaproSession to a Simulator before running an application and
+// read the detection/diagnosis results afterwards:
+//
+//   sim::Simulator simulator(config);
+//   vapro::core::VaproSession vapro(simulator, {});
+//   simulator.run(apps::cg({...}));
+//   std::cout << vapro.detection_summary();
+//   std::cout << vapro.diagnosis().summary();
+//
+// The session owns the client (interceptor) and the analysis server and
+// wires the periodic window flush (paper Fig 8): every `window_seconds` of
+// virtual time the client buffers are drained into the server, analyzed,
+// and the progressive diagnoser may reconfigure the clients' PMU sets for
+// the next window.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/client.hpp"
+#include "src/core/server.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::core {
+
+struct VaproOptions {
+  StgMode stg_mode = StgMode::kContextFree;
+  ClusterOptions cluster;
+  DiagnosisOptions diagnosis;
+  double variance_threshold = 0.85;
+  double bin_seconds = 0.25;
+  // Reporting period (the paper deploys 15 s; our simulated runs are
+  // shorter, so the default window is denser).
+  double window_seconds = 1.0;
+  // Overlap between consecutive analysis windows (paper Fig 8) so
+  // boundary-straddling clusters still find their twins.
+  double window_overlap_seconds = 0.0;
+  int analysis_threads = 1;
+  bool run_diagnosis = true;
+  SamplingPolicy sampling = SamplingPolicy::kNone;
+  int sampling_warmup = 64;
+  bool record_eval_pairs = false;
+  int pmu_budget = 4;
+  double pmu_jitter = 0.003;
+  // When proxy metrics + stage counters exceed the budget, time-multiplex
+  // the PMU (PAPI style) instead of dropping the proxies.  "Collecting
+  // more performance metrics improves the precision of workload
+  // representation but introduces extra overhead" (§3.4) — here the
+  // overhead is inflated read error at reduced duty cycle.
+  bool allow_multiplexing = false;
+  std::uint64_t seed = 42;
+  // Optional per-window hook (see ServerOptions::window_observer).
+  std::function<void(const Stg&, const ClusteringResult&)> window_observer;
+};
+
+class VaproSession {
+ public:
+  // Attaches to `simulator`; detaches on destruction.  When
+  // `shared_baseline` is given (MultiRunStudy), normalization minima are
+  // read/updated there so runs compare against the best twin of any run.
+  VaproSession(sim::Simulator& simulator, VaproOptions opts,
+               ClusterBaseline* shared_baseline = nullptr);
+  ~VaproSession();
+  VaproSession(const VaproSession&) = delete;
+  VaproSession& operator=(const VaproSession&) = delete;
+
+  // --- detection ---
+  const Heatmap& computation_map() const { return server_->computation_map(); }
+  const Heatmap& communication_map() const {
+    return server_->communication_map();
+  }
+  const Heatmap& io_map() const { return server_->io_map(); }
+  std::vector<VarianceRegion> locate(FragmentKind kind) const {
+    return server_->locate(kind);
+  }
+  // Human-readable report: per-category variance regions with quantified
+  // loss, ordered by impact (paper Fig 2 step 7).
+  std::string detection_summary() const;
+
+  // --- diagnosis ---
+  const DiagnosisReport& diagnosis() const { return server_->diagnosis(); }
+  // Restart diagnosis focused on a user-selected heat-map region (§3.5);
+  // subsequent windows attribute only that region's abnormal fragments.
+  void refocus_diagnosis(std::optional<FocusRegion> focus) {
+    server_->refocus_diagnosis(std::move(focus));
+  }
+  // Rare-but-expensive execution paths (Algorithm 1 line 8).
+  const std::vector<RareFinding>& rare_findings() const {
+    return server_->rare_findings();
+  }
+
+  // --- coverage / overhead bookkeeping (Table 1) ---
+  // `total_execution_seconds` = Σ per-rank wall time of the run.
+  double coverage(double total_execution_seconds) const {
+    return server_->coverage().coverage(total_execution_seconds);
+  }
+  const CoverageAccumulator& coverage_accumulator() const {
+    return server_->coverage();
+  }
+  std::uint64_t bytes_recorded() const { return client_->bytes_recorded(); }
+  std::uint64_t fragments_recorded() const {
+    return client_->fragments_recorded();
+  }
+  std::uint64_t invocations_sampled_out() const {
+    return client_->invocations_sampled_out();
+  }
+
+  // --- evaluation (Table 2) ---
+  stats::VMeasure clustering_quality() const {
+    return server_->clustering_quality();
+  }
+
+  const AnalysisServer& server() const { return *server_; }
+  const VaproClient& client() const { return *client_; }
+
+ private:
+  sim::Simulator& simulator_;
+  VaproOptions opts_;
+  std::unique_ptr<VaproClient> client_;
+  std::unique_ptr<AnalysisServer> server_;
+  std::uint64_t periodic_id_ = 0;
+};
+
+}  // namespace vapro::core

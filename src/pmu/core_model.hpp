@@ -1,0 +1,101 @@
+// Top-down CPU core + OS model.
+//
+// Converts a ComputeWorkload into time and counter deltas using the
+// pipeline-slot algebra of Yasin's top-down method (the same structure the
+// paper's variance breakdown model mirrors, Fig 10):
+//
+//   total_slots = retiring + frontend + bad_spec + backend
+//   backend     = core_bound + L1 + L2 + L3 + DRAM bound
+//   on-CPU cycles = total_slots / pipeline_width
+//   wall time     = on-CPU time / cpu_share + suspension (faults, preemption)
+//
+// Environmental perturbations enter exclusively through the Environment
+// interface: the core model never knows *why* DRAM got slower, it just sees
+// multipliers — exactly as real hardware exposes variance to a tool.
+#pragma once
+
+#include <cstdint>
+
+#include "src/pmu/counters.hpp"
+#include "src/pmu/workload.hpp"
+#include "src/util/rng.hpp"
+
+namespace vapro::pmu {
+
+// Location + instant of an execution; the environment answers per-query.
+struct EnvQuery {
+  int node = 0;
+  int core = 0;
+  double time = 0.0;  // seconds of simulated time at fragment start
+};
+
+// Abstract view of the machine environment.  The simulator composes the
+// active noise injectors into one of these.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  // Fraction of the core this rank gets (1.0 = dedicated; 0.5 under a
+  // co-scheduled `stress` process).
+  virtual double cpu_share(const EnvQuery&) const { return 1.0; }
+  // Multiplier on DRAM-bound stall slots (memory-bandwidth contention,
+  // slow DIMMs).
+  virtual double dram_factor(const EnvQuery&) const { return 1.0; }
+  // Multiplier on L2-bound stall slots (the Intel L2-eviction bug of §6.5.1
+  // manifests here, together with a DRAM component).
+  virtual double l2_factor(const EnvQuery&) const { return 1.0; }
+  // Extra soft/hard page faults per on-CPU second.
+  virtual double soft_pf_rate(const EnvQuery&) const { return 0.0; }
+  virtual double hard_pf_rate(const EnvQuery&) const { return 0.0; }
+  // Extra signals per on-CPU second.
+  virtual double signal_rate(const EnvQuery&) const { return 0.0; }
+};
+
+// A no-noise environment (all defaults).
+class QuietEnvironment final : public Environment {};
+
+struct MachineParams {
+  double frequency_hz = 2.2e9;  // Xeon E5-2692 v2-ish
+  double pipeline_width = 4.0;  // slots per cycle
+  // Stall slots charged per access *served at* each level.
+  double l1_stall_slots = 0.5;
+  double l2_stall_slots = 40.0;
+  double l3_stall_slots = 120.0;
+  double dram_stall_slots = 600.0;
+  // OS cost model.
+  double soft_pf_seconds = 1.5e-6;
+  double hard_pf_seconds = 5.0e-5;
+  double timeslice_seconds = 10e-3;   // scheduler quantum
+  double base_soft_pf_rate = 2.0;     // faults per on-CPU second, quiescent
+  double ctx_switch_seconds = 3.0e-6; // direct cost per involuntary switch
+  // Relative stddev of per-fragment execution-time jitter: DVFS, TLB and
+  // branch-predictor state, refresh interference.  Keeps repeated runs from
+  // being bit-identical (the quiescent spread under Fig 1's baseline).
+  double time_jitter = 0.004;
+};
+
+// Result of executing one computation fragment.
+struct ComputeOutcome {
+  double cpu_seconds = 0.0;        // time actually on-CPU
+  double suspended_seconds = 0.0;  // preempted / fault handling
+  CounterSample delta;             // ground-truth counter increments
+
+  double wall_seconds() const { return cpu_seconds + suspended_seconds; }
+};
+
+class CoreModel {
+ public:
+  CoreModel(MachineParams params, std::uint64_t seed);
+
+  // Executes `w` at (node, core) starting at `time` seconds under `env`.
+  ComputeOutcome execute(const ComputeWorkload& w, const EnvQuery& where,
+                         const Environment& env);
+
+  const MachineParams& params() const { return params_; }
+
+ private:
+  MachineParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace vapro::pmu

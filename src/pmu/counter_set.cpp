@@ -1,0 +1,82 @@
+#include "src/pmu/counter_set.hpp"
+
+#include "src/util/check.hpp"
+
+namespace vapro::pmu {
+
+CounterSet::CounterSet(std::uint64_t seed, int programmable_budget,
+                       double jitter)
+    : budget_(programmable_budget), jitter_(jitter), rng_(seed) {
+  VAPRO_CHECK(programmable_budget >= 0);
+  VAPRO_CHECK(jitter >= 0.0);
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    active_mask_[i] = is_free_counter(static_cast<Counter>(i));
+}
+
+bool CounterSet::configure(const std::vector<Counter>& programmable) {
+  int needed = 0;
+  for (Counter c : programmable)
+    if (!is_free_counter(c)) ++needed;
+  if (needed > budget_) return false;
+
+  for (Counter c : active_) active_mask_[static_cast<std::size_t>(c)] = false;
+  active_.clear();
+  for (Counter c : programmable) {
+    if (is_free_counter(c)) continue;
+    active_.push_back(c);
+    active_mask_[static_cast<std::size_t>(c)] = true;
+  }
+  return true;
+}
+
+void CounterSet::configure_multiplexed(
+    const std::vector<Counter>& programmable) {
+  for (Counter c : active_) active_mask_[static_cast<std::size_t>(c)] = false;
+  active_.clear();
+  for (Counter c : programmable) {
+    if (is_free_counter(c)) continue;
+    if (active_mask_[static_cast<std::size_t>(c)]) continue;
+    active_.push_back(c);
+    active_mask_[static_cast<std::size_t>(c)] = true;
+  }
+}
+
+double CounterSet::duty_cycle() const {
+  if (active_.size() <= static_cast<std::size_t>(budget_)) return 1.0;
+  return static_cast<double>(budget_) / static_cast<double>(active_.size());
+}
+
+bool CounterSet::is_active(Counter c) const {
+  return active_mask_[static_cast<std::size_t>(c)];
+}
+
+CounterSample CounterSet::read_delta(const CounterSample& begin,
+                                     const CounterSample& end) {
+  CounterSample out;
+  const double duty = duty_cycle();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (!active_mask_[i]) continue;
+    double v = end.values[i] - begin.values[i];
+    // Multiplexed programmable counters see only `duty` of the interval;
+    // the extrapolated estimate carries 1/duty the relative error.
+    const bool multiplexed =
+        duty < 1.0 && !is_free_counter(static_cast<Counter>(i));
+    const double sigma = multiplexed ? jitter_ / duty : jitter_;
+    if (sigma > 0.0 && v != 0.0) v *= rng_.normal(1.0, sigma);
+    out.values[i] = v;
+  }
+  return out;
+}
+
+CounterSample CounterSet::read(const CounterSample& ground_truth) {
+  CounterSample out;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (!active_mask_[i]) continue;
+    double v = ground_truth.values[i];
+    if (jitter_ > 0.0 && v != 0.0) v *= rng_.normal(1.0, jitter_);
+    out.values[i] = v;
+  }
+  return out;
+}
+
+}  // namespace vapro::pmu

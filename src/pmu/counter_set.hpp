@@ -1,0 +1,62 @@
+// The measurement window between the tool and the hardware.
+//
+// Real PMUs expose only a handful of simultaneously programmable counters —
+// the reason the paper's *progressive* diagnosis exists (§4.3: "requires
+// only a small number of concurrently active performance counters").  A
+// CounterSet enforces that budget and models PMU read nondeterminism
+// (Weaver et al., cited in §3.4) with small multiplicative jitter, which the
+// clustering threshold (5%) must tolerate.
+#pragma once
+
+#include <vector>
+
+#include "src/pmu/counters.hpp"
+#include "src/util/rng.hpp"
+
+namespace vapro::pmu {
+
+class CounterSet {
+ public:
+  // `programmable_budget` — number of non-free counters active at once.
+  // `jitter` — stddev of the multiplicative read error (e.g. 0.003 = 0.3%).
+  explicit CounterSet(std::uint64_t seed, int programmable_budget = 4,
+                      double jitter = 0.003);
+
+  // Tries to activate exactly this set of programmable counters (free
+  // counters are always active and need not be listed).  Returns false and
+  // leaves the configuration unchanged if the budget would be exceeded.
+  bool configure(const std::vector<Counter>& programmable);
+
+  // Activates the set even when it exceeds the budget by time-multiplexing
+  // (as PAPI does): each programmable counter is live only duty_cycle() of
+  // the time, so reads are extrapolated — unbiased but with error inflated
+  // by 1/duty.  With the set within budget this is identical to configure.
+  void configure_multiplexed(const std::vector<Counter>& programmable);
+
+  // Fraction of time each programmable counter is actually counting.
+  double duty_cycle() const;
+
+  bool is_active(Counter c) const;
+  int programmable_budget() const { return budget_; }
+  const std::vector<Counter>& active_programmable() const { return active_; }
+
+  // Reads a ground-truth cumulative sample through this set: inactive
+  // counters read as 0, active ones get multiplicative jitter.  Jitter is
+  // applied to the cumulative value, modeling per-read error.
+  CounterSample read(const CounterSample& ground_truth);
+
+  // Reads the delta between two ground-truth snapshots.  PMU overcount
+  // error scales with the events in the measured interval, so jitter is
+  // applied to the delta, not to the cumulative values.
+  CounterSample read_delta(const CounterSample& begin,
+                           const CounterSample& end);
+
+ private:
+  int budget_;
+  double jitter_;
+  std::vector<Counter> active_;
+  std::array<bool, kCounterCount> active_mask_{};
+  util::Rng rng_;
+};
+
+}  // namespace vapro::pmu

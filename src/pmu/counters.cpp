@@ -1,0 +1,60 @@
+#include "src/pmu/counters.hpp"
+
+#include "src/util/check.hpp"
+
+namespace vapro::pmu {
+
+std::string_view counter_name(Counter c) {
+  switch (c) {
+    case Counter::kTotIns: return "TOT_INS";
+    case Counter::kTsc: return "TSC";
+    case Counter::kCpuClkUnhalted: return "CPU_CLK_UNHALTED";
+    case Counter::kSlotsRetiring: return "SLOTS_RETIRING";
+    case Counter::kSlotsFrontend: return "SLOTS_FRONTEND";
+    case Counter::kSlotsBadSpec: return "SLOTS_BAD_SPEC";
+    case Counter::kSlotsBackend: return "SLOTS_BACKEND";
+    case Counter::kStallsCore: return "STALLS_CORE";
+    case Counter::kStallsL1: return "STALLS_L1";
+    case Counter::kStallsL2: return "STALLS_L2";
+    case Counter::kStallsL3: return "STALLS_L3";
+    case Counter::kStallsDram: return "STALLS_DRAM";
+    case Counter::kMemRefs: return "MEM_REFS";
+    case Counter::kPageFaultsSoft: return "PF_SOFT";
+    case Counter::kPageFaultsHard: return "PF_HARD";
+    case Counter::kCtxSwitchVoluntary: return "CS_VOLUNTARY";
+    case Counter::kCtxSwitchInvoluntary: return "CS_INVOLUNTARY";
+    case Counter::kSignals: return "SIGNALS";
+    case Counter::kCount: break;
+  }
+  VAPRO_CHECK_MSG(false, "invalid counter id");
+}
+
+bool is_free_counter(Counter c) {
+  switch (c) {
+    case Counter::kTotIns:
+    case Counter::kTsc:
+    case Counter::kCpuClkUnhalted:
+    case Counter::kPageFaultsSoft:
+    case Counter::kPageFaultsHard:
+    case Counter::kCtxSwitchVoluntary:
+    case Counter::kCtxSwitchInvoluntary:
+    case Counter::kSignals:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CounterSample& CounterSample::operator+=(const CounterSample& rhs) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) values[i] += rhs.values[i];
+  return *this;
+}
+
+CounterSample operator-(const CounterSample& a, const CounterSample& b) {
+  CounterSample out;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    out.values[i] = a.values[i] - b.values[i];
+  return out;
+}
+
+}  // namespace vapro::pmu

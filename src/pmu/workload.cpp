@@ -1,0 +1,59 @@
+#include "src/pmu/workload.hpp"
+
+namespace vapro::pmu {
+
+ComputeWorkload ComputeWorkload::compute_bound(double instructions,
+                                               std::int64_t truth_class) {
+  ComputeWorkload w;
+  w.instructions = instructions;
+  w.mem_refs = instructions * 0.10;
+  w.l1_miss = 0.01;
+  w.l2_miss = 0.10;
+  w.l3_miss = 0.05;
+  w.frontend_per_ins = 0.05;
+  w.badspec_per_ins = 0.02;
+  w.core_stall_per_ins = 0.25;
+  w.truth_class = truth_class;
+  return w;
+}
+
+ComputeWorkload ComputeWorkload::memory_bound(double instructions,
+                                              std::int64_t truth_class) {
+  ComputeWorkload w;
+  w.instructions = instructions;
+  w.mem_refs = instructions * 0.45;
+  w.l1_miss = 0.12;
+  w.l2_miss = 0.55;
+  w.l3_miss = 0.60;
+  w.frontend_per_ins = 0.04;
+  w.badspec_per_ins = 0.02;
+  w.core_stall_per_ins = 0.05;
+  w.truth_class = truth_class;
+  return w;
+}
+
+ComputeWorkload ComputeWorkload::balanced(double instructions,
+                                          std::int64_t truth_class) {
+  ComputeWorkload w;
+  w.instructions = instructions;
+  w.mem_refs = instructions * 0.30;
+  w.l1_miss = 0.06;
+  w.l2_miss = 0.30;
+  w.l3_miss = 0.20;
+  w.frontend_per_ins = 0.08;
+  w.badspec_per_ins = 0.03;
+  w.core_stall_per_ins = 0.12;
+  w.truth_class = truth_class;
+  return w;
+}
+
+ComputeWorkload ComputeWorkload::scaled(double factor,
+                                        std::int64_t new_class) const {
+  ComputeWorkload w = *this;
+  w.instructions *= factor;
+  w.mem_refs *= factor;
+  w.truth_class = new_class;
+  return w;
+}
+
+}  // namespace vapro::pmu

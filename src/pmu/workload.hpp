@@ -1,0 +1,55 @@
+// Computation workload descriptions.
+//
+// A ComputeWorkload is what an application "runs" between two external
+// invocations: an instruction count plus a memory-behaviour profile.  The
+// core model turns it into pipeline slots, stalls, and time.  Apps keep a
+// ground-truth class id per workload so clustering quality can be scored
+// against truth (paper Table 2) — Vapro itself never sees the id.
+#pragma once
+
+#include <cstdint>
+
+namespace vapro::pmu {
+
+struct ComputeWorkload {
+  // Retired instructions; the paper's crucial stable proxy metric.
+  double instructions = 0.0;
+  // Memory references issued (loads + stores).
+  double mem_refs = 0.0;
+  // Fraction of mem_refs that miss L1 / (of those) miss L2 / (of those)
+  // miss L3.  The remainder at each level is served there.
+  double l1_miss = 0.05;
+  double l2_miss = 0.3;
+  double l3_miss = 0.2;
+  // Frontend-bound and bad-speculation slots per retiring slot.
+  double frontend_per_ins = 0.08;
+  double badspec_per_ins = 0.03;
+  // Core-bound (execution port / divider) stall slots per instruction.
+  double core_stall_per_ins = 0.10;
+  // Ground-truth workload class id (for evaluation only, not visible to
+  // the tool).  Negative means "unlabelled".
+  std::int64_t truth_class = -1;
+  // True when a compile-time analysis could prove this snippet's workload
+  // fixed (loop bounds constant, no data-dependent trip counts).  This is
+  // what the vSensor baseline keys on; snippets that are only *de facto*
+  // fixed at runtime (paper §3.1, e.g. AMG's 7-workload loop) leave this
+  // false and are invisible to static tools.
+  bool statically_fixed = false;
+
+  // Named constructors for common shapes.
+  // A compute-bound kernel: high ILP, tiny working set.
+  static ComputeWorkload compute_bound(double instructions,
+                                       std::int64_t truth_class = -1);
+  // A memory-bound kernel: streaming through a working set larger than LLC.
+  static ComputeWorkload memory_bound(double instructions,
+                                      std::int64_t truth_class = -1);
+  // A balanced kernel, cache-resident.
+  static ComputeWorkload balanced(double instructions,
+                                  std::int64_t truth_class = -1);
+
+  // Returns a copy scaled by `factor` in both instructions and mem_refs —
+  // convenient for building families of related workload classes.
+  ComputeWorkload scaled(double factor, std::int64_t new_class = -1) const;
+};
+
+}  // namespace vapro::pmu

@@ -1,0 +1,43 @@
+#include "src/sim/engine.hpp"
+
+#include <utility>
+
+#include "src/util/check.hpp"
+
+namespace vapro::sim {
+
+void EventEngine::schedule_at(double t, Callback fn) {
+  VAPRO_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
+                                                               << " now=" << now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventEngine::schedule_after(double dt, Callback fn) {
+  VAPRO_CHECK(dt >= 0.0);
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+double EventEngine::run() {
+  while (!queue_.empty()) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    ev.fn();
+  }
+  return now_;
+}
+
+double EventEngine::run_until(double t_limit) {
+  while (!queue_.empty() && queue_.top().time <= t_limit) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace vapro::sim

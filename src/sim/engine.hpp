@@ -1,0 +1,58 @@
+// Discrete-event engine.
+//
+// Single-threaded over virtual time: events are (time, sequence, callback)
+// tuples popped in order; the sequence number makes simultaneous events
+// deterministic.  Virtual seconds are doubles — fragment durations span
+// nanoseconds to minutes and the engine never subtracts nearby times in a
+// way that loses ordering (the seq number breaks ties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vapro::sim {
+
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `t` (>= now).
+  void schedule_at(double t, Callback fn);
+  // Schedules `fn` after `dt` seconds.
+  void schedule_after(double dt, Callback fn);
+
+  // Runs until the queue drains.  Returns the final virtual time.
+  double run();
+
+  // Runs until the queue drains or virtual time would exceed `t_limit`
+  // (safety valve against livelock in tests).
+  double run_until(double t_limit);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace vapro::sim

@@ -1,0 +1,29 @@
+#include "src/sim/filesystem.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace vapro::sim {
+
+SharedFilesystem::SharedFilesystem(FsParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  VAPRO_CHECK(params_.bandwidth > 0);
+}
+
+double SharedFilesystem::op_time(double base_latency, double bytes,
+                                 double io_factor) {
+  // Lognormal latency centered on the median: exp(N(0, sigma)) has median 1.
+  const double draw = std::exp(rng_.normal(0.0, params_.latency_sigma));
+  return (base_latency * draw + bytes / params_.bandwidth) * io_factor;
+}
+
+double SharedFilesystem::read_time(double bytes, double io_factor) {
+  return op_time(params_.read_latency, bytes, io_factor);
+}
+
+double SharedFilesystem::write_time(double bytes, double io_factor) {
+  return op_time(params_.write_latency, bytes, io_factor);
+}
+
+}  // namespace vapro::sim

@@ -1,0 +1,40 @@
+// Shared (distributed) filesystem model.
+//
+// Each operation costs latency + bytes/bandwidth; the latency is drawn from
+// a lognormal distribution because metadata-heavy small-file access on a
+// shared parallel filesystem has a heavy service-time tail — exactly the
+// behaviour that makes RAxML's small-file merging vulnerable (§6.5.3).  An
+// io_factor from the noise schedule scales the whole cost during
+// interference windows.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.hpp"
+
+namespace vapro::sim {
+
+struct FsParams {
+  double read_latency = 120e-6;    // seconds, median per-op latency
+  double write_latency = 180e-6;
+  double bandwidth = 1.2e9;        // bytes/second, per-stream
+  double latency_sigma = 0.45;     // lognormal sigma of the latency draw
+};
+
+class SharedFilesystem {
+ public:
+  SharedFilesystem(FsParams params, std::uint64_t seed);
+
+  // Service time of one read/write of `bytes`, scaled by `io_factor`.
+  double read_time(double bytes, double io_factor);
+  double write_time(double bytes, double io_factor);
+
+  const FsParams& params() const { return params_; }
+
+ private:
+  double op_time(double base_latency, double bytes, double io_factor);
+  FsParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace vapro::sim

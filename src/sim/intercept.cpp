@@ -1,0 +1,44 @@
+#include "src/sim/intercept.hpp"
+
+namespace vapro::sim {
+
+bool is_io_op(OpKind k) {
+  return k == OpKind::kFileRead || k == OpKind::kFileWrite;
+}
+
+bool is_comm_op(OpKind k) {
+  switch (k) {
+    case OpKind::kSend:
+    case OpKind::kRecv:
+    case OpKind::kIsend:
+    case OpKind::kIrecv:
+    case OpKind::kWait:
+    case OpKind::kWaitall:
+    case OpKind::kAllreduce:
+    case OpKind::kBcast:
+    case OpKind::kBarrier:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kSend: return "Send";
+    case OpKind::kRecv: return "Recv";
+    case OpKind::kIsend: return "Isend";
+    case OpKind::kIrecv: return "Irecv";
+    case OpKind::kWait: return "Wait";
+    case OpKind::kWaitall: return "Waitall";
+    case OpKind::kAllreduce: return "Allreduce";
+    case OpKind::kBcast: return "Bcast";
+    case OpKind::kBarrier: return "Barrier";
+    case OpKind::kFileRead: return "FileRead";
+    case OpKind::kFileWrite: return "FileWrite";
+    case OpKind::kProbe: return "Probe";
+  }
+  return "?";
+}
+
+}  // namespace vapro::sim

@@ -1,0 +1,87 @@
+// Interception interface — the simulator-side equivalent of the PMPI /
+// LD_PRELOAD shim the real Vapro uses (paper §5).
+//
+// Every external invocation a rank program issues (communication, IO,
+// explicit probes) is announced to the attached Interceptor twice: at call
+// entry and at call exit, each time with the rank's cumulative ground-truth
+// counter sample.  Whatever sits behind this interface sees exactly what a
+// preloaded shared library would see: call-site, call-path, arguments,
+// timestamps, counters — and nothing else (no source, no workload labels).
+//
+// The ground-truth workload class accumulated since the previous call is
+// carried only for *evaluation* (Table 2 scoring); production tools must
+// ignore it, and the Vapro client does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pmu/counters.hpp"
+
+namespace vapro::sim {
+
+using RankId = int;
+using CallSiteId = std::uint32_t;
+
+enum class OpKind : std::uint8_t {
+  kSend,
+  kRecv,
+  kIsend,
+  kIrecv,
+  kWait,
+  kWaitall,
+  kAllreduce,
+  kBcast,
+  kBarrier,
+  kFileRead,
+  kFileWrite,
+  kProbe,  // Dyninst-style user-defined invocation (§5)
+};
+
+bool is_io_op(OpKind k);
+bool is_comm_op(OpKind k);
+const char* op_kind_name(OpKind k);
+
+// Invocation arguments visible to an interposition layer.
+struct CommArgs {
+  double bytes = 0.0;
+  int peer = -1;   // src/dst rank, or root for rooted collectives
+  int fd = -1;     // file descriptor for IO ops
+  int tag = 0;
+  // Underlying transfer time of the completed non-blocking operation,
+  // exposed only when the MPI library has an enhanced profiling layer
+  // (§3.3 / Vetter's dynamic statistical profiling).  Negative = absent.
+  double transfer_seconds = -1.0;
+};
+
+struct InvocationInfo {
+  RankId rank = 0;
+  CallSiteId site = 0;
+  OpKind kind = OpKind::kProbe;
+  CommArgs args;
+  // Region-id stack at the call — the simulated analogue of the call path a
+  // backtrace would produce (context-aware STG input).
+  std::vector<std::uint32_t> path;
+  // Ground-truth combined workload class executed since the previous call
+  // ended (-1 when unlabelled).  Evaluation only.
+  std::int64_t truth_class_since_last = -1;
+  // True when every computation since the previous call was statically
+  // provable fixed-workload — the information a compile-time analysis
+  // (vSensor) would have.  Vapro must not consult this.
+  bool statically_fixed_since_last = false;
+};
+
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+  // True when the tool needs call paths (context-aware STG): the simulator
+  // then charges the per-frame backtrace cost on every intercepted call.
+  virtual bool wants_call_path() const { return false; }
+  virtual void on_call_begin(const InvocationInfo& info, double time,
+                             const pmu::CounterSample& ground_truth) = 0;
+  virtual void on_call_end(const InvocationInfo& info, double time,
+                           const pmu::CounterSample& ground_truth) = 0;
+  virtual void on_program_end(RankId rank, double time) { (void)rank; (void)time; }
+};
+
+}  // namespace vapro::sim

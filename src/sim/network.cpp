@@ -1,0 +1,56 @@
+#include "src/sim/network.hpp"
+
+#include "src/util/check.hpp"
+
+namespace vapro::sim {
+
+NetworkModel::NetworkModel(NetworkParams params, Topology topo)
+    : params_(params), topo_(topo) {}
+
+int NetworkModel::log2_ceil(int p) {
+  VAPRO_DCHECK(p >= 1);
+  int rounds = 0;
+  int span = 1;
+  while (span < p) {
+    span <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double NetworkModel::p2p_time(double bytes, int src, int dst,
+                              double congestion) const {
+  const bool same_node = topo_.node_of(src) == topo_.node_of(dst);
+  const double lat = same_node ? params_.latency_intra : params_.latency_inter;
+  const double bw = same_node ? params_.bw_intra : params_.bw_inter;
+  return (lat + bytes / bw) * congestion;
+}
+
+double NetworkModel::inject_time(double bytes, double congestion) const {
+  // Eager protocol: sender pays overhead plus a copy into the NIC buffer.
+  return (params_.injection_overhead + bytes / params_.bw_intra) * congestion;
+}
+
+double NetworkModel::receive_copy_time(double bytes, double congestion) const {
+  return (params_.injection_overhead * 0.5 + bytes / params_.bw_intra) *
+         congestion;
+}
+
+double NetworkModel::allreduce_time(double bytes, int p,
+                                    double congestion) const {
+  const int rounds = log2_ceil(p);
+  return (params_.latency_inter + bytes / params_.bw_inter) * rounds *
+         congestion;
+}
+
+double NetworkModel::bcast_time(double bytes, int p, double congestion) const {
+  const int rounds = log2_ceil(p);
+  return (params_.latency_inter + bytes / params_.bw_inter) * rounds *
+         congestion;
+}
+
+double NetworkModel::barrier_time(int p, double congestion) const {
+  return params_.latency_inter * log2_ceil(p) * congestion;
+}
+
+}  // namespace vapro::sim

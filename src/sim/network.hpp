@@ -1,0 +1,46 @@
+// α-β network model with log-tree collectives.
+//
+// Point-to-point transfer time = latency + bytes/bandwidth, with separate
+// intra-node (shared memory) and inter-node (fabric) parameters; collective
+// time = ceil(log2 p) rounds of the same.  A congestion factor from the
+// noise schedule scales everything, modeling link interference (§1's
+// "network interference" variance source).
+#pragma once
+
+#include <functional>
+
+#include "src/sim/topology.hpp"
+
+namespace vapro::sim {
+
+struct NetworkParams {
+  double latency_intra = 0.4e-6;   // seconds, same node
+  double latency_inter = 1.8e-6;   // seconds, across the fabric
+  double bw_intra = 8.0e9;         // bytes/second
+  double bw_inter = 6.0e9;         // bytes/second (≈50 Gbps)
+  double injection_overhead = 0.2e-6;  // sender-side cost per message
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(NetworkParams params, Topology topo);
+
+  // Time for the payload to arrive at the destination.
+  double p2p_time(double bytes, int src, int dst, double congestion) const;
+  // Sender-side cost of an eager send (returns before delivery).
+  double inject_time(double bytes, double congestion) const;
+  // Receiver-side copy-out cost once the message is available.
+  double receive_copy_time(double bytes, double congestion) const;
+
+  // Collectives over all `p` ranks.
+  double allreduce_time(double bytes, int p, double congestion) const;
+  double bcast_time(double bytes, int p, double congestion) const;
+  double barrier_time(int p, double congestion) const;
+
+ private:
+  static int log2_ceil(int p);
+  NetworkParams params_;
+  Topology topo_;
+};
+
+}  // namespace vapro::sim

@@ -1,0 +1,74 @@
+#include "src/sim/noise.hpp"
+
+namespace vapro::sim {
+
+NoiseSchedule::NoiseSchedule(std::vector<NoiseSpec> specs)
+    : specs_(std::move(specs)) {}
+
+double NoiseSchedule::cpu_share(const pmu::EnvQuery& q) const {
+  double share = 1.0;
+  for (const auto& s : specs_) {
+    if (s.kind != NoiseKind::kCpuContention) continue;
+    if (!s.covers(q.node, q.core, q.time)) continue;
+    share *= 1.0 / (1.0 + s.magnitude);
+  }
+  return share;
+}
+
+double NoiseSchedule::dram_factor(const pmu::EnvQuery& q) const {
+  double f = 1.0;
+  for (const auto& s : specs_) {
+    if (s.kind != NoiseKind::kMemoryBandwidth && s.kind != NoiseKind::kSlowDram)
+      continue;
+    if (!s.covers(q.node, q.core, q.time)) continue;
+    f *= s.magnitude;
+  }
+  return f;
+}
+
+double NoiseSchedule::l2_factor(const pmu::EnvQuery& q) const {
+  double f = 1.0;
+  for (const auto& s : specs_) {
+    if (s.kind != NoiseKind::kL2CacheBug) continue;
+    if (!s.covers(q.node, q.core, q.time)) continue;
+    f *= s.magnitude;
+  }
+  return f;
+}
+
+double NoiseSchedule::soft_pf_rate(const pmu::EnvQuery& q) const {
+  double rate = 0.0;
+  for (const auto& s : specs_) {
+    if (s.kind != NoiseKind::kPageFaultStorm) continue;
+    if (!s.covers(q.node, q.core, q.time)) continue;
+    rate += s.magnitude;
+  }
+  return rate;
+}
+
+double NoiseSchedule::hard_pf_rate(const pmu::EnvQuery& q) const {
+  // Hard faults ride along with a fault storm at 1/50th the soft rate.
+  return soft_pf_rate(q) / 50.0;
+}
+
+double NoiseSchedule::network_factor(double t) const {
+  double f = 1.0;
+  for (const auto& s : specs_) {
+    if (s.kind != NoiseKind::kNetworkCongestion) continue;
+    if (t < s.t_begin || t >= s.t_end) continue;
+    f *= s.magnitude;
+  }
+  return f;
+}
+
+double NoiseSchedule::io_factor(double t) const {
+  double f = 1.0;
+  for (const auto& s : specs_) {
+    if (s.kind != NoiseKind::kIoInterference) continue;
+    if (t < s.t_begin || t >= s.t_end) continue;
+    f *= s.magnitude;
+  }
+  return f;
+}
+
+}  // namespace vapro::sim

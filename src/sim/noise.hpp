@@ -1,0 +1,82 @@
+// Noise injection.
+//
+// Each NoiseSpec perturbs one mechanism of the machine model inside a time
+// window and a (node, core) scope, standing in for the paper's injected and
+// naturally occurring variance sources:
+//
+//   kCpuContention   — `stress` co-scheduled on the same core (§6.2, §6.4):
+//                      cpu_share drops to 1/(1+magnitude), involuntary
+//                      context switches appear.
+//   kMemoryBandwidth — `stream` on idle cores (§3.3 footnote): DRAM-bound
+//                      stalls multiply by `magnitude` for all cores of the
+//                      node.
+//   kL2CacheBug      — the Intel L2-eviction erratum (§6.5.1): L2-bound
+//                      stalls multiply by `magnitude` (with a DRAM spill
+//                      modeled in the core model).
+//   kSlowDram        — a degraded DIMM/node (§6.5.2): persistent DRAM factor.
+//   kPageFaultStorm  — extra soft/hard faults per second.
+//   kIoInterference  — shared-filesystem slowdown (§6.5.3).
+//   kNetworkCongestion — link contention: network times multiply.
+//
+// A NoiseSchedule composes any number of specs and implements the
+// pmu::Environment interface plus network/filesystem factors.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/pmu/core_model.hpp"
+
+namespace vapro::sim {
+
+enum class NoiseKind {
+  kCpuContention,
+  kMemoryBandwidth,
+  kL2CacheBug,
+  kSlowDram,
+  kPageFaultStorm,
+  kIoInterference,
+  kNetworkCongestion,
+};
+
+struct NoiseSpec {
+  NoiseKind kind = NoiseKind::kCpuContention;
+  double t_begin = 0.0;
+  double t_end = std::numeric_limits<double>::infinity();
+  int node = -1;  // -1 = every node
+  int core = -1;  // -1 = every core of the node
+  // Kind-specific strength; see kind docs above.
+  double magnitude = 1.0;
+
+  bool covers(int node_q, int core_q, double t) const {
+    if (t < t_begin || t >= t_end) return false;
+    if (node >= 0 && node != node_q) return false;
+    if (core >= 0 && core != core_q) return false;
+    return true;
+  }
+};
+
+class NoiseSchedule final : public pmu::Environment {
+ public:
+  NoiseSchedule() = default;
+  explicit NoiseSchedule(std::vector<NoiseSpec> specs);
+
+  void add(const NoiseSpec& spec) { specs_.push_back(spec); }
+  const std::vector<NoiseSpec>& specs() const { return specs_; }
+
+  // pmu::Environment:
+  double cpu_share(const pmu::EnvQuery& q) const override;
+  double dram_factor(const pmu::EnvQuery& q) const override;
+  double l2_factor(const pmu::EnvQuery& q) const override;
+  double soft_pf_rate(const pmu::EnvQuery& q) const override;
+  double hard_pf_rate(const pmu::EnvQuery& q) const override;
+
+  // Extra dimensions beyond the CPU:
+  double network_factor(double t) const;
+  double io_factor(double t) const;
+
+ private:
+  std::vector<NoiseSpec> specs_;
+};
+
+}  // namespace vapro::sim

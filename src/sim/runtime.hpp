@@ -1,0 +1,308 @@
+// The simulated parallel runtime: ranks are coroutines over virtual time.
+//
+// This is the substrate standing in for "MPI application + cluster" in the
+// paper's evaluation.  A rank program co_awaits operations on its
+// RankContext; the Simulator advances virtual time through a discrete-event
+// engine, matches point-to-point messages, synchronizes collectives, runs
+// the CPU/OS model for computation, and announces every external invocation
+// to the attached Interceptor — the seam where Vapro (or a baseline tool)
+// plugs in, exactly like an LD_PRELOAD shim.
+//
+// Determinism: everything is driven by seeded RNG streams and a total event
+// order, so a (config, program) pair always reproduces the same run.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pmu/core_model.hpp"
+#include "src/pmu/workload.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/filesystem.hpp"
+#include "src/sim/intercept.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/noise.hpp"
+#include "src/sim/task.hpp"
+#include "src/sim/topology.hpp"
+
+namespace vapro::sim {
+
+// Cost charged to the application per intercepted call when a tool is
+// attached — the source of the "overhead %" column of Table 1.
+struct InterceptCost {
+  // dlsym shim + timestamping + a few PMU register reads per hook pair
+  // (PAPI reads cost ~1 µs each on real hardware).
+  double base_seconds = 3.0e-6;
+  // Backtrace cost per stack frame, charged only when the tool asks for
+  // call paths (context-aware STG).
+  double per_frame_seconds = 1.2e-6;
+};
+
+struct SimConfig {
+  int ranks = 16;
+  int cores_per_node = 24;
+  std::uint64_t seed = 1;
+  // When true, Wait/Recv completions report the underlying transfer time
+  // in CommArgs::transfer_seconds — modeling an MPI library with an
+  // enhanced profiling layer (§3.3) so tools can separate transfer time
+  // from load-imbalance wait time.
+  bool enhanced_comm_profiling = false;
+  pmu::MachineParams machine;
+  NetworkParams network;
+  FsParams fs;
+  std::vector<NoiseSpec> noises;
+  InterceptCost intercept_cost;
+  // Safety valve: a deadlocked program fails loudly instead of spinning.
+  double max_virtual_seconds = 1e7;
+};
+
+struct RunResult {
+  std::vector<double> finish_times;  // per rank, virtual seconds
+  double makespan = 0.0;             // max finish time
+  std::uint64_t events = 0;          // engine events dispatched
+};
+
+// Non-blocking operation handle.
+struct RequestState {
+  bool resolved = false;
+  double complete_time = 0.0;
+  double post_time = 0.0;
+  double bytes = 0.0;
+  // Wire time of the matched message (network transit + copy-out),
+  // excluding the time spent waiting for the sender — what an enhanced
+  // profiling layer (§3.3) exposes.  Negative until resolved/for sends.
+  double transfer_seconds = -1.0;
+  std::function<void()> on_resolve;  // parked waiter continuation
+};
+using Request = std::shared_ptr<RequestState>;
+
+class Simulator;
+class RankContext;
+
+namespace detail {
+
+// Awaiter for computation: runs the core model, not intercepted.
+struct ComputeAwaiter {
+  RankContext* ctx;
+  pmu::ComputeWorkload workload;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+// Awaiter for every intercepted external invocation.
+struct CallAwaiter {
+  RankContext* ctx = nullptr;
+  InvocationInfo info;
+  double bytes = 0.0;
+  int peer = -1;
+  int tag = 0;
+  int fd = -1;
+  Request request;                  // wait
+  std::vector<Request> requests;    // wait_all
+  Request out_request;              // isend/irecv result
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume();
+};
+
+// Same machinery, but co_await yields the created Request (isend/irecv).
+struct RequestOpAwaiter : CallAwaiter {
+  Request await_resume();
+};
+
+}  // namespace detail
+
+class RankContext {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  int node() const;
+  int core() const;
+  double now() const;
+  util::Rng& rng() { return rng_; }
+  const pmu::CounterSample& ground_truth() const { return counters_; }
+
+  // --- computation (not intercepted) ---
+  detail::ComputeAwaiter compute(const pmu::ComputeWorkload& w);
+
+  // --- point-to-point communication ---
+  detail::CallAwaiter send(int dst, double bytes, CallSiteId site, int tag = 0);
+  detail::CallAwaiter recv(int src, CallSiteId site, int tag = 0);
+  detail::RequestOpAwaiter isend(int dst, double bytes, CallSiteId site,
+                                 int tag = 0);
+  detail::RequestOpAwaiter irecv(int src, CallSiteId site, int tag = 0);
+  detail::CallAwaiter wait(Request r, CallSiteId site);
+  detail::CallAwaiter wait_all(std::vector<Request> rs, CallSiteId site);
+
+  // --- collectives ---
+  detail::CallAwaiter allreduce(double bytes, CallSiteId site);
+  detail::CallAwaiter bcast(double bytes, int root, CallSiteId site);
+  detail::CallAwaiter barrier(CallSiteId site);
+
+  // --- IO ---
+  detail::CallAwaiter file_read(int fd, double bytes, CallSiteId site);
+  detail::CallAwaiter file_write(int fd, double bytes, CallSiteId site);
+
+  // --- explicit probe (Dyninst-style user-defined invocation, §5) ---
+  detail::CallAwaiter probe(CallSiteId site);
+
+  // --- call-path regions (what a backtrace would show) ---
+  class Region {
+   public:
+    Region(RankContext& ctx, std::uint32_t id);
+    ~Region();
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+
+   private:
+    RankContext& ctx_;
+  };
+  Region region(std::uint32_t id) { return Region(*this, id); }
+  // Non-RAII variants for callers that build deep stacks in a loop
+  // (pushes and pops must balance).
+  void push_region(std::uint32_t id) { region_stack_.push_back(id); }
+  void pop_region() { region_stack_.pop_back(); }
+
+ private:
+  friend class Simulator;
+  friend struct detail::ComputeAwaiter;
+  friend struct detail::CallAwaiter;
+
+  RankContext(Simulator* sim, int rank, pmu::MachineParams machine,
+              std::uint64_t seed);
+
+  detail::CallAwaiter make_call(OpKind kind, CallSiteId site);
+  void note_truth_class(std::int64_t cls);
+
+  Simulator* sim_;
+  int rank_;
+  pmu::CounterSample counters_;  // cumulative ground truth
+  pmu::CoreModel core_model_;
+  util::Rng rng_;
+  std::vector<std::uint32_t> region_stack_;
+  std::int64_t truth_accum_ = -1;
+  bool static_accum_ = true;   // all computes since last call static?
+  bool saw_compute_ = false;   // any compute since last call?
+};
+
+class Simulator {
+ public:
+  using RankProgram = std::function<Task(RankContext&)>;
+
+  explicit Simulator(SimConfig config);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Attaches the tool under evaluation (nullptr detaches).  Attaching also
+  // enables the interception cost model.
+  void set_interceptor(Interceptor* interceptor);
+
+  // Registers a callback invoked every `period` virtual seconds while at
+  // least one rank is still running (plus one final tick) — used by
+  // analysis servers for windowed collection (paper Fig 8).  Returns an id
+  // for remove_periodic; callers whose lifetime is shorter than the
+  // simulator's MUST deregister.
+  std::uint64_t add_periodic(double period, std::function<void(double)> fn);
+  void remove_periodic(std::uint64_t id);
+
+  // Runs `program` on every rank to completion; resets transient state
+  // first so a Simulator can be reused for repeated executions (Fig 1).
+  RunResult run(const RankProgram& program);
+
+  const SimConfig& config() const { return config_; }
+  const Topology& topology() const { return topo_; }
+  const NoiseSchedule& noise() const { return noise_; }
+  double now() const { return engine_.now(); }
+
+ private:
+  friend class RankContext;
+  friend struct detail::ComputeAwaiter;
+  friend struct detail::CallAwaiter;
+
+  struct Mailbox {
+    struct Msg {
+      double arrival;
+      double bytes;
+      double send_time;
+    };
+    std::unordered_map<std::uint64_t, std::deque<Msg>> inflight;
+    std::unordered_map<std::uint64_t, std::deque<Request>> pending_recvs;
+  };
+
+  struct CollState {
+    OpKind kind = OpKind::kBarrier;
+    double bytes = 0.0;
+    int arrived = 0;
+    double max_time = 0.0;
+    std::vector<std::function<void(double)>> releases;  // arg: done time
+  };
+
+  static std::uint64_t msg_key(int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  double intercept_overhead(const RankContext& ctx) const;
+  void begin_call(const RankContext& ctx, const InvocationInfo& info);
+  void end_call(const RankContext& ctx, const InvocationInfo& info);
+
+  // Schedules `h` to resume at virtual time `t` and handles rank completion
+  // bookkeeping after the resume returns.
+  void resume_at(int rank, std::coroutine_handle<> h, double t);
+
+  // Op implementations (called from CallAwaiter::await_suspend).
+  void op_send(detail::CallAwaiter& a, std::coroutine_handle<> h,
+               bool blocking);
+  void op_recv(detail::CallAwaiter& a, std::coroutine_handle<> h,
+               bool blocking);
+  void op_wait(detail::CallAwaiter& a, std::coroutine_handle<> h);
+  void op_waitall(detail::CallAwaiter& a, std::coroutine_handle<> h);
+  void op_collective(detail::CallAwaiter& a, std::coroutine_handle<> h);
+  void op_io(detail::CallAwaiter& a, std::coroutine_handle<> h);
+  void op_probe(detail::CallAwaiter& a, std::coroutine_handle<> h);
+
+  void deliver(int dst, int src, int tag, double arrival, double bytes,
+               double send_time);
+  void resolve_request(const Request& r, double complete_time, double bytes,
+                       double transfer_seconds = -1.0);
+  void park(RankContext& ctx) { ctx.counters_[pmu::Counter::kCtxSwitchVoluntary] += 1.0; }
+
+  void schedule_periodic_tick(std::size_t idx);
+
+  SimConfig config_;
+  Topology topo_;
+  EventEngine engine_;
+  NetworkModel network_;
+  SharedFilesystem fs_;
+  NoiseSchedule noise_;
+  Interceptor* interceptor_ = nullptr;
+
+  std::vector<std::unique_ptr<RankContext>> contexts_;
+  std::vector<Task> tasks_;
+  std::vector<std::function<void()>> done_callbacks_;
+  std::vector<double> finish_times_;
+  int unfinished_ = 0;
+  std::uint64_t run_counter_ = 0;
+
+  std::vector<Mailbox> mailboxes_;
+  std::unordered_map<std::uint64_t, CollState> collectives_;
+  std::vector<std::uint64_t> next_collective_;  // per-rank sequence number
+
+  struct Periodic {
+    std::uint64_t id;
+    double period;
+    std::function<void(double)> fn;
+  };
+  std::vector<Periodic> periodics_;
+  std::uint64_t next_periodic_id_ = 1;
+};
+
+}  // namespace vapro::sim

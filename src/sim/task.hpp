@@ -1,0 +1,101 @@
+// Coroutine task type for simulated rank programs.
+//
+// Application code reads like MPI code:
+//
+//   sim::Task cg(sim::RankContext& ctx) {
+//     for (int it = 0; it < iters; ++it) {
+//       co_await ctx.compute(w);
+//       co_await ctx.allreduce(8.0, kSiteAllreduce);
+//     }
+//   }
+//
+// Task supports nesting (co_await a helper Task) via symmetric transfer: the
+// child stores the parent's handle as its continuation and resumes it from
+// final_suspend.  Top-level tasks (the per-rank programs) are started by the
+// simulator and report completion through an optional callback.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace vapro::sim {
+
+class Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    std::function<void()>* on_done = nullptr;  // set for top-level tasks
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        if (p.on_done && *p.on_done) (*p.on_done)();
+        if (p.continuation) return p.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  // --- awaiting a child task from a parent coroutine ---
+  bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer into the child
+  }
+  void await_resume() {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+  // --- top-level control (used by the simulator) ---
+  // Registers a completion callback (must outlive the task) and resumes the
+  // coroutine from its initial suspension point.
+  void start(std::function<void()>* on_done) {
+    handle_.promise().on_done = on_done;
+    handle_.resume();
+  }
+  bool done() const { return !handle_ || handle_.done(); }
+  void rethrow_if_failed() {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace vapro::sim

@@ -1,0 +1,29 @@
+// Machine topology: ranks are block-mapped onto nodes × cores, matching the
+// usual MPI rank placement on a cluster (ranks 0..C-1 on node 0, ...).
+// Noise injectors target (node, core) coordinates, so detection experiments
+// like "noise on the second socket" (Fig 15) or "one slow node" (Fig 17)
+// address ranks through this mapping.
+#pragma once
+
+#include "src/util/check.hpp"
+
+namespace vapro::sim {
+
+struct Topology {
+  int ranks = 1;
+  int cores_per_node = 24;
+
+  int nodes() const { return (ranks + cores_per_node - 1) / cores_per_node; }
+  int node_of(int rank) const {
+    VAPRO_DCHECK(rank >= 0 && rank < ranks);
+    return rank / cores_per_node;
+  }
+  int core_of(int rank) const {
+    VAPRO_DCHECK(rank >= 0 && rank < ranks);
+    return rank % cores_per_node;
+  }
+  // First rank hosted on `node` (for benches that place noise "on node k").
+  int first_rank_on(int node) const { return node * cores_per_node; }
+};
+
+}  // namespace vapro::sim

@@ -1,0 +1,127 @@
+#include "src/stats/collinearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/descriptive.hpp"
+#include "src/stats/dist.hpp"
+#include "src/stats/ols.hpp"
+#include "src/util/check.hpp"
+
+namespace vapro::stats {
+
+Matrix correlation_matrix(const std::vector<std::vector<double>>& columns) {
+  const std::size_t k = columns.size();
+  VAPRO_CHECK(k > 0);
+  Matrix r(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    r(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      double c = pearson(columns[i], columns[j]);
+      r(i, j) = c;
+      r(j, i) = c;
+    }
+  }
+  return r;
+}
+
+FarrarGlauberResult farrar_glauber(const Matrix& correlation, std::size_t n,
+                                   double alpha) {
+  const std::size_t k = correlation.rows();
+  VAPRO_CHECK(k == correlation.cols());
+  FarrarGlauberResult res;
+  if (k < 2 || n < 4) return res;
+
+  double det = correlation.determinant();
+  // |R| → 0 under strong collinearity; clamp to keep ln finite.
+  det = std::max(det, 1e-300);
+  double factor = static_cast<double>(n) - 1.0 -
+                  (2.0 * static_cast<double>(k) + 5.0) / 6.0;
+  res.chi2 = -factor * std::log(det);
+  double dof = static_cast<double>(k) * (static_cast<double>(k) - 1.0) / 2.0;
+  res.p_value = chi2_sf(res.chi2, dof);
+  res.collinear = res.p_value < alpha;
+  return res;
+}
+
+std::vector<double> variance_inflation_factors(const Matrix& correlation) {
+  Matrix inv;
+  if (!correlation.inverse(inv)) return {};
+  std::vector<double> vif(correlation.rows());
+  for (std::size_t i = 0; i < vif.size(); ++i) vif[i] = inv(i, i);
+  return vif;
+}
+
+namespace {
+
+// Index of the variable to drop: highest VIF when R is invertible, else the
+// variable of the strongest-correlated pair with the larger aggregate |r|.
+std::size_t pick_victim(const Matrix& r,
+                        const std::vector<double>& vif) {
+  const std::size_t k = r.rows();
+  if (!vif.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < k; ++i)
+      if (vif[i] > vif[best]) best = i;
+    return best;
+  }
+  std::size_t a = 0, b = 1;
+  double best_r = -1.0;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (std::fabs(r(i, j)) > best_r) {
+        best_r = std::fabs(r(i, j));
+        a = i;
+        b = j;
+      }
+  auto aggregate = [&](std::size_t v) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < k; ++j)
+      if (j != v) s += std::fabs(r(v, j));
+    return s;
+  };
+  return aggregate(a) >= aggregate(b) ? a : b;
+}
+
+}  // namespace
+
+CollinearityReduction reduce_multicollinearity(
+    const std::vector<std::vector<double>>& columns, double alpha,
+    double vif_limit) {
+  CollinearityReduction out;
+  const std::size_t k = columns.size();
+  out.kept.resize(k);
+  for (std::size_t i = 0; i < k; ++i) out.kept[i] = i;
+  if (k < 2) return out;
+  const std::size_t n = columns[0].size();
+
+  while (out.kept.size() > 2) {
+    std::vector<std::vector<double>> active;
+    active.reserve(out.kept.size());
+    for (std::size_t idx : out.kept) active.push_back(columns[idx]);
+    Matrix r = correlation_matrix(active);
+    FarrarGlauberResult fg = farrar_glauber(r, n, alpha);
+    std::vector<double> vif = variance_inflation_factors(r);
+    bool vif_bad =
+        !vif.empty() &&
+        *std::max_element(vif.begin(), vif.end()) > vif_limit;
+    if (!fg.collinear && !vif_bad && !vif.empty()) break;
+    std::size_t local_victim = pick_victim(r, vif);
+    out.removed.push_back(out.kept[local_victim]);
+    out.kept.erase(out.kept.begin() + static_cast<std::ptrdiff_t>(local_victim));
+  }
+
+  // Express each removed variable as a linear combination of kept ones so
+  // its coefficient can be recovered after OLS.
+  std::vector<std::vector<double>> kept_cols;
+  kept_cols.reserve(out.kept.size());
+  for (std::size_t idx : out.kept) kept_cols.push_back(columns[idx]);
+  for (std::size_t removed_idx : out.removed) {
+    OlsResult fit = ols_fit_columns(columns[removed_idx], kept_cols, true);
+    out.relation.push_back(fit.ok ? fit.coefficients
+                                  : std::vector<double>(out.kept.size(), 0.0));
+  }
+  return out;
+}
+
+}  // namespace vapro::stats

@@ -1,0 +1,58 @@
+// Multicollinearity detection for the OLS quantifier.
+//
+// The paper (§4.2) checks explanatory factors with the Farrar–Glauber test
+// and removes multicollinear factors one by one until the test passes; the
+// coefficients of removed factors are later recovered from their linear
+// relation to the retained ones.  This header provides:
+//   * the correlation matrix,
+//   * the Farrar–Glauber chi-squared statistic and p-value,
+//   * variance inflation factors (to pick which variable to drop),
+//   * the iterative reduction loop itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/stats/matrix.hpp"
+
+namespace vapro::stats {
+
+// Pearson correlation matrix of the given columns (all same length).
+// Columns with zero variance correlate 0 with everything (and 1 with self).
+Matrix correlation_matrix(const std::vector<std::vector<double>>& columns);
+
+struct FarrarGlauberResult {
+  double chi2 = 0.0;      // test statistic
+  double p_value = 1.0;   // upper tail of chi2 with k(k-1)/2 dof
+  bool collinear = false; // p < alpha → reject "no multicollinearity"
+};
+
+// Farrar–Glauber chi-squared test on a correlation matrix built from
+// n observations of k variables:  chi2 = -(n - 1 - (2k+5)/6) * ln|R|.
+FarrarGlauberResult farrar_glauber(const Matrix& correlation, std::size_t n,
+                                   double alpha = 0.05);
+
+// Variance inflation factor per variable: VIF_j = [ (R^-1)_jj ].
+// Returns an empty vector when R is singular (perfect collinearity) —
+// callers should then drop the variable with the largest |pairwise r|.
+std::vector<double> variance_inflation_factors(const Matrix& correlation);
+
+struct CollinearityReduction {
+  // Indices (into the original column list) retained for OLS.
+  std::vector<std::size_t> kept;
+  // Indices removed, in removal order.
+  std::vector<std::size_t> removed;
+  // For each removed variable: regression of it on the kept variables, so
+  // its effect can be re-attributed after OLS (paper §4.2 last step).
+  // relation[i][j] is the coefficient of kept[j] for removed[i].
+  std::vector<std::vector<double>> relation;
+};
+
+// Removes variables until Farrar–Glauber no longer signals multicollinearity
+// (or until ≤ 2 remain).  Drop order: highest VIF first; on singular R, the
+// member of the most-correlated pair with the larger mean |r| to the rest.
+CollinearityReduction reduce_multicollinearity(
+    const std::vector<std::vector<double>>& columns, double alpha = 0.05,
+    double vif_limit = 10.0);
+
+}  // namespace vapro::stats

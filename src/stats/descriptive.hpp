@@ -1,0 +1,49 @@
+// Descriptive statistics on value series: detection reports, run-to-run
+// variability figures (Fig 1, Fig 16), and the EXPERIMENTS.md summaries are
+// produced with these helpers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vapro::stats {
+
+double mean(std::span<const double> xs);
+// Sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+// Coefficient of variation = stddev / mean.
+double coeff_variation(std::span<const double> xs);
+
+// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+// Pearson correlation of two equal-length series.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+// Evenly spaced CDF samples (value at each of `points` percentiles),
+// useful for plotting distribution curves like the paper's Fig 16.
+std::vector<double> cdf_curve(std::span<const double> xs, int points);
+
+// Welford-style online accumulator for streaming statistics.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace vapro::stats

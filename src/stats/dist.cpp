@@ -1,0 +1,45 @@
+#include "src/stats/dist.hpp"
+
+#include <cmath>
+
+#include "src/stats/special.hpp"
+#include "src/util/check.hpp"
+
+namespace vapro::stats {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double chi2_cdf(double x, double k) {
+  VAPRO_CHECK(k > 0.0);
+  if (x <= 0.0) return 0.0;
+  return gamma_p(k / 2.0, x / 2.0);
+}
+
+double chi2_sf(double x, double k) {
+  VAPRO_CHECK(k > 0.0);
+  if (x <= 0.0) return 1.0;
+  return gamma_q(k / 2.0, x / 2.0);
+}
+
+double student_t_cdf(double t, double v) {
+  VAPRO_CHECK(v > 0.0);
+  double x = v / (v + t * t);
+  double p = 0.5 * beta_inc(v / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - p : p;
+}
+
+double student_t_two_sided_p(double t, double v) {
+  VAPRO_CHECK(v > 0.0);
+  double x = v / (v + t * t);
+  return beta_inc(v / 2.0, 0.5, x);
+}
+
+double f_cdf(double x, double d1, double d2) {
+  VAPRO_CHECK(d1 > 0.0 && d2 > 0.0);
+  if (x <= 0.0) return 0.0;
+  return beta_inc(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2));
+}
+
+double f_sf(double x, double d1, double d2) { return 1.0 - f_cdf(x, d1, d2); }
+
+}  // namespace vapro::stats

@@ -1,0 +1,27 @@
+// Cumulative distribution functions used by the diagnosis pipeline:
+//  - Student's t         → OLS coefficient p-values (paper §4.2, p < 0.05)
+//  - chi-squared         → Farrar–Glauber multicollinearity test
+//  - F                   → Farrar–Glauber per-variable F statistic
+//  - standard normal     → misc. helpers
+#pragma once
+
+namespace vapro::stats {
+
+// Standard normal CDF.
+double normal_cdf(double x);
+
+// Chi-squared CDF with k degrees of freedom.
+double chi2_cdf(double x, double k);
+// Upper-tail probability P(X >= x).
+double chi2_sf(double x, double k);
+
+// Student's t CDF with v degrees of freedom.
+double student_t_cdf(double t, double v);
+// Two-sided p-value for a t statistic.
+double student_t_two_sided_p(double t, double v);
+
+// F distribution CDF with (d1, d2) degrees of freedom.
+double f_cdf(double x, double d1, double d2);
+double f_sf(double x, double d1, double d2);
+
+}  // namespace vapro::stats

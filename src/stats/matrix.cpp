@@ -1,0 +1,157 @@
+#include "src/stats/matrix.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace vapro::stats {
+
+namespace {
+constexpr double kPivotEps = 1e-12;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  VAPRO_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  VAPRO_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  VAPRO_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  VAPRO_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  VAPRO_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+bool Matrix::solve(const std::vector<double>& b, std::vector<double>& x) const {
+  VAPRO_CHECK(rows_ == cols_ && b.size() == rows_);
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  std::vector<double> rhs = b;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    if (std::fabs(a(pivot, col)) < kPivotEps) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = rhs[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
+    x[i] = s / a(i, i);
+  }
+  return true;
+}
+
+bool Matrix::inverse(Matrix& out) const {
+  VAPRO_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  out = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    if (std::fabs(a(pivot, col)) < kPivotEps) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+        std::swap(out(pivot, c), out(col, c));
+      }
+    }
+    double inv_p = 1.0 / a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) *= inv_p;
+      out(col, c) *= inv_p;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double f = a(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+        out(r, c) -= f * out(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+double Matrix::determinant() const {
+  VAPRO_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  double det = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    if (std::fabs(a(pivot, col)) < kPivotEps) return 0.0;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      det = -det;
+    }
+    det *= a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+    }
+  }
+  return det;
+}
+
+}  // namespace vapro::stats

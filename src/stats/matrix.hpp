@@ -1,0 +1,45 @@
+// Small dense matrix for the OLS / multicollinearity machinery.  Problem
+// sizes are tiny (≤ ~20 explanatory factors), so a straightforward row-major
+// implementation with partial-pivot Gaussian elimination is exactly right.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vapro::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  // Solves A x = b via Gaussian elimination with partial pivoting.
+  // Returns false when A is (numerically) singular.
+  bool solve(const std::vector<double>& b, std::vector<double>& x) const;
+
+  // Inverse via Gauss–Jordan; returns false when singular.
+  bool inverse(Matrix& out) const;
+
+  // Determinant via LU; exact enough for the Farrar–Glauber statistic.
+  double determinant() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace vapro::stats

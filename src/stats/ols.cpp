@@ -1,0 +1,98 @@
+#include "src/stats/ols.hpp"
+
+#include <cmath>
+
+#include "src/stats/dist.hpp"
+#include "src/stats/matrix.hpp"
+#include "src/util/check.hpp"
+
+namespace vapro::stats {
+
+OlsResult ols_fit(std::span<const double> y, std::span<const double> x,
+                  std::size_t n_cols, bool fit_intercept) {
+  OlsResult res;
+  VAPRO_CHECK(n_cols > 0);
+  VAPRO_CHECK(x.size() % n_cols == 0);
+  const std::size_t n = x.size() / n_cols;
+  VAPRO_CHECK(y.size() == n);
+  const std::size_t p = n_cols + (fit_intercept ? 1 : 0);
+  if (n <= p) return res;  // not enough observations for inference
+
+  // Design matrix with optional leading intercept column.
+  Matrix design(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t c = 0;
+    if (fit_intercept) design(i, c++) = 1.0;
+    for (std::size_t j = 0; j < n_cols; ++j)
+      design(i, c + j) = x[i * n_cols + j];
+  }
+
+  Matrix xt = design.transpose();
+  Matrix xtx = xt * design;
+  Matrix xtx_inv;
+  if (!xtx.inverse(xtx_inv)) return res;
+
+  // beta = (X'X)^-1 X' y
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < n; ++i) xty[j] += design(i, j) * y[i];
+  std::vector<double> beta(p, 0.0);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t k = 0; k < p; ++k) beta[j] += xtx_inv(j, k) * xty[k];
+
+  // Residuals, R², sigma².
+  double ss_res = 0.0, ss_tot = 0.0, y_mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) y_mean += y[i];
+  y_mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double fit = 0.0;
+    for (std::size_t j = 0; j < p; ++j) fit += design(i, j) * beta[j];
+    double r = y[i] - fit;
+    ss_res += r * r;
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  const double dof = static_cast<double>(n - p);
+  const double sigma2 = ss_res / dof;
+
+  res.ok = true;
+  res.n = n;
+  res.k = n_cols;
+  res.residual_variance = sigma2;
+  res.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+
+  const std::size_t base = fit_intercept ? 1 : 0;
+  if (fit_intercept) res.intercept = beta[0];
+  res.coefficients.resize(n_cols);
+  res.std_errors.resize(n_cols);
+  res.t_stats.resize(n_cols);
+  res.p_values.resize(n_cols);
+  for (std::size_t j = 0; j < n_cols; ++j) {
+    res.coefficients[j] = beta[base + j];
+    double se = std::sqrt(std::max(0.0, sigma2 * xtx_inv(base + j, base + j)));
+    res.std_errors[j] = se;
+    if (se > 0.0) {
+      res.t_stats[j] = res.coefficients[j] / se;
+      res.p_values[j] = student_t_two_sided_p(res.t_stats[j], dof);
+    } else {
+      // Zero residual variance: the fit is exact, the coefficient is certain.
+      res.t_stats[j] = res.coefficients[j] == 0.0 ? 0.0 : 1e30;
+      res.p_values[j] = res.coefficients[j] == 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return res;
+}
+
+OlsResult ols_fit_columns(std::span<const double> y,
+                          const std::vector<std::vector<double>>& columns,
+                          bool fit_intercept) {
+  VAPRO_CHECK(!columns.empty());
+  const std::size_t n = y.size();
+  for (const auto& c : columns) VAPRO_CHECK(c.size() == n);
+  std::vector<double> row_major(n * columns.size());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < columns.size(); ++j)
+      row_major[i * columns.size() + j] = columns[j][i];
+  return ols_fit(y, row_major, columns.size(), fit_intercept);
+}
+
+}  // namespace vapro::stats

@@ -1,0 +1,35 @@
+// Ordinary least squares with inference, as used by Vapro's OLS-based factor
+// quantification (paper §4.2): execution time is the explained variable,
+// normalized factor counters are the explanatory variables, and only factors
+// with p < 0.05 survive into the diagnosis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vapro::stats {
+
+struct OlsResult {
+  bool ok = false;                    // false when X'X is singular
+  std::vector<double> coefficients;   // slope per explanatory column
+  double intercept = 0.0;             // present when fit_intercept
+  std::vector<double> std_errors;     // per coefficient
+  std::vector<double> t_stats;        // per coefficient
+  std::vector<double> p_values;       // two-sided, per coefficient
+  double r_squared = 0.0;
+  double residual_variance = 0.0;     // sigma^2 estimate
+  std::size_t n = 0;                  // observations
+  std::size_t k = 0;                  // explanatory variables (w/o intercept)
+};
+
+// Fits y ≈ X b (+ intercept).  `x` is row-major with `n_cols` columns.
+OlsResult ols_fit(std::span<const double> y, std::span<const double> x,
+                  std::size_t n_cols, bool fit_intercept = true);
+
+// Convenience overload for column-wise inputs.
+OlsResult ols_fit_columns(std::span<const double> y,
+                          const std::vector<std::vector<double>>& columns,
+                          bool fit_intercept = true);
+
+}  // namespace vapro::stats

@@ -1,0 +1,18 @@
+// Special functions needed by the statistical distributions: regularized
+// incomplete gamma and beta functions.  Implementations follow the classic
+// series/continued-fraction split (Numerical Recipes style) with relative
+// accuracy ~1e-12, far beyond what the diagnosis pipeline needs.
+#pragma once
+
+namespace vapro::stats {
+
+// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+// Regularized incomplete beta I_x(a, b), a, b > 0, x in [0, 1].
+double beta_inc(double a, double b, double x);
+
+}  // namespace vapro::stats

@@ -1,0 +1,79 @@
+#include "src/stats/vmeasure.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace vapro::stats {
+
+namespace {
+
+double entropy_from_counts(const std::vector<double>& counts, double total) {
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+VMeasure v_measure(std::span<const int> truth, std::span<const int> predicted,
+                   double beta) {
+  VAPRO_CHECK(truth.size() == predicted.size());
+  VMeasure out;
+  const double n = static_cast<double>(truth.size());
+  if (truth.empty()) {
+    out.homogeneity = out.completeness = out.v_measure = 1.0;
+    return out;
+  }
+
+  // Contingency table and marginals.
+  std::map<int, std::size_t> class_ids, cluster_ids;
+  for (int t : truth) class_ids.emplace(t, class_ids.size());
+  for (int p : predicted) cluster_ids.emplace(p, cluster_ids.size());
+  const std::size_t n_classes = class_ids.size();
+  const std::size_t n_clusters = cluster_ids.size();
+
+  std::vector<double> joint(n_classes * n_clusters, 0.0);
+  std::vector<double> class_marginal(n_classes, 0.0);
+  std::vector<double> cluster_marginal(n_clusters, 0.0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    std::size_t c = class_ids[truth[i]];
+    std::size_t k = cluster_ids[predicted[i]];
+    joint[c * n_clusters + k] += 1.0;
+    class_marginal[c] += 1.0;
+    cluster_marginal[k] += 1.0;
+  }
+
+  const double h_class = entropy_from_counts(class_marginal, n);
+  const double h_cluster = entropy_from_counts(cluster_marginal, n);
+
+  // Conditional entropies H(class | cluster) and H(cluster | class).
+  double h_class_given_cluster = 0.0;
+  double h_cluster_given_class = 0.0;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    for (std::size_t k = 0; k < n_clusters; ++k) {
+      double nck = joint[c * n_clusters + k];
+      if (nck <= 0.0) continue;
+      h_class_given_cluster -=
+          nck / n * std::log(nck / cluster_marginal[k]);
+      h_cluster_given_class -= nck / n * std::log(nck / class_marginal[c]);
+    }
+  }
+
+  out.homogeneity = h_class == 0.0 ? 1.0 : 1.0 - h_class_given_cluster / h_class;
+  out.completeness =
+      h_cluster == 0.0 ? 1.0 : 1.0 - h_cluster_given_class / h_cluster;
+  double denom = beta * out.homogeneity + out.completeness;
+  out.v_measure = denom == 0.0
+                      ? 0.0
+                      : (1.0 + beta) * out.homogeneity * out.completeness / denom;
+  return out;
+}
+
+}  // namespace vapro::stats

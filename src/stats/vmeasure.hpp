@@ -1,0 +1,22 @@
+// V-measure cluster evaluation (Rosenberg & Hirschberg 2007), used by the
+// paper's Table 2 to validate fixed-workload identification against ground
+// truth: completeness C, homogeneity H, and their harmonic mean V.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace vapro::stats {
+
+struct VMeasure {
+  double homogeneity = 0.0;
+  double completeness = 0.0;
+  double v_measure = 0.0;
+};
+
+// `truth[i]` is the ground-truth class of sample i, `predicted[i]` the
+// cluster assigned by the algorithm under test.  Labels are arbitrary ids.
+VMeasure v_measure(std::span<const int> truth, std::span<const int> predicted,
+                   double beta = 1.0);
+
+}  // namespace vapro::stats

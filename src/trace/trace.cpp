@@ -1,0 +1,141 @@
+#include "src/trace/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/check.hpp"
+
+namespace vapro::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x56505254;  // "VPRT"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T take(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  VAPRO_CHECK_MSG(in.good(), "truncated trace file");
+  return v;
+}
+
+// Serialized size of one event (fixed part + path payload).
+std::size_t event_bytes(const TraceEvent& ev) {
+  return 1 /*kind*/ + 8 /*time*/ + 4 /*rank*/ + 4 /*site*/ + 1 /*op*/ +
+         8 * 4 /*args*/ + 8 /*truth*/ + 1 /*static flag*/ +
+         4 + 4 * ev.info.path.size() /*path*/ +
+         8 * pmu::kCounterCount /*counters*/;
+}
+
+}  // namespace
+
+std::size_t Trace::byte_size() const {
+  std::size_t total = 12;  // header
+  for (const TraceEvent& ev : events_) total += event_bytes(ev);
+  return total;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  VAPRO_CHECK_MSG(out.good(), "cannot open trace file " << path);
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint32_t>(events_.size()));
+  for (const TraceEvent& ev : events_) {
+    put(out, static_cast<std::uint8_t>(ev.kind));
+    put(out, ev.time);
+    put(out, static_cast<std::int32_t>(ev.info.rank));
+    put(out, ev.info.site);
+    put(out, static_cast<std::uint8_t>(ev.info.kind));
+    put(out, ev.info.args.bytes);
+    put(out, static_cast<std::int64_t>(ev.info.args.peer));
+    put(out, static_cast<std::int64_t>(ev.info.args.fd));
+    put(out, static_cast<std::int64_t>(ev.info.args.tag));
+    put(out, ev.info.args.transfer_seconds);
+    put(out, ev.info.truth_class_since_last);
+    put(out, static_cast<std::uint8_t>(ev.info.statically_fixed_since_last));
+    put(out, static_cast<std::uint32_t>(ev.info.path.size()));
+    for (std::uint32_t frame : ev.info.path) put(out, frame);
+    for (double v : ev.ground_truth.values) put(out, v);
+  }
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VAPRO_CHECK_MSG(in.good(), "cannot open trace file " << path);
+  VAPRO_CHECK_MSG(take<std::uint32_t>(in) == kMagic, "not a vapro trace");
+  VAPRO_CHECK_MSG(take<std::uint32_t>(in) == kVersion,
+                  "unsupported trace version");
+  const auto count = take<std::uint32_t>(in);
+  Trace trace;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceEvent ev;
+    ev.kind = static_cast<EventKind>(take<std::uint8_t>(in));
+    ev.time = take<double>(in);
+    ev.info.rank = take<std::int32_t>(in);
+    ev.info.site = take<sim::CallSiteId>(in);
+    ev.info.kind = static_cast<sim::OpKind>(take<std::uint8_t>(in));
+    ev.info.args.bytes = take<double>(in);
+    ev.info.args.peer = static_cast<int>(take<std::int64_t>(in));
+    ev.info.args.fd = static_cast<int>(take<std::int64_t>(in));
+    ev.info.args.tag = static_cast<int>(take<std::int64_t>(in));
+    ev.info.args.transfer_seconds = take<double>(in);
+    ev.info.truth_class_since_last = take<std::int64_t>(in);
+    ev.info.statically_fixed_since_last = take<std::uint8_t>(in) != 0;
+    const auto frames = take<std::uint32_t>(in);
+    VAPRO_CHECK_MSG(frames < (1u << 20), "implausible path length");
+    ev.info.path.resize(frames);
+    for (std::uint32_t f = 0; f < frames; ++f)
+      ev.info.path[f] = take<std::uint32_t>(in);
+    for (double& v : ev.ground_truth.values) v = take<double>(in);
+    trace.append(std::move(ev));
+  }
+  return trace;
+}
+
+void TraceWriter::on_call_begin(const sim::InvocationInfo& info, double time,
+                                const pmu::CounterSample& gt) {
+  trace_.append(TraceEvent{EventKind::kCallBegin, time, info, gt});
+  if (tee_) tee_->on_call_begin(info, time, gt);
+}
+
+void TraceWriter::on_call_end(const sim::InvocationInfo& info, double time,
+                              const pmu::CounterSample& gt) {
+  trace_.append(TraceEvent{EventKind::kCallEnd, time, info, gt});
+  if (tee_) tee_->on_call_end(info, time, gt);
+}
+
+void TraceWriter::on_program_end(sim::RankId rank, double time) {
+  TraceEvent ev;
+  ev.kind = EventKind::kProgramEnd;
+  ev.time = time;
+  ev.info.rank = rank;
+  trace_.append(std::move(ev));
+  if (tee_) tee_->on_program_end(rank, time);
+}
+
+void TraceReplayer::dispatch(const TraceEvent& ev, sim::Interceptor& sink) {
+  switch (ev.kind) {
+    case EventKind::kCallBegin:
+      sink.on_call_begin(ev.info, ev.time, ev.ground_truth);
+      break;
+    case EventKind::kCallEnd:
+      sink.on_call_end(ev.info, ev.time, ev.ground_truth);
+      break;
+    case EventKind::kProgramEnd:
+      sink.on_program_end(ev.info.rank, ev.time);
+      break;
+  }
+}
+
+void TraceReplayer::replay(sim::Interceptor& sink) const {
+  for (const TraceEvent& ev : trace_.events()) dispatch(ev, sink);
+}
+
+}  // namespace vapro::trace

@@ -1,0 +1,16 @@
+#include "src/util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vapro::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::fprintf(stderr, "VAPRO_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace vapro::util

@@ -1,0 +1,44 @@
+// Lightweight runtime checking macros used across the Vapro codebase.
+//
+// VAPRO_CHECK is always on (also in release builds): the simulator and the
+// analysis pipeline are full of invariants whose violation would silently
+// corrupt results, so we pay the branch.  VAPRO_DCHECK compiles out in
+// release builds and is meant for hot loops.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace vapro::util {
+
+// Aborts with a formatted message; never returns.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace vapro::util
+
+#define VAPRO_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::vapro::util::check_failed(#cond, __FILE__, __LINE__, std::string{}); \
+    }                                                                      \
+  } while (false)
+
+#define VAPRO_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      std::ostringstream vapro_check_oss_;                                 \
+      vapro_check_oss_ << msg;                                             \
+      ::vapro::util::check_failed(#cond, __FILE__, __LINE__,               \
+                                  vapro_check_oss_.str());                 \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define VAPRO_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define VAPRO_DCHECK(cond) VAPRO_CHECK(cond)
+#endif

@@ -1,0 +1,30 @@
+// Tiny CSV writer used by benches and the visualization layer to dump
+// heat maps and per-fragment series for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vapro::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing; throws via VAPRO_CHECK on failure.
+  explicit CsvWriter(const std::string& path);
+
+  // Writes one row; fields are quoted only when they contain a comma/quote.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(const std::vector<double>& fields);
+
+  // Flushes and closes; called by the destructor as well.
+  void close();
+
+ private:
+  std::ofstream out_;
+};
+
+// Escapes a single CSV field (RFC 4180 quoting).
+std::string csv_escape(const std::string& field);
+
+}  // namespace vapro::util

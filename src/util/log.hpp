@@ -1,0 +1,50 @@
+// Minimal leveled logger.  Thread-safe; level settable at runtime so tests
+// and benches can silence the library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vapro::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one line to stderr with a level prefix; serialized by a mutex.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, oss_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace vapro::util
+
+#define VAPRO_LOG(level)                                        \
+  if (static_cast<int>(level) < static_cast<int>(::vapro::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::vapro::util::detail::LogMessage(level)
+
+#define VAPRO_LOG_DEBUG VAPRO_LOG(::vapro::util::LogLevel::kDebug)
+#define VAPRO_LOG_INFO VAPRO_LOG(::vapro::util::LogLevel::kInfo)
+#define VAPRO_LOG_WARN VAPRO_LOG(::vapro::util::LogLevel::kWarn)
+#define VAPRO_LOG_ERROR VAPRO_LOG(::vapro::util::LogLevel::kError)

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the simulator must be reproducible from a single seed, so we
+// use our own small generators instead of std::mt19937 (whose distributions
+// are not portable across standard-library implementations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vapro::util {
+
+// SplitMix64: used to expand a user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** — fast, high-quality, tiny state.  One instance per simulated
+// entity (rank, noise injector, ...) keeps streams independent.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n);
+  // Standard normal via Box–Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  // Exponential with given rate (events per unit).
+  double exponential(double rate);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+  // Poisson-distributed count (Knuth for small means, normal approx for big).
+  std::uint64_t poisson(double mean);
+
+  // Derive an independent child stream; deterministic in (this seed, tag).
+  Rng fork(std::uint64_t tag) const;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t seed_;
+};
+
+// Fisher–Yates shuffle with our Rng, for deterministic permutations.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.uniform_u64(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace vapro::util

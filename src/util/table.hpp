@@ -1,0 +1,32 @@
+// Aligned plain-text table printer.  Every bench binary reproduces a paper
+// table/figure by printing rows through this helper so output stays uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vapro::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  // Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper for bench output).
+std::string fmt(double v, int precision = 2);
+
+}  // namespace vapro::util

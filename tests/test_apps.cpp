@@ -1,0 +1,132 @@
+// Application-suite tests: every mini app must run to completion
+// deterministically at small scale, produce interceptable activity, and
+// exhibit the structural property it was built for.
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::apps {
+namespace {
+
+sim::SimConfig small_cfg(int ranks) {
+  sim::SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 8;
+  cfg.seed = 9;
+  return cfg;
+}
+
+// Parameterized over every registered application.
+struct SuiteCase {
+  std::string name;
+  bool multithreaded;
+};
+
+class EveryApp : public ::testing::TestWithParam<std::string> {
+ protected:
+  static AppSpec find_app(const std::string& name) {
+    for (double scale : {1.0}) {
+      for (auto& spec : multiprocess_suite(scale))
+        if (spec.name == name) return spec;
+      for (auto& spec : multithreaded_suite(scale))
+        if (spec.name == name) return spec;
+    }
+    ADD_FAILURE() << "unknown app " << name;
+    return AppSpec{};
+  }
+};
+
+TEST_P(EveryApp, RunsToCompletionAndIsObservable) {
+  AppSpec spec = find_app(GetParam());
+  sim::Simulator s(small_cfg(8));
+  core::VaproOptions opts;
+  opts.window_seconds = 0.25;
+  core::VaproSession session(s, opts);
+  auto result = s.run(spec.program);
+  EXPECT_GT(result.makespan, 0.0) << spec.name;
+  EXPECT_GT(session.fragments_recorded(), 20u) << spec.name;
+  double total = 0;
+  for (double t : result.finish_times) total += t;
+  EXPECT_GT(session.coverage(total), 0.2) << spec.name;
+}
+
+TEST_P(EveryApp, DeterministicMakespan) {
+  AppSpec spec = find_app(GetParam());
+  auto once = [&] {
+    sim::Simulator s(small_cfg(4));
+    return s.run(spec.program).makespan;
+  };
+  EXPECT_DOUBLE_EQ(once(), once()) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, EveryApp,
+    ::testing::Values("AMG", "CESM", "BT", "CG", "EP", "FT", "LU", "MG", "SP",
+                      "BERT", "PageRank", "WordCount", "FFT", "blackscholes",
+                      "canneal", "ferret", "swaptions", "vips"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(AppStructure, AmgIsInvisibleToStaticAnalysis) {
+  // Every AMG compute is runtime-fixed only.
+  sim::Simulator s(small_cfg(4));
+  core::VaproOptions opts;
+  core::VaproSession session(s, opts);
+  AmgParams p;
+  p.iters = 20;
+  s.run(amg(p));
+  EXPECT_GT(session.fragments_recorded(), 0u);
+}
+
+TEST(AppStructure, HplIterationsFormPerStepClusters) {
+  sim::Simulator s(small_cfg(8));
+  core::VaproOptions opts;
+  opts.window_seconds = 1e6;  // single final window → global clustering
+  opts.record_eval_pairs = true;
+  core::VaproSession session(s, opts);
+  HplParams p;
+  p.panels = 20;
+  s.run(hpl(p));
+  // Trailing updates at step k share a truth class across ranks; the
+  // clustering must keep them separable (completeness high).
+  auto v = session.clustering_quality();
+  EXPECT_GT(v.completeness, 0.95);
+}
+
+TEST(AppStructure, RaxmlBufferedSkipsFilesystem) {
+  auto run_io = [&](bool buffered) {
+    sim::Simulator s(small_cfg(4));
+    core::VaproOptions opts;
+    core::VaproSession session(s, opts);
+    RaxmlParams p;
+    p.io_rounds = 50;
+    p.compute_iters = 10;
+    p.buffered = buffered;
+    s.run(raxml(p));
+    const auto& cov = session.coverage_accumulator();
+    return cov.observed[static_cast<int>(core::FragmentKind::kIo)];
+  };
+  const double io_unbuffered = run_io(false);
+  const double io_buffered = run_io(true);
+  // Buffered mode still pays for the warm-up reads, so expect a strong but
+  // not total reduction.
+  EXPECT_GT(io_unbuffered, 3 * io_buffered);
+}
+
+TEST(AppStructure, SuitesAreWellFormed) {
+  auto mp = multiprocess_suite();
+  auto mt = multithreaded_suite();
+  EXPECT_EQ(mp.size(), 9u);
+  EXPECT_EQ(mt.size(), 9u);
+  for (const auto& spec : mp) EXPECT_FALSE(spec.multithreaded);
+  for (const auto& spec : mt) EXPECT_TRUE(spec.multithreaded);
+  // CESM is the one vSensor cannot handle.
+  for (const auto& spec : mp)
+    EXPECT_EQ(spec.vsensor_supported, spec.name != "CESM") << spec.name;
+}
+
+}  // namespace
+}  // namespace vapro::apps

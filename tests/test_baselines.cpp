@@ -1,0 +1,157 @@
+// Tests for the comparison tools: the vSensor-like static baseline and the
+// mpiP-like profiler.
+#include <gtest/gtest.h>
+
+#include "src/apps/npb.hpp"
+#include "src/baselines/mpip.hpp"
+#include "src/baselines/vsensor.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::baselines {
+namespace {
+
+using pmu::ComputeWorkload;
+using sim::RankContext;
+using sim::Task;
+
+sim::SimConfig tiny(int ranks) {
+  sim::SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Vsensor, CoversOnlyStaticSnippets) {
+  sim::Simulator s(tiny(2));
+  VsensorTool tool(2, VsensorOptions{});
+  s.set_interceptor(&tool);
+  auto result = s.run([](RankContext& ctx) -> Task {
+    for (int i = 0; i < 20; ++i) {
+      ComputeWorkload fixed = ComputeWorkload::balanced(2e6);
+      fixed.statically_fixed = true;
+      co_await ctx.compute(fixed);
+      co_await ctx.barrier(1);
+      // Runtime-fixed snippet: same every iteration but not provable.
+      co_await ctx.compute(ComputeWorkload::balanced(2e6));
+      co_await ctx.barrier(2);
+    }
+  });
+  tool.finalize();
+  double total = 0;
+  for (double t : result.finish_times) total += t;
+  const double cov = tool.coverage(total);
+  // Roughly half the compute is static; the dynamic half is invisible.
+  EXPECT_GT(cov, 0.25);
+  EXPECT_LT(cov, 0.62);
+}
+
+TEST(Vsensor, IgnoresProbeDelimitedSnippets) {
+  // EP's situation: static compute, but only probes (which vSensor does
+  // not insert) delimit it → zero coverage.
+  sim::Simulator s(tiny(2));
+  VsensorTool tool(2, VsensorOptions{});
+  s.set_interceptor(&tool);
+  auto result = s.run([](RankContext& ctx) -> Task {
+    for (int i = 0; i < 20; ++i) {
+      ComputeWorkload fixed = ComputeWorkload::balanced(2e6);
+      fixed.statically_fixed = true;
+      co_await ctx.compute(fixed);
+      co_await ctx.probe(1);
+    }
+    co_await ctx.allreduce(8, 2);
+  });
+  tool.finalize();
+  double total = 0;
+  for (double t : result.finish_times) total += t;
+  EXPECT_LT(tool.coverage(total), 0.05);
+}
+
+TEST(Vsensor, EpAppHasZeroCoverage) {
+  sim::Simulator s(tiny(4));
+  VsensorTool tool(4, VsensorOptions{});
+  s.set_interceptor(&tool);
+  apps::NpbParams p;
+  p.iters = 10;
+  auto result = s.run(apps::ep(p));
+  tool.finalize();
+  double total = 0;
+  for (double t : result.finish_times) total += t;
+  EXPECT_LT(tool.coverage(total), 0.02);
+}
+
+TEST(Vsensor, DetectsVarianceInStaticSnippets) {
+  sim::SimConfig cfg = tiny(4);
+  sim::NoiseSpec noise;
+  noise.kind = sim::NoiseKind::kSlowDram;
+  noise.node = 0;
+  noise.core = 1;  // rank 1 only
+  noise.magnitude = 5.0;
+  cfg.noises.push_back(noise);
+  sim::Simulator s(cfg);
+  VsensorTool tool(4, VsensorOptions{});
+  s.set_interceptor(&tool);
+  s.run([](RankContext& ctx) -> Task {
+    for (int i = 0; i < 40; ++i) {
+      ComputeWorkload fixed = ComputeWorkload::memory_bound(1e6);
+      fixed.statically_fixed = true;
+      co_await ctx.compute(fixed);
+      co_await ctx.barrier(1);
+    }
+  });
+  tool.finalize();
+  auto regions = tool.locate();
+  ASSERT_FALSE(regions.empty());
+  EXPECT_EQ(regions.front().rank_lo, 1);
+  EXPECT_EQ(regions.front().rank_hi, 1);
+}
+
+TEST(Mpip, SeparatesCommFromComputation) {
+  sim::Simulator s(tiny(2));
+  MpipProfiler prof(2);
+  s.set_interceptor(&prof);
+  auto result = s.run([](RankContext& ctx) -> Task {
+    co_await ctx.compute(ComputeWorkload::balanced(3e7));
+    for (int i = 0; i < 5; ++i) co_await ctx.barrier(1);
+  });
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_GT(prof.computation_seconds(r), 0.0);
+    EXPECT_GE(prof.communication_seconds(r), 0.0);
+    EXPECT_NEAR(prof.computation_seconds(r) + prof.communication_seconds(r) +
+                    prof.io_seconds(r),
+                result.finish_times[static_cast<std::size_t>(r)], 1e-9);
+  }
+  EXPECT_FALSE(prof.summary().empty());
+}
+
+TEST(Mpip, WaitTimeCountsAsCommunication) {
+  // The Fig 14 misattribution: a rank delayed by its *partner's* slow
+  // computation shows the delay as communication time.
+  sim::Simulator s(tiny(2));
+  MpipProfiler prof(2);
+  s.set_interceptor(&prof);
+  s.run([](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.compute(ComputeWorkload::balanced(3e7));  // ~10 ms
+      co_await ctx.send(1, 64, 1);
+    } else {
+      co_await ctx.recv(0, 2);  // waits ~10 ms
+    }
+  });
+  EXPECT_GT(prof.communication_seconds(1), 5e-3);
+  EXPECT_LT(prof.computation_seconds(1), 2e-3);
+}
+
+TEST(Mpip, IoAccountedSeparately) {
+  sim::Simulator s(tiny(1));
+  MpipProfiler prof(1);
+  s.set_interceptor(&prof);
+  s.run([](RankContext& ctx) -> Task {
+    co_await ctx.file_write(3, 1e6, 1);
+  });
+  EXPECT_GT(prof.io_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(prof.communication_seconds(0), 0.0);
+}
+
+}  // namespace
+}  // namespace vapro::baselines

@@ -1,0 +1,66 @@
+// Tests for the command-line argument parser used by the driver tools.
+#include <gtest/gtest.h>
+
+#include "src/util/cli.hpp"
+
+namespace vapro::util {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  auto args = parse({"--app=CG", "--ranks=64"});
+  EXPECT_EQ(args.get("app", ""), "CG");
+  EXPECT_EQ(args.get_int("ranks", 0), 64);
+}
+
+TEST(Cli, SpaceForm) {
+  auto args = parse({"--app", "SP", "--window", "0.5"});
+  EXPECT_EQ(args.get("app", ""), "SP");
+  EXPECT_DOUBLE_EQ(args.get_double("window", 0), 0.5);
+}
+
+TEST(Cli, BooleanSwitches) {
+  auto args = parse({"--ansi", "--list"});
+  EXPECT_TRUE(args.get_bool("ansi"));
+  EXPECT_TRUE(args.get_bool("list"));
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(Cli, RepeatableFlags) {
+  auto args = parse({"--noise=cpu:1:0:1:1", "--noise=mem:2:0:1:3"});
+  auto noises = args.get_all("noise");
+  ASSERT_EQ(noises.size(), 2u);
+  EXPECT_EQ(noises[0], "cpu:1:0:1:1");
+  EXPECT_EQ(noises[1], "mem:2:0:1:3");
+}
+
+TEST(Cli, PositionalsCollected) {
+  auto args = parse({"input.txt", "--flag=1", "other"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "input.txt");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  auto args = parse({});
+  EXPECT_EQ(args.get("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(args.has("x"));
+}
+
+TEST(Cli, SplitFields) {
+  auto fields = split("cpu:1:0.5:inf:2.0", ':');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "cpu");
+  EXPECT_EQ(fields[3], "inf");
+  // Empty fields survive.
+  EXPECT_EQ(split("a::b", ':').size(), 3u);
+}
+
+}  // namespace
+}  // namespace vapro::util

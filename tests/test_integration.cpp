@@ -1,0 +1,455 @@
+// End-to-end integration tests: each injected noise kind must be detected
+// in the right category, localized to the right ranks/interval, and
+// diagnosed to the right breakdown factor — the full §3 + §4 pipeline on
+// real mini apps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/apps.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro {
+namespace {
+
+using core::FactorId;
+using core::FragmentKind;
+
+sim::SimConfig cfg16(std::uint64_t seed = 21) {
+  sim::SimConfig cfg;
+  cfg.ranks = 16;
+  cfg.cores_per_node = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+bool culprits_contain(const core::DiagnosisReport& report, FactorId id) {
+  for (FactorId f : report.culprits)
+    if (f == id) return true;
+  return false;
+}
+
+TEST(Integration, MemoryNoiseDiagnosedAsDramBound) {
+  sim::SimConfig cfg = cfg16();
+  sim::NoiseSpec noise;
+  noise.kind = sim::NoiseKind::kMemoryBandwidth;
+  noise.node = 1;
+  noise.magnitude = 3.5;
+  cfg.noises.push_back(noise);
+  sim::Simulator s(cfg);
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  core::VaproSession session(s, opts);
+  apps::NekboneParams p;
+  p.iters = 150;
+  s.run(apps::nekbone(p));
+
+  auto regions = session.locate(FragmentKind::kComputation);
+  ASSERT_FALSE(regions.empty());
+  EXPECT_GE(regions.front().rank_lo, 8);  // node 1 = ranks 8..15
+  ASSERT_TRUE(session.server().diagnosis_finished());
+  EXPECT_TRUE(culprits_contain(session.diagnosis(), FactorId::kDramBound));
+}
+
+TEST(Integration, CpuContentionDiagnosedAsSuspension) {
+  sim::SimConfig cfg = cfg16();
+  sim::NoiseSpec noise;
+  noise.kind = sim::NoiseKind::kCpuContention;
+  noise.node = 0;
+  noise.magnitude = 1.0;
+  cfg.noises.push_back(noise);
+  sim::Simulator s(cfg);
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  core::VaproSession session(s, opts);
+  apps::NpbParams p;
+  p.iters = 60;
+  s.run(apps::cg(p));
+
+  const auto& report = session.diagnosis();
+  // Suspension must be flagged major at stage 1, and involuntary context
+  // switches should appear in the descent (the paper's Fig 13 finding).
+  bool suspension_major = false, invol_examined = false;
+  for (const auto& f : report.findings) {
+    if (f.id == FactorId::kSuspension && f.major) suspension_major = true;
+    if (f.id == FactorId::kInvoluntaryCs) invol_examined = true;
+  }
+  EXPECT_TRUE(suspension_major);
+  EXPECT_TRUE(invol_examined);
+}
+
+TEST(Integration, L2BugDiagnosedInMemoryHierarchy) {
+  sim::SimConfig cfg = cfg16();
+  cfg.cores_per_node = 16;  // single node, "second socket" = cores 8-15
+  sim::NoiseSpec bug;
+  bug.kind = sim::NoiseKind::kL2CacheBug;
+  bug.node = 0;
+  bug.magnitude = 20.0;
+  // Only the second socket: model as per-core specs.
+  for (int c = 8; c < 16; ++c) {
+    bug.core = c;
+    cfg.noises.push_back(bug);
+  }
+  sim::Simulator s(cfg);
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  core::VaproSession session(s, opts);
+  apps::HplParams p;
+  p.panels = 80;
+  s.run(apps::hpl(p));
+
+  auto regions = session.locate(FragmentKind::kComputation);
+  ASSERT_FALSE(regions.empty());
+  EXPECT_GE(regions.front().rank_lo, 8);
+  ASSERT_TRUE(session.server().diagnosis_finished());
+  const auto& report = session.diagnosis();
+  EXPECT_TRUE(culprits_contain(report, FactorId::kL2Bound) ||
+              culprits_contain(report, FactorId::kDramBound));
+}
+
+TEST(Integration, IoInterferenceShowsInIoMapOnly) {
+  sim::SimConfig cfg = cfg16();
+  sim::NoiseSpec io;
+  io.kind = sim::NoiseKind::kIoInterference;
+  io.magnitude = 20.0;
+  io.t_begin = 0.05;
+  cfg.noises.push_back(io);
+  sim::Simulator s(cfg);
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  core::VaproSession session(s, opts);
+  apps::RaxmlParams p;
+  p.io_rounds = 150;
+  p.compute_iters = 30;
+  s.run(apps::raxml(p));
+
+  auto io_regions = session.locate(FragmentKind::kIo);
+  ASSERT_FALSE(io_regions.empty());
+  // Only rank 0 performs IO.
+  EXPECT_EQ(io_regions.front().rank_lo, 0);
+  EXPECT_EQ(io_regions.front().rank_hi, 0);
+}
+
+TEST(Integration, NoiseWindowLocalizedInTime) {
+  sim::SimConfig cfg = cfg16();
+  sim::NoiseSpec noise;
+  noise.kind = sim::NoiseKind::kCpuContention;
+  noise.node = 0;
+  noise.magnitude = 1.0;
+  noise.t_begin = 0.3;
+  noise.t_end = 0.6;
+  cfg.noises.push_back(noise);
+  sim::Simulator s(cfg);
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  opts.bin_seconds = 0.05;
+  core::VaproSession session(s, opts);
+  apps::NpbParams p;
+  p.iters = 60;
+  s.run(apps::cg(p));
+
+  auto regions = session.locate(FragmentKind::kComputation);
+  ASSERT_FALSE(regions.empty());
+  const auto& top = regions.front();
+  // Region must overlap [0.3, 0.6] and not extend far beyond it.
+  EXPECT_LT(top.time_lo(opts.bin_seconds), 0.6);
+  EXPECT_GT(top.time_hi(opts.bin_seconds), 0.3);
+  EXPECT_GT(top.time_lo(opts.bin_seconds), 0.1);
+  EXPECT_LT(top.time_hi(opts.bin_seconds), 0.9);
+}
+
+TEST(Integration, QuietRunReportsNoVariance) {
+  sim::Simulator s(cfg16());
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  core::VaproSession session(s, opts);
+  apps::NpbParams p;
+  p.iters = 40;
+  s.run(apps::cg(p));
+  auto regions = session.locate(FragmentKind::kComputation);
+  // Nothing should look like severe variance on a quiet machine.
+  double worst = 1.0;
+  for (const auto& r : regions) worst = std::min(worst, r.mean_perf);
+  EXPECT_TRUE(regions.empty() || worst > 0.5);
+  EXPECT_FALSE(session.server().diagnosis_finished());
+}
+
+TEST(Integration, Table2ScoresPerfectForCgAndImperfectForPagerank) {
+  auto score = [&](const sim::Simulator::RankProgram& prog) {
+    sim::Simulator s(cfg16());
+    core::VaproOptions opts;
+    opts.window_seconds = 1e6;  // single global window
+    opts.record_eval_pairs = true;
+    opts.run_diagnosis = false;
+    core::VaproSession session(s, opts);
+    s.run(prog);
+    return session.clustering_quality();
+  };
+  apps::NpbParams cg_p;
+  cg_p.iters = 30;
+  auto cg_score = score(apps::cg(cg_p));
+  EXPECT_GT(cg_score.completeness, 0.99);
+  EXPECT_GT(cg_score.homogeneity, 0.99);
+
+  apps::ThreadedParams pr_p;
+  pr_p.iters = 60;
+  auto pr_score = score(apps::pagerank(pr_p));
+  EXPECT_GT(pr_score.completeness, 0.95);
+  EXPECT_LT(pr_score.homogeneity, 0.9);  // two classes merged by design
+}
+
+TEST(Integration, SamplingReducesDataVolume) {
+  auto volume = [&](core::SamplingPolicy policy) {
+    sim::Simulator s(cfg16());
+    core::VaproOptions opts;
+    opts.sampling = policy;
+    opts.sampling_warmup = 16;
+    core::VaproSession session(s, opts);
+    apps::NpbParams p;
+    p.iters = 80;
+    s.run(apps::cg(p));
+    return session.fragments_recorded();
+  };
+  const auto full = volume(core::SamplingPolicy::kNone);
+  const auto backoff = volume(core::SamplingPolicy::kBackoff);
+  EXPECT_LT(backoff, full * 3 / 4);
+  EXPECT_GT(backoff, 0u);
+}
+
+TEST(Integration, SkipShortSamplingKeepsTimeCoverage) {
+  auto run = [&](core::SamplingPolicy policy, double* coverage_out) {
+    sim::Simulator s(cfg16());
+    core::VaproOptions opts;
+    opts.sampling = policy;
+    opts.sampling_warmup = 8;
+    core::VaproSession session(s, opts);
+    apps::NpbParams p;
+    p.iters = 120;
+    auto result = s.run(apps::lu(p));  // LU: frequent short fragments
+    double total = 0;
+    for (double t : result.finish_times) total += t;
+    *coverage_out = session.coverage(total);
+    return session.fragments_recorded();
+  };
+  double cov_full = 0, cov_skip = 0;
+  const auto full = run(core::SamplingPolicy::kNone, &cov_full);
+  const auto skip = run(core::SamplingPolicy::kSkipShort, &cov_skip);
+  // Volume drops substantially...
+  EXPECT_LT(skip, full * 4 / 5);
+  // ...while (time-weighted) coverage degrades only mildly: long fragments
+  // are always kept (§3.5's heuristic claim).
+  EXPECT_GT(cov_skip, cov_full * 0.25);
+}
+
+TEST(Integration, FocusRegionSeparatesConcurrentCauses) {
+  // Two simultaneous variance sources with different causes: CPU hog on
+  // node 0, slow DRAM on node 1.  Region-of-interest diagnosis must blame
+  // the right factor for each region (§3.5's user-selected diagnosis).
+  auto run_focused = [&](int rank_lo, int rank_hi) {
+    sim::SimConfig cfg = cfg16(33);
+    sim::NoiseSpec hog;
+    hog.kind = sim::NoiseKind::kCpuContention;
+    hog.node = 0;
+    hog.magnitude = 1.0;
+    cfg.noises.push_back(hog);
+    sim::NoiseSpec dimm;
+    dimm.kind = sim::NoiseKind::kSlowDram;
+    dimm.node = 1;
+    dimm.magnitude = 3.0;
+    cfg.noises.push_back(dimm);
+    sim::Simulator s(cfg);
+    core::VaproOptions opts;
+    opts.window_seconds = 0.1;
+    core::VaproSession session(s, opts);
+    core::FocusRegion focus;
+    focus.rank_lo = rank_lo;
+    focus.rank_hi = rank_hi;
+    session.refocus_diagnosis(focus);
+    apps::NekboneParams p;
+    p.iters = 200;
+    s.run(apps::nekbone(p));
+    return session.diagnosis().culprits;
+  };
+  auto node0_culprits = run_focused(0, 7);
+  ASSERT_FALSE(node0_culprits.empty());
+  EXPECT_EQ(node0_culprits[0], FactorId::kInvoluntaryCs);
+  auto node1_culprits = run_focused(8, 15);
+  ASSERT_FALSE(node1_culprits.empty());
+  EXPECT_EQ(node1_culprits[0], FactorId::kDramBound);
+}
+
+TEST(Integration, RareExpensivePathsAreReported) {
+  sim::Simulator s(cfg16());
+  core::VaproOptions opts;
+  opts.window_seconds = 0.2;
+  core::VaproSession session(s, opts);
+  // A program with a one-off expensive path between two unique sites.
+  s.run([](sim::RankContext& ctx) -> sim::Task {
+    for (int i = 0; i < 30; ++i) {
+      co_await ctx.compute(pmu::ComputeWorkload::balanced(2e6, 1));
+      co_await ctx.barrier(1);
+    }
+    if (ctx.rank() == 0) {
+      co_await ctx.probe(77);
+      co_await ctx.compute(pmu::ComputeWorkload::balanced(8e7, 99));
+      co_await ctx.probe(78);
+    }
+    co_await ctx.barrier(2);
+  });
+  const auto& findings = session.rare_findings();
+  ASSERT_FALSE(findings.empty());
+  bool saw_expensive = false;
+  for (const auto& f : findings) {
+    if (f.kind == core::FragmentKind::kComputation && f.executions < 5 &&
+        f.total_seconds > 0.02) {
+      saw_expensive = true;
+    }
+  }
+  EXPECT_TRUE(saw_expensive);
+}
+
+TEST(Integration, ContextAwareCostsMoreThanContextFree) {
+  auto makespan_with_mode = [&](core::StgMode mode) {
+    sim::SimConfig cfg = cfg16();
+    cfg.intercept_cost.base_seconds = 2e-6;
+    cfg.intercept_cost.per_frame_seconds = 2e-6;
+    sim::Simulator s(cfg);
+    core::VaproOptions opts;
+    opts.stg_mode = mode;
+    core::VaproSession session(s, opts);
+    apps::CesmParams p;
+    p.steps = 10;
+    return s.run(apps::cesm(p)).makespan;
+  };
+  sim::Simulator bare(cfg16());
+  apps::CesmParams p;
+  p.steps = 10;
+  const double t_none = bare.run(apps::cesm(p)).makespan;
+  const double t_cf = makespan_with_mode(core::StgMode::kContextFree);
+  const double t_ca = makespan_with_mode(core::StgMode::kContextAware);
+  EXPECT_GT(t_cf, t_none * 0.999);
+  EXPECT_GT(t_ca, t_cf * 1.01);  // deep stacks make backtraces expensive
+}
+
+TEST(Integration, MgCoverageCollapsesUnderContextAwareStg) {
+  auto coverage_with_mode = [&](core::StgMode mode) {
+    sim::Simulator s(cfg16());
+    core::VaproOptions opts;
+    opts.stg_mode = mode;
+    opts.window_seconds = 1e6;
+    opts.run_diagnosis = false;
+    core::VaproSession session(s, opts);
+    apps::NpbParams p;
+    p.iters = 40;
+    auto result = s.run(apps::mg(p));
+    double total = 0;
+    for (double t : result.finish_times) total += t;
+    return session.coverage(total);
+  };
+  const double cf = coverage_with_mode(core::StgMode::kContextFree);
+  const double ca = coverage_with_mode(core::StgMode::kContextAware);
+  EXPECT_GT(cf, 0.5);
+  EXPECT_LT(ca, cf * 0.5);  // Table 1's MG: 5.1 vs 77.7
+}
+
+TEST(Integration, ExtraProxyMetricSeparatesEqualInstructionWorkloads) {
+  // Two kernels with identical TOT_INS but different memory behaviour
+  // alternate between the same call sites.  With the default proxy they
+  // merge into one cluster whose slow half looks like permanent variance
+  // (a false positive); adding MEM_REFS to the workload vector (§3.4)
+  // separates them and the false variance disappears.
+  auto run_with = [&](std::vector<pmu::Counter> proxies, int budget) {
+    sim::Simulator s(cfg16());
+    core::VaproOptions opts;
+    opts.window_seconds = 0.2;
+    opts.run_diagnosis = false;
+    opts.cluster.proxies = std::move(proxies);
+    opts.pmu_budget = budget;
+    opts.record_eval_pairs = true;
+    core::VaproSession session(s, opts);
+    s.run([](sim::RankContext& ctx) -> sim::Task {
+      for (int i = 0; i < 120; ++i) {
+        pmu::ComputeWorkload w =
+            i % 2 == 0 ? pmu::ComputeWorkload::compute_bound(2e6, 0)
+                       : pmu::ComputeWorkload::memory_bound(2e6, 1);
+        co_await ctx.compute(w);
+        co_await ctx.barrier(1);
+      }
+    });
+    struct Out {
+      std::size_t regions;
+      double homogeneity;
+    };
+    return Out{session.locate(core::FragmentKind::kComputation).size(),
+               session.clustering_quality().homogeneity};
+  };
+
+  auto ins_only = run_with({pmu::Counter::kTotIns}, 4);
+  auto with_mem =
+      run_with({pmu::Counter::kTotIns, pmu::Counter::kMemRefs}, 5);
+  // TOT_INS alone merges the classes (impure clusters, phantom variance).
+  EXPECT_LT(ins_only.homogeneity, 0.5);
+  EXPECT_GT(ins_only.regions, 0u);
+  // MEM_REFS separates them: pure clusters, no false variance.
+  EXPECT_GT(with_mem.homogeneity, 0.99);
+  EXPECT_EQ(with_mem.regions, 0u);
+}
+
+TEST(Integration, EnhancedProfilingRemovesWaitInflatedCommVariance) {
+  // Without an enhanced profiling layer, a rank delayed by a slowed peer
+  // books the wait inside its Recv/Wait elapsed time, so the comm map
+  // shows phantom variance everywhere.  With §3.3's enhanced layer the
+  // recorded comm time is the true transfer time and the artifact
+  // disappears.
+  auto comm_impact = [&](bool enhanced) {
+    sim::SimConfig cfg = cfg16();
+    cfg.enhanced_comm_profiling = enhanced;
+    sim::NoiseSpec hog;
+    hog.kind = sim::NoiseKind::kCpuContention;
+    hog.node = 0;
+    hog.magnitude = 1.0;
+    cfg.noises.push_back(hog);
+    sim::Simulator s(cfg);
+    core::VaproOptions opts;
+    opts.window_seconds = 0.1;
+    opts.run_diagnosis = false;
+    core::VaproSession session(s, opts);
+    s.run([](sim::RankContext& ctx) -> sim::Task {
+      const int partner = ctx.rank() ^ 1;
+      for (int i = 0; i < 60; ++i) {
+        sim::Request r = co_await ctx.irecv(partner, 1);
+        co_await ctx.compute(pmu::ComputeWorkload::balanced(3e6, 1));
+        co_await ctx.isend(partner, 4096, 2);
+        co_await ctx.wait(r, 3);
+      }
+    });
+    double impact = 0;
+    for (const auto& r : session.locate(FragmentKind::kCommunication))
+      impact += r.impact_seconds;
+    return impact;
+  };
+  const double plain = comm_impact(false);
+  const double enhanced = comm_impact(true);
+  EXPECT_GT(plain, 0.1);                // wait time shows as comm variance
+  EXPECT_LT(enhanced, plain * 0.2);     // the layer removes the artifact
+}
+
+TEST(Integration, MultiThreadedAnalysisMatchesSingle) {
+  auto run_with_threads = [&](int threads) {
+    sim::Simulator s(cfg16());
+    core::VaproOptions opts;
+    opts.analysis_threads = threads;
+    opts.window_seconds = 0.1;
+    core::VaproSession session(s, opts);
+    apps::NpbParams p;
+    p.iters = 40;
+    s.run(apps::cg(p));
+    const auto& cov = session.coverage_accumulator();
+    return cov.covered_total();
+  };
+  EXPECT_DOUBLE_EQ(run_with_threads(1), run_with_threads(4));
+}
+
+}  // namespace
+}  // namespace vapro

@@ -1,0 +1,105 @@
+// Tests for between-executions variance analysis (MultiRunStudy): the
+// cross-run baseline must flag uniformly slow submissions that within-run
+// comparison cannot see.
+#include <gtest/gtest.h>
+
+#include "src/apps/npb.hpp"
+#include "src/core/multirun.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::core {
+namespace {
+
+sim::SimConfig quiet_cfg() {
+  sim::SimConfig cfg;
+  cfg.ranks = 8;
+  cfg.cores_per_node = 8;
+  cfg.seed = 9;
+  return cfg;
+}
+
+sim::SimConfig slow_cfg() {
+  sim::SimConfig cfg = quiet_cfg();
+  // The whole machine is memory-starved: every rank equally slow, so
+  // within-run normalization sees nothing abnormal.
+  sim::NoiseSpec mem;
+  mem.kind = sim::NoiseKind::kMemoryBandwidth;
+  mem.magnitude = 3.0;
+  cfg.noises.push_back(mem);
+  return cfg;
+}
+
+apps::NpbParams cg_params() {
+  apps::NpbParams p;
+  p.iters = 25;
+  p.warmup_iters = 1;
+  return p;
+}
+
+TEST(MultiRun, FlagsUniformlySlowSubmission) {
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  MultiRunStudy study(opts);
+
+  sim::Simulator good(quiet_cfg());
+  auto r0 = study.execute(good, apps::cg(cg_params()));
+  auto r1 = study.execute(good, apps::cg(cg_params()));
+  EXPECT_GT(r0.mean_computation_perf, 0.9);
+  EXPECT_GT(r1.mean_computation_perf, 0.9);
+
+  // Within the slow run, every rank is equally slow — but against the
+  // cross-run baseline the submission scores badly.
+  sim::Simulator bad(slow_cfg());
+  auto r2 = study.execute(bad, apps::cg(cg_params()));
+  EXPECT_LT(r2.mean_computation_perf, 0.7);
+  EXPECT_GT(r2.makespan, r0.makespan);
+
+  auto slow = study.slow_runs(0.85);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0], 2);
+  EXPECT_NE(study.summary().find("SLOW"), std::string::npos);
+}
+
+TEST(MultiRun, WithinRunSessionCannotSeeUniformSlowness) {
+  // Control: a standalone session on the slow machine reports ≈1.0 —
+  // every fragment's twins are equally slow.  This is exactly the gap
+  // MultiRunStudy closes.
+  sim::Simulator bad(slow_cfg());
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  opts.run_diagnosis = false;
+  VaproSession session(bad, opts);
+  bad.run(apps::cg(cg_params()));
+  EXPECT_GT(session.computation_map().overall_mean(), 0.9);
+}
+
+TEST(MultiRun, BaselineTightensOverRuns) {
+  // A later faster run can retroactively expose earlier runs as slow —
+  // scores are computed against the baseline available at their time, so
+  // the FIRST run always scores ≈1, and subsequent equal runs stay ≈1.
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  MultiRunStudy study(opts);
+  sim::Simulator bad(slow_cfg());
+  auto r0 = study.execute(bad, apps::cg(cg_params()));
+  EXPECT_GT(r0.mean_computation_perf, 0.9);  // nothing to compare against
+  sim::Simulator good(quiet_cfg());
+  study.execute(good, apps::cg(cg_params()));
+  auto r2 = study.execute(bad, apps::cg(cg_params()));
+  EXPECT_LT(r2.mean_computation_perf, 0.7);  // now the twins exist
+}
+
+TEST(MultiRun, SummaryListsEveryRun) {
+  MultiRunStudy study;
+  sim::Simulator s(quiet_cfg());
+  study.execute(s, apps::cg(cg_params()));
+  study.execute(s, apps::cg(cg_params()));
+  EXPECT_EQ(study.runs().size(), 2u);
+  const std::string text = study.summary();
+  EXPECT_NE(text.find("run"), std::string::npos);
+  EXPECT_NE(text.find("0"), std::string::npos);
+  EXPECT_NE(text.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vapro::core

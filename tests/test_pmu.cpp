@@ -1,0 +1,306 @@
+// Unit tests for src/pmu: counter vocabulary, CounterSet budget/jitter, and
+// the top-down core model's behaviour under environmental perturbations —
+// the properties the whole detection approach rests on (TOT_INS stable,
+// time-sensitive counters moving with the noise, Fig 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/pmu/core_model.hpp"
+#include "src/pmu/counter_set.hpp"
+#include "src/pmu/counters.hpp"
+#include "src/pmu/workload.hpp"
+
+namespace vapro::pmu {
+namespace {
+
+TEST(Counters, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    names.insert(counter_name(static_cast<Counter>(i)));
+  EXPECT_EQ(names.size(), kCounterCount);
+}
+
+TEST(Counters, FixedAndSoftwareCountersAreFree) {
+  EXPECT_TRUE(is_free_counter(Counter::kTotIns));
+  EXPECT_TRUE(is_free_counter(Counter::kTsc));
+  EXPECT_TRUE(is_free_counter(Counter::kCpuClkUnhalted));
+  EXPECT_TRUE(is_free_counter(Counter::kPageFaultsSoft));
+  EXPECT_TRUE(is_free_counter(Counter::kCtxSwitchInvoluntary));
+  EXPECT_FALSE(is_free_counter(Counter::kSlotsBackend));
+  EXPECT_FALSE(is_free_counter(Counter::kStallsL2));
+}
+
+TEST(Counters, SampleArithmetic) {
+  CounterSample a, b;
+  a[Counter::kTotIns] = 100;
+  b[Counter::kTotIns] = 30;
+  b[Counter::kTsc] = 7;
+  a += b;
+  EXPECT_DOUBLE_EQ(a[Counter::kTotIns], 130);
+  CounterSample d = a - b;
+  EXPECT_DOUBLE_EQ(d[Counter::kTotIns], 100);
+  EXPECT_DOUBLE_EQ(d[Counter::kTsc], 0);
+}
+
+TEST(CounterSet, BudgetEnforced) {
+  CounterSet cs(1, /*budget=*/2, /*jitter=*/0.0);
+  EXPECT_TRUE(cs.configure({Counter::kSlotsBackend, Counter::kStallsCore}));
+  EXPECT_FALSE(cs.configure({Counter::kStallsL1, Counter::kStallsL2,
+                             Counter::kStallsL3}));
+  // Failed configure keeps the previous set.
+  EXPECT_TRUE(cs.is_active(Counter::kSlotsBackend));
+  EXPECT_TRUE(cs.is_active(Counter::kStallsCore));
+  EXPECT_FALSE(cs.is_active(Counter::kStallsL1));
+}
+
+TEST(CounterSet, FreeCountersAlwaysActive) {
+  CounterSet cs(1, 0, 0.0);
+  EXPECT_TRUE(cs.is_active(Counter::kTotIns));
+  EXPECT_TRUE(cs.is_active(Counter::kPageFaultsHard));
+  EXPECT_TRUE(cs.configure({Counter::kTotIns, Counter::kTsc}));  // free: ok
+}
+
+TEST(CounterSet, InactiveCountersReadZero) {
+  CounterSet cs(1, 4, 0.0);
+  CounterSample gt;
+  gt[Counter::kStallsL2] = 500;
+  gt[Counter::kTotIns] = 1000;
+  CounterSample r = cs.read(gt);
+  EXPECT_DOUBLE_EQ(r[Counter::kStallsL2], 0.0);  // not configured
+  EXPECT_DOUBLE_EQ(r[Counter::kTotIns], 1000.0);
+}
+
+TEST(CounterSet, JitterIsSmallAndUnbiased) {
+  CounterSet cs(99, 4, 0.01);
+  CounterSample a, b;
+  a[Counter::kTotIns] = 0;
+  b[Counter::kTotIns] = 1e6;
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sum += cs.read_delta(a, b)[Counter::kTotIns];
+  }
+  EXPECT_NEAR(sum / 2000, 1e6, 1e6 * 0.002);
+}
+
+TEST(CounterSet, ZeroJitterIsExact) {
+  CounterSet cs(1, 4, 0.0);
+  CounterSample a, b;
+  a[Counter::kTotIns] = 100;
+  b[Counter::kTotIns] = 350;
+  EXPECT_DOUBLE_EQ(cs.read_delta(a, b)[Counter::kTotIns], 250.0);
+}
+
+TEST(CounterSet, MultiplexingAcceptsOverBudgetSets) {
+  CounterSet cs(1, /*budget=*/2, /*jitter=*/0.0);
+  cs.configure_multiplexed({Counter::kStallsL1, Counter::kStallsL2,
+                            Counter::kStallsL3, Counter::kStallsDram});
+  EXPECT_TRUE(cs.is_active(Counter::kStallsL1));
+  EXPECT_TRUE(cs.is_active(Counter::kStallsDram));
+  EXPECT_DOUBLE_EQ(cs.duty_cycle(), 0.5);
+  // Within budget → full duty.
+  cs.configure_multiplexed({Counter::kStallsL1});
+  EXPECT_DOUBLE_EQ(cs.duty_cycle(), 1.0);
+}
+
+TEST(CounterSet, MultiplexingInflatesReadError) {
+  auto spread = [](int budget, int counters) {
+    CounterSet cs(42, budget, /*jitter=*/0.01);
+    std::vector<Counter> set;
+    const Counter all[] = {Counter::kStallsL1, Counter::kStallsL2,
+                           Counter::kStallsL3, Counter::kStallsDram};
+    for (int i = 0; i < counters; ++i) set.push_back(all[i]);
+    cs.configure_multiplexed(set);
+    CounterSample a, b;
+    b[Counter::kStallsL1] = 1e6;
+    double s2 = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      double v = cs.read_delta(a, b)[Counter::kStallsL1];
+      s2 += (v - 1e6) * (v - 1e6);
+    }
+    return std::sqrt(s2 / n) / 1e6;
+  };
+  const double full = spread(4, 4);     // within budget
+  const double quarter = spread(1, 4);  // 25% duty
+  EXPECT_NEAR(full, 0.01, 0.002);
+  EXPECT_NEAR(quarter, 0.04, 0.008);  // ≈ jitter / duty
+}
+
+TEST(CounterSet, MultiplexedEstimatesStayUnbiased) {
+  CounterSet cs(7, 1, 0.02);
+  cs.configure_multiplexed({Counter::kStallsL1, Counter::kStallsL2,
+                            Counter::kStallsL3});
+  CounterSample a, b;
+  b[Counter::kStallsL2] = 5e5;
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += cs.read_delta(a, b)[Counter::kStallsL2];
+  EXPECT_NEAR(sum / n, 5e5, 5e5 * 0.01);
+}
+
+// --- core model ---
+
+class CoreModelTest : public ::testing::Test {
+ protected:
+  MachineParams params_;
+  QuietEnvironment quiet_;
+  EnvQuery here_{0, 0, 0.0};
+};
+
+TEST_F(CoreModelTest, TotInsEqualsWorkloadInstructions) {
+  CoreModel model(params_, 1);
+  auto w = ComputeWorkload::balanced(1e7);
+  auto out = model.execute(w, here_, quiet_);
+  EXPECT_DOUBLE_EQ(out.delta[Counter::kTotIns], 1e7);
+}
+
+TEST_F(CoreModelTest, SlotAlgebraConsistent) {
+  CoreModel model(params_, 1);
+  auto out = model.execute(ComputeWorkload::balanced(1e7), here_, quiet_);
+  const auto& d = out.delta;
+  // backend = core + L1 + L2 + L3 + DRAM.
+  EXPECT_NEAR(d[Counter::kSlotsBackend],
+              d[Counter::kStallsCore] + d[Counter::kStallsL1] +
+                  d[Counter::kStallsL2] + d[Counter::kStallsL3] +
+                  d[Counter::kStallsDram],
+              1e-6 * d[Counter::kSlotsBackend]);
+  // cycles = total slots / width.
+  const double total = d[Counter::kSlotsRetiring] + d[Counter::kSlotsFrontend] +
+                       d[Counter::kSlotsBadSpec] + d[Counter::kSlotsBackend];
+  EXPECT_NEAR(d[Counter::kCpuClkUnhalted], total / params_.pipeline_width,
+              1e-6 * d[Counter::kCpuClkUnhalted]);
+}
+
+TEST_F(CoreModelTest, TscCoversWallTime) {
+  CoreModel model(params_, 1);
+  auto out = model.execute(ComputeWorkload::balanced(1e7), here_, quiet_);
+  EXPECT_NEAR(out.delta[Counter::kTsc],
+              out.wall_seconds() * params_.frequency_hz, 1.0);
+  EXPECT_GE(out.delta[Counter::kTsc], out.delta[Counter::kCpuClkUnhalted]);
+}
+
+TEST_F(CoreModelTest, ZeroInstructionsIsFree) {
+  CoreModel model(params_, 1);
+  auto out = model.execute(ComputeWorkload{}, here_, quiet_);
+  EXPECT_DOUBLE_EQ(out.cpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.suspended_seconds, 0.0);
+}
+
+class DramNoise final : public Environment {
+ public:
+  double dram_factor(const EnvQuery&) const override { return 4.0; }
+};
+
+TEST_F(CoreModelTest, DramNoiseSlowsMemoryBoundWorkButNotTotIns) {
+  CoreModel quiet_model(params_, 1);
+  CoreModel noisy_model(params_, 1);
+  DramNoise noisy;
+  auto w = ComputeWorkload::memory_bound(2e6);
+  auto base = quiet_model.execute(w, here_, quiet_);
+  auto hit = noisy_model.execute(w, here_, noisy);
+  // Fig 5's property: the proxy metric is stable, the time is not.
+  EXPECT_DOUBLE_EQ(base.delta[Counter::kTotIns], hit.delta[Counter::kTotIns]);
+  EXPECT_GT(hit.cpu_seconds, base.cpu_seconds * 1.5);
+  EXPECT_GT(hit.delta[Counter::kStallsDram],
+            base.delta[Counter::kStallsDram] * 3.5);
+}
+
+TEST_F(CoreModelTest, DramNoiseBarelyTouchesComputeBoundWork) {
+  CoreModel a(params_, 1), b(params_, 1);
+  DramNoise noisy;
+  auto w = ComputeWorkload::compute_bound(1e7);
+  auto base = a.execute(w, here_, quiet_);
+  auto hit = b.execute(w, here_, noisy);
+  EXPECT_LT(hit.cpu_seconds, base.cpu_seconds * 1.3);
+}
+
+class HalfShare final : public Environment {
+ public:
+  double cpu_share(const EnvQuery&) const override { return 0.5; }
+};
+
+TEST_F(CoreModelTest, CpuContentionSuspendsWithoutChangingCpuTime) {
+  CoreModel a(params_, 1), b(params_, 2);
+  HalfShare contended;
+  // Long workload → many quanta → concentration near the expectation.
+  auto w = ComputeWorkload::balanced(3e9);
+  auto base = a.execute(w, here_, quiet_);
+  auto hit = b.execute(w, here_, contended);
+  // On-CPU time is (almost) unaffected by sharing — only jitter differs.
+  EXPECT_NEAR(hit.cpu_seconds, base.cpu_seconds, 0.02 * base.cpu_seconds);
+  // Expected lost time ≈ cpu_seconds at share 0.5.
+  EXPECT_NEAR(hit.suspended_seconds, hit.cpu_seconds, 0.15 * hit.cpu_seconds);
+  EXPECT_GT(hit.delta[Counter::kCtxSwitchInvoluntary], 10.0);
+}
+
+TEST_F(CoreModelTest, ShortFragmentsUnderContentionAreBimodal) {
+  CoreModel model(params_, 3);
+  HalfShare contended;
+  // ~0.45 ms of CPU — well under the 10 ms quantum.
+  auto w = ComputeWorkload::balanced(1e6);
+  int untouched = 0, hit_hard = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto out = model.execute(w, here_, contended);
+    const double slowdown = out.wall_seconds() / out.cpu_seconds;
+    if (slowdown < 1.3) ++untouched;
+    if (slowdown > 5.0) ++hit_hard;
+  }
+  // Most runs untouched, a few hit by a full quantum wait (Fig 12's 90%).
+  EXPECT_GT(untouched, 200);
+  EXPECT_GT(hit_hard, 3);
+}
+
+class FaultStorm final : public Environment {
+ public:
+  double soft_pf_rate(const EnvQuery&) const override { return 2e5; }
+};
+
+TEST_F(CoreModelTest, PageFaultStormRaisesFaultsAndSuspension) {
+  CoreModel a(params_, 1), b(params_, 2);
+  FaultStorm storm;
+  auto w = ComputeWorkload::balanced(2e7);
+  auto base = a.execute(w, here_, quiet_);
+  auto hit = b.execute(w, here_, storm);
+  EXPECT_GT(hit.delta[Counter::kPageFaultsSoft],
+            base.delta[Counter::kPageFaultsSoft] + 100);
+  EXPECT_GT(hit.suspended_seconds, base.suspended_seconds);
+}
+
+class L2Bug final : public Environment {
+ public:
+  double l2_factor(const EnvQuery&) const override { return 6.0; }
+};
+
+TEST_F(CoreModelTest, L2BugInflatesL2AndDramStalls) {
+  CoreModel a(params_, 1), b(params_, 1);
+  L2Bug bug;
+  auto w = ComputeWorkload::balanced(1e7);
+  auto base = a.execute(w, here_, quiet_);
+  auto hit = b.execute(w, here_, bug);
+  EXPECT_GT(hit.delta[Counter::kStallsL2], base.delta[Counter::kStallsL2] * 5);
+  EXPECT_GT(hit.delta[Counter::kStallsDram],
+            base.delta[Counter::kStallsDram]);
+  EXPECT_DOUBLE_EQ(hit.delta[Counter::kTotIns], base.delta[Counter::kTotIns]);
+}
+
+TEST_F(CoreModelTest, ScaledWorkloadScalesTime) {
+  CoreModel model(params_, 1);
+  auto w = ComputeWorkload::balanced(1e7);
+  auto big = w.scaled(2.0);
+  auto t1 = model.execute(w, here_, quiet_).cpu_seconds;
+  auto t2 = model.execute(big, here_, quiet_).cpu_seconds;
+  EXPECT_NEAR(t2, 2.0 * t1, 0.01 * t2);
+}
+
+TEST(Workload, NamedConstructorsSetTruthAndShape) {
+  auto c = ComputeWorkload::compute_bound(1e6, 7);
+  EXPECT_EQ(c.truth_class, 7);
+  EXPECT_FALSE(c.statically_fixed);
+  auto m = ComputeWorkload::memory_bound(1e6);
+  EXPECT_GT(m.mem_refs, c.mem_refs);
+  EXPECT_GT(m.l1_miss, c.l1_miss);
+}
+
+}  // namespace
+}  // namespace vapro::pmu

@@ -1,0 +1,220 @@
+// Edge-case semantics of the simulated runtime: request lifecycles,
+// zero-byte messages, many outstanding operations, rooted collectives,
+// tag multiplexing, and determinism under heavy interleave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/runtime.hpp"
+
+namespace vapro::sim {
+namespace {
+
+using pmu::ComputeWorkload;
+
+SimConfig tiny(int ranks, std::uint64_t seed = 3) {
+  SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(RuntimeEdge, ZeroByteMessagesFlow) {
+  Simulator s(tiny(2));
+  auto result = s.run([](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 0.0, 1);
+    } else {
+      co_await ctx.recv(0, 2);
+    }
+  });
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(RuntimeEdge, ManyOutstandingIrecvsMatchInOrder) {
+  Simulator s(tiny(2));
+  std::vector<double> sizes;
+  s.run([&](RankContext& ctx) -> Task {
+    constexpr int kN = 16;
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < kN; ++i)
+        co_await ctx.send(1, 100.0 * (i + 1), 1, /*tag=*/0);
+    } else {
+      std::vector<Request> reqs;
+      for (int i = 0; i < kN; ++i) {
+        Request r = co_await ctx.irecv(0, 2, /*tag=*/0);
+        reqs.push_back(r);
+      }
+      co_await ctx.wait_all(std::move(reqs), 3);
+      // MPI ordering: same (src, tag) stream matches FIFO.
+      // Re-collect via a fresh vector (requests were moved).
+    }
+  });
+  // Re-run with explicit size capture.
+  Simulator s2(tiny(2));
+  s2.run([&](RankContext& ctx) -> Task {
+    constexpr int kN = 16;
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < kN; ++i)
+        co_await ctx.send(1, 100.0 * (i + 1), 1, /*tag=*/0);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        Request r = co_await ctx.irecv(0, 2, /*tag=*/0);
+        co_await ctx.wait(r, 3);
+        sizes.push_back(r->bytes);
+      }
+    }
+  });
+  ASSERT_EQ(sizes.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(sizes[static_cast<std::size_t>(i)], 100.0 * (i + 1));
+}
+
+TEST(RuntimeEdge, WaitOnAlreadyCompleteRequestReturnsPromptly) {
+  Simulator s(tiny(2));
+  std::vector<double> wait_cost;
+  s.run([&](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 64, 1);
+      co_await ctx.compute(ComputeWorkload::balanced(1e7));
+    } else {
+      Request r = co_await ctx.irecv(0, 2);
+      // Let the message land and then some.
+      co_await ctx.compute(ComputeWorkload::balanced(1e7));
+      const double before = ctx.now();
+      co_await ctx.wait(r, 3);
+      wait_cost.push_back(ctx.now() - before);
+    }
+  });
+  ASSERT_EQ(wait_cost.size(), 1u);
+  EXPECT_LT(wait_cost[0], 1e-4);  // just interception overhead
+}
+
+TEST(RuntimeEdge, BcastFromEveryRoot) {
+  for (int root = 0; root < 4; ++root) {
+    Simulator s(tiny(4));
+    auto result = s.run([root](RankContext& ctx) -> Task {
+      co_await ctx.bcast(4096, root, 1);
+      co_await ctx.barrier(2);
+    });
+    EXPECT_GT(result.makespan, 0.0) << "root " << root;
+  }
+}
+
+TEST(RuntimeEdge, SingleRankCollectivesAreLocal) {
+  Simulator s(tiny(1));
+  auto result = s.run([](RankContext& ctx) -> Task {
+    for (int i = 0; i < 10; ++i) co_await ctx.allreduce(8, 1);
+  });
+  EXPECT_LT(result.makespan, 1e-3);
+}
+
+TEST(RuntimeEdge, InterleavedTagsDoNotCross) {
+  Simulator s(tiny(2));
+  std::vector<double> by_tag(4, 0);
+  s.run([&](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      // Tag i carries payload (i+1)*1000; sent in scrambled order.
+      for (int tag : {2, 0, 3, 1})
+        co_await ctx.send(1, 1000.0 * (tag + 1), 1, tag);
+    } else {
+      for (int tag = 0; tag < 4; ++tag) {
+        Request r = co_await ctx.irecv(0, 2, tag);
+        co_await ctx.wait(r, 3);
+        by_tag[static_cast<std::size_t>(tag)] = r->bytes;
+      }
+    }
+  });
+  for (int tag = 0; tag < 4; ++tag)
+    EXPECT_DOUBLE_EQ(by_tag[static_cast<std::size_t>(tag)], 1000.0 * (tag + 1));
+}
+
+TEST(RuntimeEdge, SelfMessagingWorks) {
+  Simulator s(tiny(1));
+  auto result = s.run([](RankContext& ctx) -> Task {
+    Request r = co_await ctx.irecv(0, 1);
+    co_await ctx.send(0, 512, 2);
+    co_await ctx.wait(r, 3);
+  });
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(RuntimeEdge, ComputeAccumulatesCountersMonotonically) {
+  Simulator s(tiny(1));
+  std::vector<double> tot_ins;
+  s.run([&](RankContext& ctx) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await ctx.compute(ComputeWorkload::balanced(1e6));
+      tot_ins.push_back(ctx.ground_truth()[pmu::Counter::kTotIns]);
+    }
+  });
+  ASSERT_EQ(tot_ins.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(tot_ins[i], 1e6 * static_cast<double>(i + 1), 1.0);
+}
+
+TEST(RuntimeEdge, FinishTimesRespectDependencies) {
+  // A chain: rank i can only finish after rank i-1 sent to it.
+  Simulator s(tiny(4));
+  auto result = s.run([](RankContext& ctx) -> Task {
+    if (ctx.rank() > 0) co_await ctx.recv(ctx.rank() - 1, 1);
+    co_await ctx.compute(ComputeWorkload::balanced(2e6));
+    if (ctx.rank() < ctx.size() - 1) co_await ctx.send(ctx.rank() + 1, 64, 2);
+  });
+  for (int r = 1; r < 4; ++r)
+    EXPECT_GT(result.finish_times[static_cast<std::size_t>(r)],
+              result.finish_times[static_cast<std::size_t>(r - 1)] * 0.99);
+}
+
+TEST(RuntimeEdge, HeavyInterleaveIsDeterministic) {
+  auto run_once = [] {
+    Simulator s(tiny(16, 99));
+    return s
+        .run([](RankContext& ctx) -> Task {
+          util::Rng& rng = ctx.rng();
+          for (int i = 0; i < 30; ++i) {
+            co_await ctx.compute(ComputeWorkload::balanced(
+                1e5 * (1 + rng.uniform_u64(5))));
+            const int partner = static_cast<int>(
+                (static_cast<std::uint64_t>(ctx.rank()) + 1 +
+                 rng.uniform_u64(static_cast<std::uint64_t>(ctx.size() - 1))) %
+                static_cast<std::uint64_t>(ctx.size()));
+            (void)partner;
+            co_await ctx.allreduce(8, 1);
+          }
+        })
+        .makespan;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(RuntimeEdge, EventCountScalesWithWork) {
+  auto events_for = [](int iters) {
+    Simulator s(tiny(4));
+    return s
+        .run([iters](RankContext& ctx) -> Task {
+          for (int i = 0; i < iters; ++i) {
+            co_await ctx.compute(ComputeWorkload::balanced(1e5));
+            co_await ctx.barrier(1);
+          }
+        })
+        .events;
+  };
+  const auto small = events_for(10);
+  const auto large = events_for(100);
+  EXPECT_GT(large, 8 * small);
+  EXPECT_LT(large, 12 * small);
+}
+
+TEST(RuntimeEdge, IoVoluntaryContextSwitchCounted) {
+  Simulator s(tiny(1));
+  double vol_cs = 0;
+  s.run([&](RankContext& ctx) -> Task {
+    for (int i = 0; i < 10; ++i) co_await ctx.file_read(3, 1024, 1);
+    vol_cs = ctx.ground_truth()[pmu::Counter::kCtxSwitchVoluntary];
+  });
+  EXPECT_GE(vol_cs, 10.0);
+}
+
+}  // namespace
+}  // namespace vapro::sim

@@ -1,0 +1,156 @@
+// Direct AnalysisServer tests: knob behaviour that the end-to-end suites
+// don't isolate — rare-report thresholds/limits, window bookkeeping,
+// variance-threshold plumbing, and eval-pair recording rules.
+#include <gtest/gtest.h>
+
+#include "src/core/server.hpp"
+
+namespace vapro::core {
+namespace {
+
+sim::InvocationInfo call_info(int rank, sim::CallSiteId site) {
+  sim::InvocationInfo info;
+  info.rank = rank;
+  info.site = site;
+  info.kind = sim::OpKind::kBarrier;
+  return info;
+}
+
+Fragment comp(int rank, StateKey from, StateKey to, double start, double dur,
+              double tot_ins, std::int64_t truth = -1) {
+  Fragment f;
+  f.kind = FragmentKind::kComputation;
+  f.rank = rank;
+  f.from = from;
+  f.to = to;
+  f.start_time = start;
+  f.end_time = start + dur;
+  f.counters[pmu::Counter::kTotIns] = tot_ins;
+  f.truth_class = truth;
+  return f;
+}
+
+// Builds a batch with one well-repeated cluster and one rare expensive
+// fragment between distinct sites.
+FragmentBatch standard_batch(StateKey* key_a, StateKey* key_b,
+                             StateKey* key_c) {
+  Stg probe(StgMode::kContextFree);  // only to compute keys consistently
+  auto info_a = call_info(0, 1);
+  auto info_b = call_info(0, 2);
+  auto info_c = call_info(0, 3);
+  *key_a = make_state_key(StgMode::kContextFree, info_a);
+  *key_b = make_state_key(StgMode::kContextFree, info_b);
+  *key_c = make_state_key(StgMode::kContextFree, info_c);
+  FragmentBatch batch;
+  batch.new_states = {info_a, info_b, info_c};
+  for (int i = 0; i < 12; ++i)
+    batch.fragments.push_back(
+        comp(0, *key_a, *key_b, 0.1 * i, 0.01, 1e6, /*truth=*/1));
+  // One rare, expensive path.
+  batch.fragments.push_back(comp(0, *key_b, *key_c, 2.0, 0.5, 9e7, 2));
+  return batch;
+}
+
+ServerOptions quiet_options() {
+  ServerOptions opts;
+  opts.run_diagnosis = false;
+  return opts;
+}
+
+TEST(Server, ProcessesBatchesAndCounts) {
+  StateKey a, b, c;
+  AnalysisServer server(2, quiet_options());
+  server.process_window(standard_batch(&a, &b, &c));
+  EXPECT_EQ(server.windows_processed(), 1u);
+  EXPECT_EQ(server.fragments_processed(), 13u);
+  EXPECT_EQ(server.stg().vertex_count(), 3u);
+  EXPECT_EQ(server.stg().edge_count(), 2u);
+  // Fragments are dropped after analysis; the structure stays.
+  EXPECT_TRUE(server.stg().fragments().empty());
+}
+
+TEST(Server, RareFindingRespectsMinSeconds) {
+  StateKey a, b, c;
+  ServerOptions opts = quiet_options();
+  opts.rare_report_min_seconds = 0.1;
+  AnalysisServer server(2, opts);
+  server.process_window(standard_batch(&a, &b, &c));
+  ASSERT_EQ(server.rare_findings().size(), 1u);
+  EXPECT_EQ(server.rare_findings()[0].executions, 1u);
+  EXPECT_NEAR(server.rare_findings()[0].total_seconds, 0.5, 1e-9);
+
+  ServerOptions strict = quiet_options();
+  strict.rare_report_min_seconds = 1.0;  // above the rare path's 0.5 s
+  AnalysisServer server2(2, strict);
+  server2.process_window(standard_batch(&a, &b, &c));
+  EXPECT_TRUE(server2.rare_findings().empty());
+}
+
+TEST(Server, RareFindingListIsCapped) {
+  ServerOptions opts = quiet_options();
+  opts.rare_report_limit = 4;
+  opts.rare_report_min_seconds = 0.0;
+  AnalysisServer server(1, opts);
+  FragmentBatch batch;
+  // 20 distinct single-execution paths.
+  StateKey prev = kStartState;
+  for (sim::CallSiteId s = 1; s <= 21; ++s) {
+    auto info = call_info(0, s);
+    batch.new_states.push_back(info);
+    StateKey key = make_state_key(StgMode::kContextFree, info);
+    if (s > 1)
+      batch.fragments.push_back(
+          comp(0, prev, key, 0.1 * s, 0.05 * s, 1e5 * s));
+    prev = key;
+  }
+  server.process_window(std::move(batch));
+  EXPECT_LE(server.rare_findings().size(), 4u);
+  // Kept findings are the most expensive ones, sorted descending.
+  const auto& findings = server.rare_findings();
+  for (std::size_t i = 1; i < findings.size(); ++i)
+    EXPECT_GE(findings[i - 1].total_seconds, findings[i].total_seconds);
+}
+
+TEST(Server, VarianceThresholdGatesRegions) {
+  // One slow fragment at 0.5 perf: detected at 0.85, not at 0.3.
+  auto regions_with = [&](double threshold) {
+    StateKey a, b, c;
+    ServerOptions opts = quiet_options();
+    opts.variance_threshold = threshold;
+    opts.bin_seconds = 0.05;
+    AnalysisServer server(2, opts);
+    FragmentBatch batch = standard_batch(&a, &b, &c);
+    batch.fragments.push_back(comp(0, a, b, 1.5, 0.02, 1e6, 1));  // 2x slow
+    server.process_window(std::move(batch));
+    return server.locate(FragmentKind::kComputation).size();
+  };
+  EXPECT_GE(regions_with(0.85), 1u);
+  EXPECT_EQ(regions_with(0.3), 0u);
+}
+
+TEST(Server, EvalPairsOnlyForLabelledFragments) {
+  StateKey a, b, c;
+  ServerOptions opts = quiet_options();
+  opts.record_eval_pairs = true;
+  AnalysisServer server(2, opts);
+  FragmentBatch batch = standard_batch(&a, &b, &c);
+  // Add unlabelled fragments — they must not enter the score.
+  for (int i = 0; i < 6; ++i)
+    batch.fragments.push_back(comp(1, a, b, 0.1 * i, 0.01, 1e6, /*truth=*/-1));
+  server.process_window(std::move(batch));
+  auto v = server.clustering_quality();
+  // All labelled fragments of class 1 land in one pure cluster (+ the
+  // rare class-2 one) → perfect scores.
+  EXPECT_DOUBLE_EQ(v.homogeneity, 1.0);
+  EXPECT_DOUBLE_EQ(v.completeness, 1.0);
+}
+
+TEST(Server, CountersNeededStartAtStageOne) {
+  AnalysisServer server(2, ServerOptions{});
+  auto counters = server.counters_needed();
+  EXPECT_FALSE(counters.empty());
+  EXPECT_LE(counters.size(), 4u);
+}
+
+}  // namespace
+}  // namespace vapro::core

@@ -1,0 +1,155 @@
+// Session-level behaviour: window cadence, progressive PMU staging across
+// windows, detection summaries, and runtime failure modes (deadlock).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/apps/npb.hpp"
+#include "src/apps/solvers.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::core {
+namespace {
+
+sim::SimConfig base_config(int ranks = 16) {
+  sim::SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 8;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Session, WindowCadenceMatchesRunLength) {
+  sim::Simulator simulator(base_config());
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 40;
+  auto result = simulator.run(apps::cg(p));
+  const auto expected =
+      static_cast<std::size_t>(result.makespan / opts.window_seconds);
+  EXPECT_GE(session.server().windows_processed(), expected);
+  EXPECT_LE(session.server().windows_processed(), expected + 2);
+}
+
+TEST(Session, PmuStagingFollowsTheDiagnosis) {
+  // Under memory noise the diagnoser must walk S1 → S2 → S3, and the
+  // clients' active counter sets must follow: the slots first, the
+  // core-stall split next, the cache-level stalls last.
+  sim::SimConfig cfg = base_config();
+  sim::NoiseSpec dimm;
+  dimm.kind = sim::NoiseKind::kSlowDram;
+  dimm.node = 1;
+  dimm.magnitude = 3.0;
+  cfg.noises.push_back(dimm);
+  sim::Simulator simulator(cfg);
+
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  std::vector<std::set<pmu::Counter>> observed_sets;
+  VaproSession session(simulator, opts);
+  auto snapshot = [&] {
+    const auto& active = session.client().active_counters(0);
+    std::set<pmu::Counter> s(active.begin(), active.end());
+    if (observed_sets.empty() || observed_sets.back() != s)
+      observed_sets.push_back(std::move(s));
+  };
+  snapshot();  // the stage-1 set configured at attach time
+  simulator.add_periodic(opts.window_seconds, [&](double) { snapshot(); });
+  apps::NekboneParams p;
+  p.iters = 250;
+  simulator.run(apps::nekbone(p));
+
+  ASSERT_GE(observed_sets.size(), 3u);
+  // Stage 1: the four top-down slot counters.
+  EXPECT_TRUE(observed_sets[0].count(pmu::Counter::kSlotsBackend));
+  EXPECT_TRUE(observed_sets[0].count(pmu::Counter::kSlotsFrontend));
+  // Stage 2: backend split (needs STALLS_CORE).
+  EXPECT_TRUE(observed_sets[1].count(pmu::Counter::kStallsCore));
+  // Stage 3: the cache-level stall counters.
+  EXPECT_TRUE(observed_sets[2].count(pmu::Counter::kStallsDram));
+  EXPECT_TRUE(observed_sets[2].count(pmu::Counter::kStallsL2));
+  // Every stage honored the 4-slot budget.
+  for (const auto& s : observed_sets) EXPECT_LE(s.size(), 4u);
+}
+
+TEST(Session, DetectionSummaryMentionsQuietRuns) {
+  sim::Simulator simulator(base_config(4));
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 10;
+  simulator.run(apps::cg(p));
+  // Either no regions or only shallow ones; summary must render either way.
+  EXPECT_FALSE(session.detection_summary().empty());
+}
+
+TEST(Session, DetachesOnDestruction) {
+  sim::Simulator simulator(base_config(4));
+  {
+    VaproSession session(simulator, VaproOptions{});
+  }
+  // After the session is gone the simulator runs bare (no dangling
+  // interceptor → no crash, no overhead).
+  apps::NpbParams p;
+  p.iters = 5;
+  auto result = simulator.run(apps::cg(p));
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(Session, MultiplexingKeepsProxiesActiveOverBudget) {
+  sim::Simulator simulator(base_config(4));
+  VaproOptions opts;
+  opts.window_seconds = 0.1;
+  opts.cluster.proxies = {pmu::Counter::kTotIns, pmu::Counter::kMemRefs};
+  opts.pmu_budget = 4;            // stage-1 slots alone fill the budget
+  opts.allow_multiplexing = true; // ...so MEM_REFS forces multiplexing
+  VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 10;
+  simulator.run(apps::cg(p));
+  const auto& active = session.client().active_counters(0);
+  bool has_mem = false;
+  for (pmu::Counter c : active)
+    if (c == pmu::Counter::kMemRefs) has_mem = true;
+  EXPECT_TRUE(has_mem);
+  EXPECT_GT(active.size(), 4u);  // over budget → multiplexed
+}
+
+TEST(Runtime, DeadlockIsReportedLoudly) {
+  sim::SimConfig cfg = base_config(2);
+  cfg.max_virtual_seconds = 0.01;  // fail fast
+  sim::Simulator simulator(cfg);
+  EXPECT_DEATH(
+      simulator.run([](sim::RankContext& ctx) -> sim::Task {
+        // Both ranks receive first: classic deadlock (no eager send
+        // rescues a message that was never sent).
+        co_await ctx.recv(ctx.rank() ^ 1, 1);
+        co_await ctx.send(ctx.rank() ^ 1, 8, 2);
+      }),
+      "never finished");
+}
+
+TEST(Session, ManyRanksStress) {
+  // 1024 ranks through the full pipeline in one window — smoke for
+  // allocation behaviour and the region-growing pass at scale.
+  sim::SimConfig cfg = base_config(1024);
+  cfg.cores_per_node = 32;
+  sim::Simulator simulator(cfg);
+  VaproOptions opts;
+  opts.window_seconds = 0.5;
+  opts.analysis_threads = 4;
+  VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 8;
+  p.warmup_iters = 1;
+  auto result = simulator.run(apps::cg(p));
+  EXPECT_EQ(result.finish_times.size(), 1024u);
+  EXPECT_GT(session.fragments_recorded(), 10000u);
+}
+
+}  // namespace
+}  // namespace vapro::core

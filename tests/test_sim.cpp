@@ -1,0 +1,503 @@
+// Unit tests for src/sim: event engine ordering, noise schedule scoping,
+// network/filesystem models, and the coroutine runtime's messaging,
+// collective, IO, interception, and determinism semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hpp"
+#include "src/sim/filesystem.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/noise.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/sim/topology.hpp"
+
+namespace vapro::sim {
+namespace {
+
+using pmu::ComputeWorkload;
+
+// --- engine ---
+
+TEST(Engine, ProcessesInTimeOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  eng.schedule_at(2.0, [&] { order.push_back(2); });
+  eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(3.0, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakBySchedulingOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    eng.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, CallbacksCanScheduleMore) {
+  EventEngine eng;
+  int fired = 0;
+  eng.schedule_at(1.0, [&] {
+    ++fired;
+    eng.schedule_after(1.0, [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  EventEngine eng;
+  int fired = 0;
+  eng.schedule_at(1.0, [&] { ++fired; });
+  eng.schedule_at(5.0, [&] { ++fired; });
+  eng.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pending(), 1u);
+}
+
+TEST(Engine, SchedulingInThePastDies) {
+  EventEngine eng;
+  eng.schedule_at(2.0, [] {});
+  eng.run();
+  EXPECT_DEATH(eng.schedule_at(1.0, [] {}), "scheduled in the past");
+}
+
+// --- topology ---
+
+TEST(Topology, BlockMapping) {
+  Topology t{48, 24};
+  EXPECT_EQ(t.nodes(), 2);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(23), 0);
+  EXPECT_EQ(t.node_of(24), 1);
+  EXPECT_EQ(t.core_of(25), 1);
+  EXPECT_EQ(t.first_rank_on(1), 24);
+}
+
+TEST(Topology, PartialLastNode) {
+  Topology t{30, 24};
+  EXPECT_EQ(t.nodes(), 2);
+  EXPECT_EQ(t.node_of(29), 1);
+}
+
+// --- noise schedule ---
+
+TEST(Noise, ScopesByNodeCoreAndTime) {
+  NoiseSpec s;
+  s.kind = NoiseKind::kCpuContention;
+  s.node = 1;
+  s.core = 3;
+  s.t_begin = 10.0;
+  s.t_end = 20.0;
+  s.magnitude = 1.0;
+  NoiseSchedule sched({s});
+  EXPECT_DOUBLE_EQ(sched.cpu_share({1, 3, 15.0}), 0.5);
+  EXPECT_DOUBLE_EQ(sched.cpu_share({1, 3, 5.0}), 1.0);   // before window
+  EXPECT_DOUBLE_EQ(sched.cpu_share({1, 3, 20.0}), 1.0);  // end exclusive
+  EXPECT_DOUBLE_EQ(sched.cpu_share({0, 3, 15.0}), 1.0);  // other node
+  EXPECT_DOUBLE_EQ(sched.cpu_share({1, 2, 15.0}), 1.0);  // other core
+}
+
+TEST(Noise, WildcardsCoverEverything) {
+  NoiseSpec s;
+  s.kind = NoiseKind::kMemoryBandwidth;
+  s.magnitude = 3.0;
+  NoiseSchedule sched({s});
+  EXPECT_DOUBLE_EQ(sched.dram_factor({0, 0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(sched.dram_factor({7, 23, 1e6}), 3.0);
+}
+
+TEST(Noise, OverlappingSpecsCompose) {
+  NoiseSpec a, b;
+  a.kind = b.kind = NoiseKind::kSlowDram;
+  a.magnitude = 2.0;
+  b.magnitude = 1.5;
+  NoiseSchedule sched({a, b});
+  EXPECT_DOUBLE_EQ(sched.dram_factor({0, 0, 0.0}), 3.0);
+}
+
+TEST(Noise, KindsRouteToTheRightKnob) {
+  NoiseSpec l2, io, net, pf;
+  l2.kind = NoiseKind::kL2CacheBug;
+  l2.magnitude = 6.0;
+  io.kind = NoiseKind::kIoInterference;
+  io.magnitude = 4.0;
+  net.kind = NoiseKind::kNetworkCongestion;
+  net.magnitude = 2.0;
+  pf.kind = NoiseKind::kPageFaultStorm;
+  pf.magnitude = 1000.0;
+  NoiseSchedule sched({l2, io, net, pf});
+  EXPECT_DOUBLE_EQ(sched.l2_factor({0, 0, 0}), 6.0);
+  EXPECT_DOUBLE_EQ(sched.io_factor(0), 4.0);
+  EXPECT_DOUBLE_EQ(sched.network_factor(0), 2.0);
+  EXPECT_DOUBLE_EQ(sched.soft_pf_rate({0, 0, 0}), 1000.0);
+  EXPECT_DOUBLE_EQ(sched.hard_pf_rate({0, 0, 0}), 20.0);
+  EXPECT_DOUBLE_EQ(sched.dram_factor({0, 0, 0}), 1.0);
+}
+
+// --- network / filesystem models ---
+
+TEST(Network, IntraNodeFasterThanInter) {
+  Topology topo{48, 24};
+  NetworkModel net(NetworkParams{}, topo);
+  EXPECT_LT(net.p2p_time(1e6, 0, 1, 1.0), net.p2p_time(1e6, 0, 30, 1.0));
+}
+
+TEST(Network, CongestionScalesLinearly) {
+  Topology topo{4, 2};
+  NetworkModel net(NetworkParams{}, topo);
+  EXPECT_DOUBLE_EQ(net.p2p_time(1e6, 0, 3, 2.0), 2.0 * net.p2p_time(1e6, 0, 3, 1.0));
+}
+
+TEST(Network, CollectivesScaleLogarithmically) {
+  Topology topo{1024, 24};
+  NetworkModel net(NetworkParams{}, topo);
+  const double t2 = net.barrier_time(2, 1.0);
+  const double t1024 = net.barrier_time(1024, 1.0);
+  EXPECT_NEAR(t1024 / t2, 10.0, 1e-9);  // log2(1024) / log2(2)
+}
+
+TEST(Filesystem, BandwidthDominatesLargeOps) {
+  SharedFilesystem fs(FsParams{}, 1);
+  const double small = fs.read_time(1024, 1.0);
+  const double large = fs.read_time(1e9, 1.0);
+  EXPECT_GT(large, 0.5);   // ≈ bytes / 1.2 GB/s
+  EXPECT_LT(small, 0.05);
+}
+
+TEST(Filesystem, LatencyHasATail) {
+  SharedFilesystem fs(FsParams{}, 2);
+  double lo = 1e9, hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double t = fs.read_time(1024, 1.0);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi / lo, 3.0);  // lognormal spread
+}
+
+// --- runtime: messaging ---
+
+SimConfig tiny(int ranks) {
+  SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Runtime, PingPongCompletes) {
+  Simulator s(tiny(2));
+  auto result = s.run([](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 1024, 1);
+      co_await ctx.recv(1, 2);
+    } else {
+      co_await ctx.recv(0, 3);
+      co_await ctx.send(0, 1024, 4);
+    }
+  });
+  EXPECT_GT(result.makespan, 0.0);
+  // Rank 1 must finish after the message could physically arrive.
+  EXPECT_GT(result.finish_times[1], 1.0e-6);
+}
+
+TEST(Runtime, RecvBeforeSendParks) {
+  Simulator s(tiny(2));
+  std::vector<double> recv_done(2, -1);
+  auto result = s.run([&](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      // Delay the send by computing first.
+      co_await ctx.compute(ComputeWorkload::balanced(5e6));
+      co_await ctx.send(1, 64, 1);
+    } else {
+      co_await ctx.recv(0, 2);
+      recv_done[1] = ctx.now();
+    }
+  });
+  // The receiver completed only after the sender's compute.
+  EXPECT_GT(recv_done[1], 1e-3);
+  EXPECT_LE(recv_done[1], result.makespan);
+}
+
+TEST(Runtime, TagsKeepStreamsApart) {
+  Simulator s(tiny(2));
+  std::vector<double> sizes;
+  s.run([&](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 111, 1, /*tag=*/7);
+      co_await ctx.send(1, 222, 1, /*tag=*/8);
+    } else {
+      // Receive in reverse tag order; matching must respect tags.
+      Request r8 = co_await ctx.irecv(0, 2, /*tag=*/8);
+      Request r7 = co_await ctx.irecv(0, 2, /*tag=*/7);
+      co_await ctx.wait(r8, 3);
+      co_await ctx.wait(r7, 3);
+      sizes.push_back(r8->bytes);
+      sizes.push_back(r7->bytes);
+    }
+  });
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_DOUBLE_EQ(sizes[0], 222);
+  EXPECT_DOUBLE_EQ(sizes[1], 111);
+}
+
+TEST(Runtime, WaitallWaitsForTheSlowest) {
+  Simulator s(tiny(3));
+  std::vector<double> done(3, 0);
+  s.run([&](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      Request a = co_await ctx.irecv(1, 1);
+      Request b = co_await ctx.irecv(2, 2);
+      std::vector<Request> reqs{a, b};
+      co_await ctx.wait_all(std::move(reqs), 3);
+      done[0] = ctx.now();
+    } else if (ctx.rank() == 1) {
+      co_await ctx.send(0, 64, 4);
+    } else {
+      co_await ctx.compute(ComputeWorkload::balanced(1e7));  // slow sender
+      co_await ctx.send(0, 64, 5);
+      done[2] = ctx.now();
+    }
+  });
+  EXPECT_GT(done[0], 2e-3);  // waited for rank 2's compute
+}
+
+TEST(Runtime, CollectivesReleaseTogetherAfterLastArrival) {
+  Simulator s(tiny(4));
+  std::vector<double> after(4, 0);
+  s.run([&](RankContext& ctx) -> Task {
+    // Rank 3 arrives last.
+    if (ctx.rank() == 3) co_await ctx.compute(ComputeWorkload::balanced(1e7));
+    co_await ctx.barrier(1);
+    after[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  const double reference = after[3];
+  for (double t : after) EXPECT_NEAR(t, reference, 1e-9);
+  EXPECT_GT(reference, 2e-3);
+}
+
+TEST(Runtime, MismatchedCollectivesDie) {
+  Simulator s(tiny(2));
+  EXPECT_DEATH(s.run([](RankContext& ctx) -> Task {
+                 if (ctx.rank() == 0) {
+                   co_await ctx.barrier(1);
+                 } else {
+                   co_await ctx.allreduce(8, 2);
+                 }
+               }),
+               "collective mismatch");
+}
+
+TEST(Runtime, FileOpsTakeFilesystemTime) {
+  Simulator s(tiny(1));
+  auto result = s.run([](RankContext& ctx) -> Task {
+    for (int i = 0; i < 10; ++i) co_await ctx.file_read(3, 1e6, 1);
+  });
+  // ≥ 10 × bytes/bandwidth.
+  EXPECT_GT(result.makespan, 10 * 1e6 / 1.3e9);
+}
+
+TEST(Runtime, DeterministicAcrossIdenticalRuns) {
+  auto once = [] {
+    Simulator s(tiny(4));
+    return s
+        .run([](RankContext& ctx) -> Task {
+          for (int i = 0; i < 5; ++i) {
+            co_await ctx.compute(ComputeWorkload::balanced(2e6));
+            co_await ctx.allreduce(8, 1);
+          }
+        })
+        .makespan;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(Runtime, RepeatedRunsOnOneSimulatorVary) {
+  // run() reseeds per execution — the Fig 1 repeated-submission setup.
+  Simulator s(tiny(4));
+  auto prog = [](RankContext& ctx) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await ctx.compute(ComputeWorkload::balanced(2e6));
+      co_await ctx.allreduce(8, 1);
+    }
+  };
+  const double t1 = s.run(prog).makespan;
+  const double t2 = s.run(prog).makespan;
+  EXPECT_GT(t1, 0);
+  EXPECT_GT(t2, 0);
+  EXPECT_NE(t1, t2);  // different OS-event draws
+}
+
+// --- interception ---
+
+class RecordingInterceptor : public Interceptor {
+ public:
+  struct Event {
+    bool begin;
+    InvocationInfo info;
+    double time;
+    double tot_ins;
+  };
+  std::vector<Event> events;
+  int program_ends = 0;
+
+  void on_call_begin(const InvocationInfo& info, double time,
+                     const pmu::CounterSample& gt) override {
+    events.push_back({true, info, time, gt[pmu::Counter::kTotIns]});
+  }
+  void on_call_end(const InvocationInfo& info, double time,
+                   const pmu::CounterSample& gt) override {
+    events.push_back({false, info, time, gt[pmu::Counter::kTotIns]});
+  }
+  void on_program_end(RankId, double) override { ++program_ends; }
+};
+
+TEST(Runtime, InterceptorSeesBeginEndPairsWithArgs) {
+  Simulator s(tiny(2));
+  RecordingInterceptor rec;
+  s.set_interceptor(&rec);
+  s.run([](RankContext& ctx) -> Task {
+    co_await ctx.compute(ComputeWorkload::balanced(1e6, /*truth=*/42));
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 4096, 10);
+    } else {
+      co_await ctx.recv(0, 11);
+    }
+  });
+  EXPECT_EQ(rec.program_ends, 2);
+  ASSERT_EQ(rec.events.size(), 4u);  // 2 calls × begin+end
+  // Sender's begin event carries args and the truth class of the compute.
+  const auto* send_begin = &rec.events[0];
+  for (const auto& e : rec.events)
+    if (e.begin && e.info.kind == OpKind::kSend) send_begin = &e;
+  EXPECT_DOUBLE_EQ(send_begin->info.args.bytes, 4096);
+  EXPECT_EQ(send_begin->info.args.peer, 1);
+  EXPECT_EQ(send_begin->info.truth_class_since_last, 42);
+  EXPECT_GT(send_begin->tot_ins, 0.9e6);
+}
+
+TEST(Runtime, RecvLearnsBytesByEnd) {
+  Simulator s(tiny(2));
+  RecordingInterceptor rec;
+  s.set_interceptor(&rec);
+  s.run([](RankContext& ctx) -> Task {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 7777, 10);
+    } else {
+      co_await ctx.recv(0, 11);
+    }
+  });
+  bool checked = false;
+  for (const auto& e : rec.events) {
+    if (!e.begin && e.info.kind == OpKind::kRecv) {
+      EXPECT_DOUBLE_EQ(e.info.args.bytes, 7777);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Runtime, InterceptionOverheadSlowsTheApp) {
+  SimConfig cfg = tiny(2);
+  cfg.intercept_cost.base_seconds = 50e-6;  // exaggerated for visibility
+  auto prog = [](RankContext& ctx) -> Task {
+    for (int i = 0; i < 100; ++i) co_await ctx.barrier(1);
+  };
+  Simulator bare(cfg);
+  const double t_bare = bare.run(prog).makespan;
+  Simulator tooled(cfg);
+  RecordingInterceptor rec;
+  tooled.set_interceptor(&rec);
+  const double t_tooled = tooled.run(prog).makespan;
+  EXPECT_GT(t_tooled, t_bare + 100 * 50e-6 * 0.5);
+}
+
+TEST(Runtime, CallPathCostOnlyWhenRequested) {
+  class PathHungry final : public RecordingInterceptor {
+   public:
+    bool wants_call_path() const override { return true; }
+  };
+  SimConfig cfg = tiny(1);
+  cfg.intercept_cost.base_seconds = 0.0;
+  cfg.intercept_cost.per_frame_seconds = 100e-6;
+  auto prog = [](RankContext& ctx) -> Task {
+    auto r1 = ctx.region(1);
+    auto r2 = ctx.region(2);
+    for (int i = 0; i < 50; ++i) co_await ctx.probe(1);
+  };
+  Simulator flat(cfg);
+  RecordingInterceptor cheap;
+  flat.set_interceptor(&cheap);
+  const double t_flat = flat.run(prog).makespan;
+  Simulator deep(cfg);
+  PathHungry costly;
+  deep.set_interceptor(&costly);
+  const double t_deep = deep.run(prog).makespan;
+  EXPECT_NEAR(t_flat, 0.0, 1e-9);
+  EXPECT_NEAR(t_deep, 50 * 3 * 100e-6, 1e-6);  // depth 2 + 1
+  // And the recorded path is visible to the tool.
+  ASSERT_FALSE(costly.events.empty());
+  EXPECT_EQ(costly.events[0].info.path,
+            (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Runtime, StaticFlagTracksComputeMix) {
+  Simulator s(tiny(1));
+  RecordingInterceptor rec;
+  s.set_interceptor(&rec);
+  s.run([](RankContext& ctx) -> Task {
+    ComputeWorkload fixed = ComputeWorkload::balanced(1e5);
+    fixed.statically_fixed = true;
+    co_await ctx.compute(fixed);
+    co_await ctx.probe(1);  // after: static span
+    co_await ctx.compute(fixed);
+    co_await ctx.compute(ComputeWorkload::balanced(1e5));  // dynamic
+    co_await ctx.probe(2);  // after: mixed span → not static
+    co_await ctx.probe(3);  // no compute since last → not static
+  });
+  ASSERT_EQ(rec.events.size(), 6u);
+  EXPECT_TRUE(rec.events[0].info.statically_fixed_since_last);
+  EXPECT_FALSE(rec.events[2].info.statically_fixed_since_last);
+  EXPECT_FALSE(rec.events[4].info.statically_fixed_since_last);
+}
+
+TEST(Runtime, PeriodicCallbacksTickDuringTheRun) {
+  Simulator s(tiny(1));
+  std::vector<double> ticks;
+  s.add_periodic(0.001, [&](double t) { ticks.push_back(t); });
+  s.run([](RankContext& ctx) -> Task {
+    co_await ctx.compute(ComputeWorkload::balanced(2e7));  // ≈ 7 ms
+  });
+  EXPECT_GE(ticks.size(), 5u);
+  for (std::size_t i = 1; i < ticks.size(); ++i)
+    EXPECT_GT(ticks[i], ticks[i - 1]);
+}
+
+TEST(Runtime, NoiseWindowSlowsOnlyItsInterval) {
+  SimConfig cfg = tiny(1);
+  NoiseSpec noise;
+  noise.kind = NoiseKind::kSlowDram;
+  noise.magnitude = 10.0;
+  noise.t_begin = 1e9;  // never active
+  cfg.noises.push_back(noise);
+  Simulator far(cfg);
+  auto prog = [](RankContext& ctx) -> Task {
+    for (int i = 0; i < 10; ++i) co_await ctx.compute(ComputeWorkload::memory_bound(1e6));
+  };
+  const double t_far = far.run(prog).makespan;
+
+  cfg.noises[0].t_begin = 0.0;  // always active
+  Simulator near_sim(cfg);
+  const double t_near = near_sim.run(prog).makespan;
+  EXPECT_GT(t_near, 3.0 * t_far);
+}
+
+}  // namespace
+}  // namespace vapro::sim

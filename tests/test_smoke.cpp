@@ -1,0 +1,76 @@
+// End-to-end smoke tests: simulator + Vapro session on real mini apps.
+#include <gtest/gtest.h>
+
+#include "src/apps/npb.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro {
+namespace {
+
+sim::SimConfig small_config(int ranks) {
+  sim::SimConfig cfg;
+  cfg.ranks = ranks;
+  cfg.cores_per_node = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Smoke, CgRunsToCompletionWithoutTool) {
+  sim::Simulator simulator(small_config(8));
+  apps::NpbParams p;
+  p.iters = 10;
+  p.warmup_iters = 2;
+  auto result = simulator.run(apps::cg(p));
+  EXPECT_EQ(result.finish_times.size(), 8u);
+  EXPECT_GT(result.makespan, 0.0);
+  for (double t : result.finish_times) EXPECT_GT(t, 0.0);
+}
+
+TEST(Smoke, VaproSessionCollectsFragments) {
+  sim::Simulator simulator(small_config(8));
+  core::VaproOptions opts;
+  opts.window_seconds = 0.05;
+  core::VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 20;
+  p.warmup_iters = 2;
+  auto result = simulator.run(apps::cg(p));
+  EXPECT_GT(session.fragments_recorded(), 100u);
+  EXPECT_GT(session.server().windows_processed(), 1u);
+  // Quiet run: coverage should be substantial and no big variance regions.
+  double total = 0;
+  for (double t : result.finish_times) total += t;
+  EXPECT_GT(session.coverage(total), 0.3);
+}
+
+TEST(Smoke, CpuNoiseIsDetected) {
+  sim::SimConfig cfg = small_config(16);
+  // CPU contention on node 0 (ranks 0-7) mid-run.
+  sim::NoiseSpec noise;
+  noise.kind = sim::NoiseKind::kCpuContention;
+  noise.node = 0;
+  noise.t_begin = 0.1;
+  noise.t_end = 1e9;
+  noise.magnitude = 1.0;  // 50% share
+  cfg.noises.push_back(noise);
+  sim::Simulator simulator(cfg);
+
+  core::VaproOptions opts;
+  opts.window_seconds = 0.2;
+  core::VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 30;
+  p.warmup_iters = 2;
+  simulator.run(apps::cg(p));
+
+  auto regions = session.locate(core::FragmentKind::kComputation);
+  ASSERT_FALSE(regions.empty());
+  // The biggest region should cover (a subset of) the noisy ranks.
+  const auto& top = regions.front();
+  EXPECT_LE(top.rank_hi, 7);
+  EXPECT_LT(top.mean_perf, 0.85);
+}
+
+}  // namespace
+}  // namespace vapro

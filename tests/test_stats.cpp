@@ -1,0 +1,368 @@
+// Unit tests for src/stats: special functions against reference values,
+// distribution CDFs, descriptive statistics, matrix algebra, OLS inference,
+// Farrar–Glauber multicollinearity handling, V-measure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/collinearity.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/dist.hpp"
+#include "src/stats/matrix.hpp"
+#include "src/stats/ols.hpp"
+#include "src/stats/special.hpp"
+#include "src/stats/vmeasure.hpp"
+#include "src/util/rng.hpp"
+
+namespace vapro::stats {
+namespace {
+
+// --- special functions (reference values from standard tables) ---
+
+TEST(Special, GammaPKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(gamma_p(0.5, 1.0), std::erf(1.0), 1e-12);
+  EXPECT_NEAR(gamma_p(0.5, 4.0), std::erf(2.0), 1e-12);
+}
+
+TEST(Special, GammaPQComplementary) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Special, BetaIncEndpointsAndSymmetry) {
+  EXPECT_EQ(beta_inc(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(beta_inc(2.0, 3.0, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(beta_inc(2.5, 1.5, x), 1.0 - beta_inc(1.5, 2.5, 1.0 - x),
+                1e-12);
+  }
+  // I_x(1,1) = x (uniform distribution).
+  EXPECT_NEAR(beta_inc(1.0, 1.0, 0.3), 0.3, 1e-12);
+}
+
+TEST(Dist, NormalCdf) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.0249979, 1e-6);
+}
+
+TEST(Dist, Chi2Cdf) {
+  // chi2(k=2) is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+  EXPECT_NEAR(chi2_cdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+  // 95th percentile of chi2(3) ≈ 7.815.
+  EXPECT_NEAR(chi2_cdf(7.815, 3.0), 0.95, 1e-3);
+  EXPECT_NEAR(chi2_sf(7.815, 3.0), 0.05, 1e-3);
+}
+
+TEST(Dist, StudentT) {
+  // t(v=inf approximately) → normal; t(1) is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  // Two-sided p at t=2.571, v=5 ≈ 0.05 (classic table value).
+  EXPECT_NEAR(student_t_two_sided_p(2.571, 5.0), 0.05, 2e-3);
+}
+
+TEST(Dist, FDistribution) {
+  // F(d1,d2) median ≈ 1 for d1=d2 large; spot value: F(0.95; 2, 10) ≈ 4.10.
+  EXPECT_NEAR(f_cdf(4.10, 2.0, 10.0), 0.95, 2e-3);
+  EXPECT_NEAR(f_sf(4.10, 2.0, 10.0), 0.05, 2e-3);
+}
+
+// --- descriptive ---
+
+TEST(Descriptive, BasicMoments) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 5.0);
+  EXPECT_DOUBLE_EQ(coeff_variation(xs), std::sqrt(2.5) / 3.0);
+}
+
+TEST(Descriptive, Percentiles) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Descriptive, PearsonCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> z{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  std::vector<double> c{1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Descriptive, CdfCurveMonotone) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(10, 2));
+  auto curve = cdf_curve(xs, 21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LE(curve[i - 1], curve[i]);
+}
+
+TEST(Descriptive, RunningStatsMatchesBatch) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(0, 9);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max(xs));
+}
+
+// --- matrix ---
+
+TEST(Matrix, SolveKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(a.solve({5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SingularDetected) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(a.solve({1, 2}, x));
+  Matrix inv;
+  EXPECT_FALSE(a.inverse(inv));
+  EXPECT_DOUBLE_EQ(a.determinant(), 0.0);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  util::Rng rng(9);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += 4.0;  // diagonally dominant → well-conditioned
+  }
+  Matrix inv;
+  ASSERT_TRUE(a.inverse(inv));
+  Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Matrix, DeterminantOfTriangular) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;
+  a(1, 1) = 3;
+  a(2, 2) = 4;
+  a(0, 1) = 7;
+  a(0, 2) = -1;
+  a(1, 2) = 5;
+  EXPECT_NEAR(a.determinant(), 24.0, 1e-10);
+}
+
+// --- OLS ---
+
+TEST(Ols, RecoversCoefficients) {
+  util::Rng rng(21);
+  const std::size_t n = 200;
+  std::vector<double> x1(n), x2(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0, 10);
+    x2[i] = rng.uniform(0, 5);
+    y[i] = 3.0 + 2.0 * x1[i] - 1.5 * x2[i] + rng.normal(0, 0.1);
+  }
+  auto fit = ols_fit_columns(y, {x1, x2}, true);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.1);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 0.02);
+  EXPECT_NEAR(fit.coefficients[1], -1.5, 0.03);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.p_values[0], 1e-6);
+  EXPECT_LT(fit.p_values[1], 1e-6);
+}
+
+TEST(Ols, IrrelevantVariableNotSignificant) {
+  util::Rng rng(23);
+  const std::size_t n = 100;
+  std::vector<double> x1(n), noise_col(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0, 10);
+    noise_col[i] = rng.uniform(0, 10);
+    y[i] = 5.0 * x1[i] + rng.normal(0, 1.0);
+  }
+  auto fit = ols_fit_columns(y, {x1, noise_col}, true);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_LT(fit.p_values[0], 1e-6);
+  EXPECT_GT(fit.p_values[1], 0.01);
+}
+
+TEST(Ols, TooFewObservationsFails) {
+  std::vector<double> y{1, 2};
+  std::vector<double> x{1, 2};
+  auto fit = ols_fit_columns(y, {x}, true);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(Ols, PerfectCollinearityFails) {
+  std::vector<double> x1{1, 2, 3, 4, 5, 6};
+  std::vector<double> x2{2, 4, 6, 8, 10, 12};
+  std::vector<double> y{1, 2, 3, 4, 5, 6};
+  auto fit = ols_fit_columns(y, {x1, x2}, true);
+  EXPECT_FALSE(fit.ok);
+}
+
+// --- collinearity ---
+
+TEST(Collinearity, CorrelationMatrixBasics) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  std::vector<double> c{5, 1, 4, 2, 3};
+  Matrix r = correlation_matrix({a, b, c});
+  EXPECT_NEAR(r(0, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r(0, 0), 1.0);
+  EXPECT_NEAR(r(1, 0), r(0, 1), 1e-12);
+  EXPECT_LT(std::fabs(r(0, 2)), 0.5);
+}
+
+TEST(Collinearity, FarrarGlauberFlagsCorrelatedData) {
+  util::Rng rng(31);
+  const std::size_t n = 200;
+  std::vector<double> x1(n), x2(n), x3(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0, 1);
+    x2[i] = x1[i] * 0.95 + rng.normal(0, 0.02);  // strongly collinear
+    x3[i] = rng.uniform(0, 1);
+  }
+  Matrix r = correlation_matrix({x1, x2, x3});
+  auto fg = farrar_glauber(r, n);
+  EXPECT_TRUE(fg.collinear);
+  EXPECT_LT(fg.p_value, 0.05);
+}
+
+TEST(Collinearity, FarrarGlauberPassesIndependentData) {
+  util::Rng rng(37);
+  const std::size_t n = 300;
+  std::vector<double> x1(n), x2(n), x3(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.normal(0, 1);
+    x2[i] = rng.normal(0, 1);
+    x3[i] = rng.normal(0, 1);
+  }
+  Matrix r = correlation_matrix({x1, x2, x3});
+  auto fg = farrar_glauber(r, n, 0.01);
+  EXPECT_FALSE(fg.collinear);
+}
+
+TEST(Collinearity, VifHighForCollinearColumn) {
+  util::Rng rng(41);
+  const std::size_t n = 200;
+  std::vector<double> x1(n), x2(n), x3(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0, 1);
+    x2[i] = x1[i] + rng.normal(0, 0.05);
+    x3[i] = rng.uniform(0, 1);
+  }
+  auto vif = variance_inflation_factors(correlation_matrix({x1, x2, x3}));
+  ASSERT_EQ(vif.size(), 3u);
+  EXPECT_GT(vif[0], 10.0);
+  EXPECT_GT(vif[1], 10.0);
+  EXPECT_LT(vif[2], 3.0);
+}
+
+TEST(Collinearity, ReductionRemovesAndRelates) {
+  util::Rng rng(43);
+  const std::size_t n = 250;
+  std::vector<double> x1(n), x2(n), x3(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0, 1);
+    x2[i] = 2.0 * x1[i] + rng.normal(0, 0.01);  // x2 ≈ 2·x1
+    x3[i] = rng.normal(0, 1);
+  }
+  auto red = reduce_multicollinearity({x1, x2, x3});
+  EXPECT_EQ(red.kept.size() + red.removed.size(), 3u);
+  ASSERT_EQ(red.removed.size(), 1u);
+  const std::size_t removed = red.removed[0];
+  EXPECT_TRUE(removed == 0 || removed == 1);
+  // The removed column's relation should recover the ≈2x (or ≈0.5x) link.
+  double slope = 0.0;
+  for (std::size_t j = 0; j < red.kept.size(); ++j) {
+    if (red.kept[j] == (removed == 0 ? 1u : 0u)) slope = red.relation[0][j];
+  }
+  if (removed == 1) {
+    EXPECT_NEAR(slope, 2.0, 0.1);
+  } else {
+    EXPECT_NEAR(slope, 0.5, 0.05);
+  }
+}
+
+// --- V-measure ---
+
+TEST(VMeasure, PerfectClustering) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  std::vector<int> pred{5, 5, 9, 9, 7, 7};
+  auto v = v_measure(truth, pred);
+  EXPECT_DOUBLE_EQ(v.homogeneity, 1.0);
+  EXPECT_DOUBLE_EQ(v.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(v.v_measure, 1.0);
+}
+
+TEST(VMeasure, MergedClustersLoseHomogeneityOnly) {
+  // Two truth classes in one predicted cluster: complete but inhomogeneous
+  // (the paper's PageRank case).
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{3, 3, 3, 3};
+  auto v = v_measure(truth, pred);
+  EXPECT_DOUBLE_EQ(v.completeness, 1.0);
+  EXPECT_LT(v.homogeneity, 0.01);
+}
+
+TEST(VMeasure, SplitClustersLoseCompletenessOnly) {
+  std::vector<int> truth{0, 0, 0, 0};
+  std::vector<int> pred{1, 1, 2, 2};
+  auto v = v_measure(truth, pred);
+  EXPECT_DOUBLE_EQ(v.homogeneity, 1.0);
+  EXPECT_LT(v.completeness, 0.01);
+}
+
+TEST(VMeasure, HarmonicMean) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  std::vector<int> pred{1, 1, 1, 2, 2, 2};
+  auto v = v_measure(truth, pred);
+  EXPECT_GT(v.homogeneity, 0.0);
+  EXPECT_LT(v.homogeneity, 1.0);
+  double expected =
+      2.0 * v.homogeneity * v.completeness / (v.homogeneity + v.completeness);
+  EXPECT_NEAR(v.v_measure, expected, 1e-12);
+}
+
+TEST(VMeasure, EmptyInputIsPerfect) {
+  std::vector<int> empty;
+  auto v = v_measure(empty, empty);
+  EXPECT_DOUBLE_EQ(v.v_measure, 1.0);
+}
+
+}  // namespace
+}  // namespace vapro::stats

@@ -1,0 +1,118 @@
+// Statistical power sweeps: parameterized checks that the inference
+// machinery behaves correctly across noise levels and sample sizes — the
+// regimes the diagnosis pipeline actually encounters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/collinearity.hpp"
+#include "src/stats/dist.hpp"
+#include "src/stats/ols.hpp"
+#include "src/util/rng.hpp"
+
+namespace vapro::stats {
+namespace {
+
+// --- OLS coefficient recovery degrades gracefully with noise ---
+
+class OlsNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OlsNoiseSweep, CoefficientWithinThreeSigma) {
+  const double noise = GetParam();
+  util::Rng rng(101 + static_cast<std::uint64_t>(noise * 1000));
+  const std::size_t n = 400;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0, 1);
+    y[i] = 2.0 + 5.0 * x[i] + rng.normal(0, noise);
+  }
+  auto fit = ols_fit_columns(y, {x}, true);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 5.0, 3.0 * fit.std_errors[0] + 1e-9);
+  // The standard error itself must scale with the noise.
+  EXPECT_NEAR(fit.std_errors[0], noise / std::sqrt(n / 12.0),
+              0.5 * fit.std_errors[0] + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, OlsNoiseSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 2.0));
+
+// --- significance detection power vs sample size ---
+
+class OlsSampleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OlsSampleSweep, RealEffectSignificantFakeEffectNot) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(7);
+  std::vector<double> real(n), fake(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    real[i] = rng.uniform(0, 1);
+    fake[i] = rng.uniform(0, 1);
+    y[i] = 3.0 * real[i] + rng.normal(0, 0.2);
+  }
+  auto fit = ols_fit_columns(y, {real, fake}, true);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_LT(fit.p_values[0], 0.05) << "n=" << n;
+  // The fake column is not consistently significant; at the paper's alpha
+  // it should usually be rejected (allow borderline at tiny n).
+  if (n >= 64) {
+    EXPECT_GT(fit.p_values[1], 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OlsSampleSweep,
+                         ::testing::Values(16, 64, 256, 1024));
+
+// --- Farrar–Glauber power: detection probability rises with correlation ---
+
+class FgCorrelationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FgCorrelationSweep, DetectsByCorrelationStrength) {
+  const double rho = GetParam();
+  int detections = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng(500 + static_cast<std::uint64_t>(t) +
+                  static_cast<std::uint64_t>(rho * 10000));
+    const std::size_t n = 120;
+    std::vector<double> a(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.normal(0, 1);
+      b[i] = rho * a[i] + std::sqrt(1 - rho * rho) * rng.normal(0, 1);
+      c[i] = rng.normal(0, 1);
+    }
+    auto fg = farrar_glauber(correlation_matrix({a, b, c}), n);
+    if (fg.collinear) ++detections;
+  }
+  if (rho >= 0.9) {
+    EXPECT_EQ(detections, trials);  // near-collinear: always flagged
+  } else if (rho <= 0.05) {
+    EXPECT_LT(detections, trials / 2);  // independent: mostly clean
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Correlations, FgCorrelationSweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99));
+
+// --- distribution tails used by the p<0.05 and p<0.001 claims ---
+
+TEST(DistTails, CriticalValuesMatchTables) {
+  // chi2 99.9th percentiles (the paper quotes p < 0.001).
+  EXPECT_NEAR(chi2_sf(10.828, 1.0), 0.001, 1e-4);
+  EXPECT_NEAR(chi2_sf(16.266, 3.0), 0.001, 1e-4);
+  // t two-sided 0.1% for large dof → ±3.291 (normal limit).
+  EXPECT_NEAR(student_t_two_sided_p(3.291, 1000.0), 0.001, 2e-4);
+  // F upper 1%: F(0.99; 5, 20) ≈ 4.10.
+  EXPECT_NEAR(f_sf(4.10, 5.0, 20.0), 0.01, 2e-3);
+}
+
+TEST(DistTails, ExtremeArgumentsStayFinite) {
+  EXPECT_NEAR(chi2_sf(1e4, 2.0), 0.0, 1e-12);
+  EXPECT_NEAR(chi2_cdf(1e-12, 2.0), 0.0, 1e-10);
+  EXPECT_NEAR(student_t_two_sided_p(100.0, 5.0), 0.0, 1e-8);
+  EXPECT_NEAR(normal_cdf(-40.0), 0.0, 1e-300);
+  EXPECT_NEAR(normal_cdf(40.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vapro::stats

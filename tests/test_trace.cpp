@@ -1,0 +1,185 @@
+// Tests for the trace subsystem: recording, binary round trip, replay
+// fidelity, and offline re-analysis equivalence with the live session.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/apps/npb.hpp"
+#include "src/apps/solvers.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/trace/offline.hpp"
+#include "src/trace/trace.hpp"
+
+namespace vapro::trace {
+namespace {
+
+sim::SimConfig noisy_config() {
+  sim::SimConfig cfg;
+  cfg.ranks = 16;
+  cfg.cores_per_node = 8;
+  cfg.seed = 55;
+  sim::NoiseSpec dimm;
+  dimm.kind = sim::NoiseKind::kSlowDram;
+  dimm.node = 1;
+  dimm.magnitude = 3.0;
+  cfg.noises.push_back(dimm);
+  return cfg;
+}
+
+Trace record_nekbone() {
+  sim::Simulator simulator(noisy_config());
+  TraceWriter writer;
+  simulator.set_interceptor(&writer);
+  apps::NekboneParams p;
+  p.iters = 120;
+  simulator.run(apps::nekbone(p));
+  return writer.take();
+}
+
+TEST(Trace, RecordsBeginEndPairsInTimeOrder) {
+  Trace trace = record_nekbone();
+  ASSERT_GT(trace.size(), 1000u);
+  double prev = 0.0;
+  std::size_t begins = 0, ends = 0, program_ends = 0;
+  for (const TraceEvent& ev : trace.events()) {
+    EXPECT_GE(ev.time, prev);
+    prev = ev.time;
+    switch (ev.kind) {
+      case EventKind::kCallBegin: ++begins; break;
+      case EventKind::kCallEnd: ++ends; break;
+      case EventKind::kProgramEnd: ++program_ends; break;
+    }
+  }
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(program_ends, 16u);
+}
+
+TEST(Trace, BinaryRoundTripIsLossless) {
+  Trace trace = record_nekbone();
+  const std::string path = "/tmp/vapro_trace_test.vprt";
+  trace.save(path);
+  Trace loaded = Trace::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); i += 97) {  // spot-check stride
+    const TraceEvent& a = trace.events()[i];
+    const TraceEvent& b = loaded.events()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.info.rank, b.info.rank);
+    EXPECT_EQ(a.info.site, b.info.site);
+    EXPECT_EQ(a.info.kind, b.info.kind);
+    EXPECT_DOUBLE_EQ(a.info.args.bytes, b.info.args.bytes);
+    EXPECT_EQ(a.info.truth_class_since_last, b.info.truth_class_since_last);
+    EXPECT_EQ(a.info.path, b.info.path);
+    for (std::size_t c = 0; c < pmu::kCounterCount; ++c)
+      EXPECT_DOUBLE_EQ(a.ground_truth.values[c], b.ground_truth.values[c]);
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const std::string path = "/tmp/vapro_trace_garbage.vprt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+  }
+  EXPECT_DEATH(Trace::load(path), "not a vapro trace");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayFeedsEveryEvent) {
+  Trace trace = record_nekbone();
+  struct Counter final : sim::Interceptor {
+    std::size_t begins = 0, ends = 0, finishes = 0;
+    void on_call_begin(const sim::InvocationInfo&, double,
+                       const pmu::CounterSample&) override {
+      ++begins;
+    }
+    void on_call_end(const sim::InvocationInfo&, double,
+                     const pmu::CounterSample&) override {
+      ++ends;
+    }
+    void on_program_end(sim::RankId, double) override { ++finishes; }
+  } sink;
+  TraceReplayer(trace).replay(sink);
+  EXPECT_EQ(sink.begins + sink.ends + sink.finishes, trace.size());
+}
+
+TEST(Offline, MatchesLiveDetection) {
+  // Record with a tee into a live Vapro session, then analyze the trace
+  // offline with the same options — the detected region must agree.
+  sim::Simulator simulator(noisy_config());
+  core::VaproOptions live_opts;
+  live_opts.window_seconds = 0.25;
+  live_opts.pmu_jitter = 0.0;  // align live and offline reads
+  core::VaproSession live(simulator, live_opts);
+  // The session attached itself; re-attach a writer that tees into it
+  // (set_interceptor replaces, so wire the tee explicitly).
+  TraceWriter teeing(const_cast<core::VaproClient*>(&live.client()));
+  simulator.set_interceptor(&teeing);
+  apps::NekboneParams p;
+  p.iters = 120;
+  simulator.run(apps::nekbone(p));
+
+  auto live_regions = live.locate(core::FragmentKind::kComputation);
+  ASSERT_FALSE(live_regions.empty());
+
+  OfflineOptions oopts;
+  oopts.window_seconds = 0.25;
+  OfflineSession offline(teeing.trace(), oopts);
+  auto offline_regions = offline.locate(core::FragmentKind::kComputation);
+  ASSERT_FALSE(offline_regions.empty());
+  EXPECT_EQ(offline_regions.front().rank_lo, live_regions.front().rank_lo);
+  EXPECT_EQ(offline_regions.front().rank_hi, live_regions.front().rank_hi);
+  EXPECT_NEAR(offline_regions.front().mean_perf,
+              live_regions.front().mean_perf, 0.05);
+}
+
+TEST(Offline, KnobSweepWithoutRerun) {
+  Trace trace = record_nekbone();
+  // Same trace, different variance thresholds: stricter threshold finds
+  // fewer/smaller regions, without re-running anything.
+  OfflineOptions strict;
+  strict.variance_threshold = 0.5;
+  OfflineOptions lax;
+  lax.variance_threshold = 0.95;
+  const auto strict_regions =
+      OfflineSession(trace, strict).locate(core::FragmentKind::kComputation);
+  const auto lax_regions =
+      OfflineSession(trace, lax).locate(core::FragmentKind::kComputation);
+  std::size_t strict_cells = 0, lax_cells = 0;
+  for (const auto& r : strict_regions) strict_cells += r.cells;
+  for (const auto& r : lax_regions) lax_cells += r.cells;
+  EXPECT_LE(strict_cells, lax_cells);
+  EXPECT_FALSE(lax_regions.empty());
+}
+
+TEST(Offline, DiagnosisWorksFromTrace) {
+  Trace trace = record_nekbone();
+  OfflineOptions opts;
+  opts.window_seconds = 0.25;
+  OfflineSession offline(trace, opts);
+  ASSERT_TRUE(offline.server().diagnosis_finished());
+  ASSERT_FALSE(offline.diagnosis().culprits.empty());
+  EXPECT_EQ(offline.diagnosis().culprits.front(),
+            core::FactorId::kDramBound);
+}
+
+TEST(Trace, VolumeDwarfsFragmentSummaries) {
+  // The §7 argument: tracing moves far more data than Vapro's fragments.
+  sim::Simulator simulator(noisy_config());
+  core::VaproOptions opts;
+  core::VaproSession session(simulator, opts);
+  TraceWriter writer(const_cast<core::VaproClient*>(&session.client()));
+  simulator.set_interceptor(&writer);
+  apps::NekboneParams p;
+  p.iters = 120;
+  simulator.run(apps::nekbone(p));
+  EXPECT_GT(writer.trace().byte_size(), session.bytes_recorded());
+}
+
+}  // namespace
+}  // namespace vapro::trace

@@ -1,0 +1,166 @@
+// Unit tests for src/util: RNG determinism and distributions, CSV quoting,
+// table formatting, check macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace vapro::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(3.5, 4.5);
+    EXPECT_GE(u, 3.5);
+    EXPECT_LT(u, 4.5);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(11);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(19);
+  for (double mean : {0.5, 3.0, 50.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+      sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 0.05 * mean + 0.05);
+  }
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(23);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  shuffle(v, rng);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  const std::string path = "/tmp/vapro_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row(std::vector<std::string>{"a", "b,c"});
+    csv.write_row(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string l1, l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "a,\"b,c\"");
+  EXPECT_EQ(l2, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row_numeric("longer-name", {3.14159}, 2);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Check, FailsLoudly) {
+  EXPECT_DEATH(VAPRO_CHECK_MSG(false, "custom message " << 42),
+               "custom message 42");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vapro::util

@@ -1,0 +1,61 @@
+// vapro_replay — offline analysis of a recorded trace.
+//
+//   vapro_record: use `vapro_run --trace=FILE ...` to record (or any code
+//   attaching trace::TraceWriter), then:
+//
+//   vapro_replay trace.vprt --window=0.25 --threshold=0.85
+//   vapro_replay trace.vprt --context-aware --no-diagnosis
+//
+// Re-analyzes the same run under different knobs without re-running it.
+#include <iostream>
+
+#include "src/core/report.hpp"
+#include "src/trace/offline.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vapro;
+  util::CliArgs args(argc, argv);
+  if (args.positionals().empty()) {
+    std::cout << "usage: vapro_replay TRACE_FILE [--window=S] "
+                 "[--threshold=X] [--bins=S] [--context-aware] "
+                 "[--no-diagnosis] [--cluster-threshold=X]\n";
+    return 2;
+  }
+  trace::Trace trace = trace::Trace::load(args.positionals()[0]);
+  std::cout << "loaded " << trace.size() << " events ("
+            << trace.byte_size() / 1024 << " KiB)\n";
+
+  trace::OfflineOptions opts;
+  opts.window_seconds = args.get_double("window", 0.25);
+  opts.variance_threshold = args.get_double("threshold", 0.85);
+  opts.bin_seconds = args.get_double("bins", 0.1);
+  opts.cluster.threshold = args.get_double("cluster-threshold", 0.05);
+  opts.run_diagnosis = !args.get_bool("no-diagnosis");
+  if (args.get_bool("context-aware"))
+    opts.stg_mode = core::StgMode::kContextAware;
+
+  trace::OfflineSession session(trace, opts);
+
+  std::cout << "\nfragments: " << session.fragments_recorded() << "\n\n"
+            << session.computation_map().render_ascii() << '\n';
+  for (core::FragmentKind kind :
+       {core::FragmentKind::kComputation, core::FragmentKind::kCommunication,
+        core::FragmentKind::kIo}) {
+    auto regions = session.locate(kind);
+    if (regions.empty()) continue;
+    std::cout << core::fragment_kind_name(kind) << " variance:\n";
+    std::size_t shown = 0;
+    for (const auto& r : regions) {
+      if (++shown > 6) break;
+      std::cout << "  ranks " << r.rank_lo << "-" << r.rank_hi << " t=["
+                << util::fmt(r.time_lo(opts.bin_seconds), 2) << ","
+                << util::fmt(r.time_hi(opts.bin_seconds), 2) << ") loss "
+                << util::fmt(100 * (1 - r.mean_perf), 1) << "%\n";
+    }
+  }
+  if (opts.run_diagnosis)
+    std::cout << '\n' << session.diagnosis().summary() << '\n';
+  return 0;
+}

@@ -1,0 +1,164 @@
+// vapro_run — the command-line driver.
+//
+// Runs any registered application on the simulated cluster with optional
+// noise injection, attaches Vapro, and prints the full report:
+//
+//   vapro_run --app=CG --ranks=64 --noise=cpu:1:0.4:1.4:1.0
+//   vapro_run --app=Nekbone --ranks=128 --noise=dram:3:0:inf:1.5 --ansi
+//   vapro_run --list
+//
+// Noise spec: kind:node:t_begin:t_end:magnitude with kind one of
+//   cpu | mem | dram | l2bug | pf | io | net     (node -1 = all nodes).
+#include <iostream>
+
+#include "src/apps/apps.hpp"
+#include "src/core/report.hpp"
+#include "src/core/report_json.hpp"
+#include "src/core/vapro.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/trace/trace.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+using namespace vapro;
+
+int usage() {
+  std::cout <<
+      "usage: vapro_run --app=NAME [options]\n"
+      "  --list                 list available applications\n"
+      "  --ranks=N              number of ranks/threads (default 64)\n"
+      "  --cores-per-node=N     topology (default 24)\n"
+      "  --seed=N               simulation seed (default 1)\n"
+      "  --scale=X              workload scale factor (default 1.0)\n"
+      "  --noise=K:NODE:T0:T1:MAG   inject noise (repeatable); K in\n"
+      "                         cpu|mem|dram|l2bug|pf|io|net\n"
+      "  --window=SECONDS       analysis window (default 0.25)\n"
+      "  --bins=SECONDS         heat-map bin width (default 0.1)\n"
+      "  --context-aware        use context-aware STG\n"
+      "  --sampling=none|backoff|skip-short\n"
+      "  --no-diagnosis         detection only\n"
+      "  --ansi                 colored heat maps\n"
+      "  --csv=DIR              also dump heat-map CSVs into DIR\n"
+      "  --trace=FILE           record the interception stream for\n"
+      "                         offline re-analysis with vapro_replay\n";
+  return 2;
+}
+
+bool parse_noise(const std::string& spec, sim::NoiseSpec* out) {
+  auto fields = util::split(spec, ':');
+  if (fields.size() != 5) return false;
+  const std::string& kind = fields[0];
+  if (kind == "cpu") out->kind = sim::NoiseKind::kCpuContention;
+  else if (kind == "mem") out->kind = sim::NoiseKind::kMemoryBandwidth;
+  else if (kind == "dram") out->kind = sim::NoiseKind::kSlowDram;
+  else if (kind == "l2bug") out->kind = sim::NoiseKind::kL2CacheBug;
+  else if (kind == "pf") out->kind = sim::NoiseKind::kPageFaultStorm;
+  else if (kind == "io") out->kind = sim::NoiseKind::kIoInterference;
+  else if (kind == "net") out->kind = sim::NoiseKind::kNetworkCongestion;
+  else return false;
+  out->node = std::atoi(fields[1].c_str());
+  out->t_begin = std::strtod(fields[2].c_str(), nullptr);
+  out->t_end = fields[3] == "inf" ? 1e300 : std::strtod(fields[3].c_str(), nullptr);
+  out->magnitude = std::strtod(fields[4].c_str(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+
+  const double scale = args.get_double("scale", 1.0);
+  auto suite = apps::multiprocess_suite(scale);
+  auto threaded = apps::multithreaded_suite(scale);
+  suite.insert(suite.end(), threaded.begin(), threaded.end());
+  // Standalone solvers join the registry under their own names.
+  apps::HplParams hpl_p;
+  suite.push_back({"HPL", apps::hpl(hpl_p), true, false});
+  apps::NekboneParams nek_p;
+  suite.push_back({"Nekbone", apps::nekbone(nek_p), true, false});
+  apps::RaxmlParams rax_p;
+  suite.push_back({"RAxML", apps::raxml(rax_p), true, false});
+
+  if (args.get_bool("list")) {
+    std::cout << "available applications:\n";
+    for (const auto& spec : suite)
+      std::cout << "  " << spec.name
+                << (spec.multithreaded ? "  (multithreaded)" : "") << '\n';
+    return 0;
+  }
+
+  const std::string app_name = args.get("app", "");
+  if (app_name.empty()) return usage();
+  const apps::AppSpec* app = nullptr;
+  for (const auto& spec : suite)
+    if (spec.name == app_name) app = &spec;
+  if (!app) {
+    std::cerr << "unknown app '" << app_name << "' — try --list\n";
+    return 2;
+  }
+
+  sim::SimConfig config;
+  config.ranks = args.get_int("ranks", 64);
+  config.cores_per_node = args.get_int("cores-per-node", 24);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  for (const std::string& spec : args.get_all("noise")) {
+    sim::NoiseSpec noise;
+    if (!parse_noise(spec, &noise)) {
+      std::cerr << "bad --noise spec '" << spec << "'\n";
+      return 2;
+    }
+    config.noises.push_back(noise);
+  }
+  sim::Simulator simulator(config);
+
+  core::VaproOptions options;
+  options.window_seconds = args.get_double("window", 0.25);
+  options.bin_seconds = args.get_double("bins", 0.1);
+  options.run_diagnosis = !args.get_bool("no-diagnosis");
+  if (args.get_bool("context-aware"))
+    options.stg_mode = core::StgMode::kContextAware;
+  const std::string sampling = args.get("sampling", "none");
+  if (sampling == "backoff") options.sampling = core::SamplingPolicy::kBackoff;
+  else if (sampling == "skip-short")
+    options.sampling = core::SamplingPolicy::kSkipShort;
+  core::VaproSession session(simulator, options);
+
+  // Optional trace recording, teeing into the live session.
+  std::unique_ptr<trace::TraceWriter> writer;
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    writer = std::make_unique<trace::TraceWriter>(
+        const_cast<core::VaproClient*>(&session.client()));
+    simulator.set_interceptor(writer.get());
+  }
+
+  auto result = simulator.run(app->program);
+  if (writer) {
+    writer->trace().save(trace_path);
+    std::cout << "trace: " << writer->trace().size() << " events ("
+              << writer->trace().byte_size() / 1024 << " KiB) → "
+              << trace_path << "\n";
+  }
+  std::cout << app_name << ": " << config.ranks << " ranks, makespan "
+            << result.makespan << " virtual seconds, " << result.events
+            << " events\n\n";
+
+  if (args.get_bool("json")) {
+    double total = 0;
+    for (double t : result.finish_times) total += t;
+    std::cout << core::report_json(session, total) << '\n';
+  } else {
+    core::ReportOptions ropts;
+    ropts.ansi_color = args.get_bool("ansi");
+    std::cout << core::render_report(session, ropts);
+  }
+
+  const std::string csv_dir = args.get("csv", "");
+  if (!csv_dir.empty()) {
+    core::write_csv_bundle(session, csv_dir);
+    std::cout << "\nheat-map CSVs written to " << csv_dir << "/\n";
+  }
+  return 0;
+}
