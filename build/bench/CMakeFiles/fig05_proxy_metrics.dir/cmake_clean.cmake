@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_proxy_metrics.dir/fig05_proxy_metrics.cpp.o"
+  "CMakeFiles/fig05_proxy_metrics.dir/fig05_proxy_metrics.cpp.o.d"
+  "fig05_proxy_metrics"
+  "fig05_proxy_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_proxy_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

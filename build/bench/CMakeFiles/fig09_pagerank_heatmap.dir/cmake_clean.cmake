@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pagerank_heatmap.dir/fig09_pagerank_heatmap.cpp.o"
+  "CMakeFiles/fig09_pagerank_heatmap.dir/fig09_pagerank_heatmap.cpp.o.d"
+  "fig09_pagerank_heatmap"
+  "fig09_pagerank_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pagerank_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sp_vsensor.dir/fig12_sp_vsensor.cpp.o"
+  "CMakeFiles/fig12_sp_vsensor.dir/fig12_sp_vsensor.cpp.o.d"
+  "fig12_sp_vsensor"
+  "fig12_sp_vsensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sp_vsensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

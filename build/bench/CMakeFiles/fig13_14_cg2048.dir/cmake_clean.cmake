@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_cg2048.dir/fig13_14_cg2048.cpp.o"
+  "CMakeFiles/fig13_14_cg2048.dir/fig13_14_cg2048.cpp.o.d"
+  "fig13_14_cg2048"
+  "fig13_14_cg2048.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_cg2048.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

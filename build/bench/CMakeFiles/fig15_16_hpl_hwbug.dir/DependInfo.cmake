@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_16_hpl_hwbug.cpp" "bench/CMakeFiles/fig15_16_hpl_hwbug.dir/fig15_16_hpl_hwbug.cpp.o" "gcc" "bench/CMakeFiles/fig15_16_hpl_hwbug.dir/fig15_16_hpl_hwbug.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vapro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vapro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vapro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/vapro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vapro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vapro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/vapro_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vapro_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

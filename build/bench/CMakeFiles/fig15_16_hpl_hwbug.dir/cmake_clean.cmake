@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_hpl_hwbug.dir/fig15_16_hpl_hwbug.cpp.o"
+  "CMakeFiles/fig15_16_hpl_hwbug.dir/fig15_16_hpl_hwbug.cpp.o.d"
+  "fig15_16_hpl_hwbug"
+  "fig15_16_hpl_hwbug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_hpl_hwbug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

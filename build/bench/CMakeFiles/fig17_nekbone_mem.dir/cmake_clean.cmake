@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_nekbone_mem.dir/fig17_nekbone_mem.cpp.o"
+  "CMakeFiles/fig17_nekbone_mem.dir/fig17_nekbone_mem.cpp.o.d"
+  "fig17_nekbone_mem"
+  "fig17_nekbone_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_nekbone_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_vmeasure.dir/table2_vmeasure.cpp.o"
+  "CMakeFiles/table2_vmeasure.dir/table2_vmeasure.cpp.o.d"
+  "table2_vmeasure"
+  "table2_vmeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vmeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

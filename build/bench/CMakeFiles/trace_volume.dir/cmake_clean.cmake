@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_volume.dir/trace_volume.cpp.o"
+  "CMakeFiles/trace_volume.dir/trace_volume.cpp.o.d"
+  "trace_volume"
+  "trace_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

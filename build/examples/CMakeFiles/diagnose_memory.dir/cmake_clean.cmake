@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_memory.dir/diagnose_memory.cpp.o"
+  "CMakeFiles/diagnose_memory.dir/diagnose_memory.cpp.o.d"
+  "diagnose_memory"
+  "diagnose_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_variance.dir/io_variance.cpp.o"
+  "CMakeFiles/io_variance.dir/io_variance.cpp.o.d"
+  "io_variance"
+  "io_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

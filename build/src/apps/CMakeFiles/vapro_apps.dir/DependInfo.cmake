@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cpp" "src/apps/CMakeFiles/vapro_apps.dir/apps.cpp.o" "gcc" "src/apps/CMakeFiles/vapro_apps.dir/apps.cpp.o.d"
+  "/root/repo/src/apps/npb.cpp" "src/apps/CMakeFiles/vapro_apps.dir/npb.cpp.o" "gcc" "src/apps/CMakeFiles/vapro_apps.dir/npb.cpp.o.d"
+  "/root/repo/src/apps/solvers.cpp" "src/apps/CMakeFiles/vapro_apps.dir/solvers.cpp.o" "gcc" "src/apps/CMakeFiles/vapro_apps.dir/solvers.cpp.o.d"
+  "/root/repo/src/apps/threaded.cpp" "src/apps/CMakeFiles/vapro_apps.dir/threaded.cpp.o" "gcc" "src/apps/CMakeFiles/vapro_apps.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vapro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/vapro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vapro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

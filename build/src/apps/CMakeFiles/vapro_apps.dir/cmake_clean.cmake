@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_apps.dir/apps.cpp.o"
+  "CMakeFiles/vapro_apps.dir/apps.cpp.o.d"
+  "CMakeFiles/vapro_apps.dir/npb.cpp.o"
+  "CMakeFiles/vapro_apps.dir/npb.cpp.o.d"
+  "CMakeFiles/vapro_apps.dir/solvers.cpp.o"
+  "CMakeFiles/vapro_apps.dir/solvers.cpp.o.d"
+  "CMakeFiles/vapro_apps.dir/threaded.cpp.o"
+  "CMakeFiles/vapro_apps.dir/threaded.cpp.o.d"
+  "libvapro_apps.a"
+  "libvapro_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

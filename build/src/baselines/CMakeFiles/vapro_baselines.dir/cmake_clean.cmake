@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_baselines.dir/mpip.cpp.o"
+  "CMakeFiles/vapro_baselines.dir/mpip.cpp.o.d"
+  "CMakeFiles/vapro_baselines.dir/vsensor.cpp.o"
+  "CMakeFiles/vapro_baselines.dir/vsensor.cpp.o.d"
+  "libvapro_baselines.a"
+  "libvapro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

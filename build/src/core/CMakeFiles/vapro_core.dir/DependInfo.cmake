@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/breakdown.cpp" "src/core/CMakeFiles/vapro_core.dir/breakdown.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/breakdown.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/vapro_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/vapro_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/detection.cpp" "src/core/CMakeFiles/vapro_core.dir/detection.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/detection.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/core/CMakeFiles/vapro_core.dir/diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/core/fragment.cpp" "src/core/CMakeFiles/vapro_core.dir/fragment.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/fragment.cpp.o.d"
+  "/root/repo/src/core/heatmap.cpp" "src/core/CMakeFiles/vapro_core.dir/heatmap.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/heatmap.cpp.o.d"
+  "/root/repo/src/core/multirun.cpp" "src/core/CMakeFiles/vapro_core.dir/multirun.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/multirun.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vapro_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/vapro_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/vapro_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/server_group.cpp" "src/core/CMakeFiles/vapro_core.dir/server_group.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/server_group.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/vapro_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/stg.cpp" "src/core/CMakeFiles/vapro_core.dir/stg.cpp.o" "gcc" "src/core/CMakeFiles/vapro_core.dir/stg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vapro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/vapro_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vapro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vapro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_core.dir/breakdown.cpp.o"
+  "CMakeFiles/vapro_core.dir/breakdown.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/client.cpp.o"
+  "CMakeFiles/vapro_core.dir/client.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/clustering.cpp.o"
+  "CMakeFiles/vapro_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/detection.cpp.o"
+  "CMakeFiles/vapro_core.dir/detection.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/vapro_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/fragment.cpp.o"
+  "CMakeFiles/vapro_core.dir/fragment.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/heatmap.cpp.o"
+  "CMakeFiles/vapro_core.dir/heatmap.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/multirun.cpp.o"
+  "CMakeFiles/vapro_core.dir/multirun.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/report.cpp.o"
+  "CMakeFiles/vapro_core.dir/report.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/report_json.cpp.o"
+  "CMakeFiles/vapro_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/server.cpp.o"
+  "CMakeFiles/vapro_core.dir/server.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/server_group.cpp.o"
+  "CMakeFiles/vapro_core.dir/server_group.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/session.cpp.o"
+  "CMakeFiles/vapro_core.dir/session.cpp.o.d"
+  "CMakeFiles/vapro_core.dir/stg.cpp.o"
+  "CMakeFiles/vapro_core.dir/stg.cpp.o.d"
+  "libvapro_core.a"
+  "libvapro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_pmu.dir/core_model.cpp.o"
+  "CMakeFiles/vapro_pmu.dir/core_model.cpp.o.d"
+  "CMakeFiles/vapro_pmu.dir/counter_set.cpp.o"
+  "CMakeFiles/vapro_pmu.dir/counter_set.cpp.o.d"
+  "CMakeFiles/vapro_pmu.dir/counters.cpp.o"
+  "CMakeFiles/vapro_pmu.dir/counters.cpp.o.d"
+  "CMakeFiles/vapro_pmu.dir/workload.cpp.o"
+  "CMakeFiles/vapro_pmu.dir/workload.cpp.o.d"
+  "libvapro_pmu.a"
+  "libvapro_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvapro_pmu.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_sim.dir/engine.cpp.o"
+  "CMakeFiles/vapro_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/vapro_sim.dir/filesystem.cpp.o"
+  "CMakeFiles/vapro_sim.dir/filesystem.cpp.o.d"
+  "CMakeFiles/vapro_sim.dir/intercept.cpp.o"
+  "CMakeFiles/vapro_sim.dir/intercept.cpp.o.d"
+  "CMakeFiles/vapro_sim.dir/network.cpp.o"
+  "CMakeFiles/vapro_sim.dir/network.cpp.o.d"
+  "CMakeFiles/vapro_sim.dir/noise.cpp.o"
+  "CMakeFiles/vapro_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/vapro_sim.dir/runtime.cpp.o"
+  "CMakeFiles/vapro_sim.dir/runtime.cpp.o.d"
+  "libvapro_sim.a"
+  "libvapro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

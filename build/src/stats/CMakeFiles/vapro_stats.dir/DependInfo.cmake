@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/collinearity.cpp" "src/stats/CMakeFiles/vapro_stats.dir/collinearity.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/collinearity.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/vapro_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/dist.cpp" "src/stats/CMakeFiles/vapro_stats.dir/dist.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/dist.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/vapro_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "src/stats/CMakeFiles/vapro_stats.dir/ols.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/ols.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/vapro_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/vmeasure.cpp" "src/stats/CMakeFiles/vapro_stats.dir/vmeasure.cpp.o" "gcc" "src/stats/CMakeFiles/vapro_stats.dir/vmeasure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vapro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_stats.dir/collinearity.cpp.o"
+  "CMakeFiles/vapro_stats.dir/collinearity.cpp.o.d"
+  "CMakeFiles/vapro_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/vapro_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/vapro_stats.dir/dist.cpp.o"
+  "CMakeFiles/vapro_stats.dir/dist.cpp.o.d"
+  "CMakeFiles/vapro_stats.dir/matrix.cpp.o"
+  "CMakeFiles/vapro_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/vapro_stats.dir/ols.cpp.o"
+  "CMakeFiles/vapro_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/vapro_stats.dir/special.cpp.o"
+  "CMakeFiles/vapro_stats.dir/special.cpp.o.d"
+  "CMakeFiles/vapro_stats.dir/vmeasure.cpp.o"
+  "CMakeFiles/vapro_stats.dir/vmeasure.cpp.o.d"
+  "libvapro_stats.a"
+  "libvapro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

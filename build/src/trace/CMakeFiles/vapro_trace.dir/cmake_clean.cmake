@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_trace.dir/offline.cpp.o"
+  "CMakeFiles/vapro_trace.dir/offline.cpp.o.d"
+  "CMakeFiles/vapro_trace.dir/trace.cpp.o"
+  "CMakeFiles/vapro_trace.dir/trace.cpp.o.d"
+  "libvapro_trace.a"
+  "libvapro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_util.dir/check.cpp.o"
+  "CMakeFiles/vapro_util.dir/check.cpp.o.d"
+  "CMakeFiles/vapro_util.dir/cli.cpp.o"
+  "CMakeFiles/vapro_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vapro_util.dir/csv.cpp.o"
+  "CMakeFiles/vapro_util.dir/csv.cpp.o.d"
+  "CMakeFiles/vapro_util.dir/log.cpp.o"
+  "CMakeFiles/vapro_util.dir/log.cpp.o.d"
+  "CMakeFiles/vapro_util.dir/rng.cpp.o"
+  "CMakeFiles/vapro_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vapro_util.dir/table.cpp.o"
+  "CMakeFiles/vapro_util.dir/table.cpp.o.d"
+  "libvapro_util.a"
+  "libvapro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multirun.dir/test_multirun.cpp.o"
+  "CMakeFiles/test_multirun.dir/test_multirun.cpp.o.d"
+  "test_multirun"
+  "test_multirun.pdb"
+  "test_multirun[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multirun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_power.dir/test_stats_power.cpp.o"
+  "CMakeFiles/test_stats_power.dir/test_stats_power.cpp.o.d"
+  "test_stats_power"
+  "test_stats_power.pdb"
+  "test_stats_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

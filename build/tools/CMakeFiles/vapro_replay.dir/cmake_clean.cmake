@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_replay.dir/vapro_replay.cpp.o"
+  "CMakeFiles/vapro_replay.dir/vapro_replay.cpp.o.d"
+  "vapro_replay"
+  "vapro_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapro_run.dir/vapro_run.cpp.o"
+  "CMakeFiles/vapro_run.dir/vapro_run.cpp.o.d"
+  "vapro_run"
+  "vapro_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapro_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_vapro_run_list "/root/repo/build/tools/vapro_run" "--list")
+set_tests_properties(tool_vapro_run_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_vapro_run_smoke "/root/repo/build/tools/vapro_run" "--app=CG" "--ranks=8" "--window=0.2" "--noise=cpu:0:0.1:0.5:1.0" "--json")
+set_tests_properties(tool_vapro_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_vapro_replay_roundtrip "sh" "-c" "/root/repo/build/tools/vapro_run --app=Nekbone --ranks=8               --trace=/root/repo/build/smoke.vprt > /dev/null &&           /root/repo/build/tools/vapro_replay /root/repo/build/smoke.vprt               --window=0.3 > /dev/null")
+set_tests_properties(tool_vapro_replay_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
