@@ -1,0 +1,105 @@
+// Self-telemetry cost: the same run with the obs subsystem detached vs
+// attached (metrics + PipelineStats + Chrome trace + overhead accounting).
+//
+// Guards the BENCH trajectory: the acceptance bar for the observability PR
+// is < 3% relative end-to-end overhead, i.e. watching the tool must stay
+// far cheaper than the tool itself (which targets the paper's < 1.38% of
+// the *application*, Table 1).  Prints per-mode wall times, the relative
+// telemetry overhead, and the accountant's own tool-time split.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/npb.hpp"
+#include "src/core/vapro.hpp"
+#include "src/obs/context.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace vapro;
+
+struct ModeResult {
+  double best_seconds = 0.0;
+  double tool_seconds = 0.0;       // accountant view (obs mode only)
+  std::size_t windows = 0;
+  std::size_t trace_events = 0;
+};
+
+double run_once(bool with_obs, ModeResult* out) {
+  sim::SimConfig cfg;
+  cfg.ranks = 64;
+  cfg.cores_per_node = 8;
+  cfg.seed = 11;  // identical run either way — the sim is deterministic
+  sim::Simulator simulator(cfg);
+
+  obs::ObsContext ctx;
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  if (with_obs) {
+    opts.obs = &ctx;
+    ctx.enable_trace();
+  }
+  core::VaproSession session(simulator, opts);
+
+  apps::NpbParams p;
+  p.iters = 150;
+  const auto t0 = std::chrono::steady_clock::now();
+  simulator.run(apps::cg(p));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (with_obs) {
+    out->tool_seconds = ctx.overhead().tool_seconds();
+    out->windows = ctx.windows().windows().size();
+    out->trace_events = ctx.trace()->size();
+  }
+  return wall;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Self-telemetry overhead: obs off vs on",
+                      "repo acceptance: telemetry < 3% of end-to-end");
+
+  constexpr int kRepeats = 15;
+  ModeResult off, on;
+  // Warm both paths once, then interleave the measured pairs so slow
+  // machine-wide drift hits both modes equally.
+  run_once(false, &off);
+  run_once(true, &on);
+  std::vector<double> off_walls, on_walls, pair_overheads;
+  for (int r = 0; r < kRepeats; ++r) {
+    off_walls.push_back(run_once(false, &off));
+    on_walls.push_back(run_once(true, &on));
+    pair_overheads.push_back((on_walls.back() - off_walls.back()) /
+                             off_walls.back());
+  }
+  off.best_seconds = *std::min_element(off_walls.begin(), off_walls.end());
+  on.best_seconds = *std::min_element(on_walls.begin(), on_walls.end());
+
+  // Median of the per-pair relative deltas: pairing cancels machine-wide
+  // drift, the median discards the odd descheduled run.
+  std::sort(pair_overheads.begin(), pair_overheads.end());
+  const double overhead = pair_overheads[pair_overheads.size() / 2];
+
+  util::TextTable table({"mode", "best wall (ms)", "windows", "trace events"});
+  table.add_row({"obs off", util::fmt(off.best_seconds * 1e3, 2), "-", "-"});
+  table.add_row({"obs on", util::fmt(on.best_seconds * 1e3, 2),
+                 std::to_string(on.windows), std::to_string(on.trace_events)});
+  table.print(std::cout);
+
+  std::cout << "\ntelemetry overhead: " << util::fmt(overhead * 100.0, 2)
+            << "% of end-to-end runtime (bar: < 3%)\n"
+            << "accountant: " << util::fmt(on.tool_seconds * 1e3, 2)
+            << " ms tool time inside the obs run\n";
+  // Negative just means the difference drowned in noise.
+  if (overhead >= 0.03) {
+    std::cout << "WARNING: telemetry overhead above the 3% bar\n";
+    return 1;
+  }
+  return 0;
+}

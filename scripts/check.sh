@@ -1,12 +1,37 @@
 #!/usr/bin/env bash
-# Full verification cycle: configure, build, test, regenerate every
+# Full verification cycle: configure, build, test, guard the repo
+# hygiene invariants, smoke the observability outputs, regenerate every
 # experiment.  Mirrors what CI would run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Build artifacts must never be tracked (they were once; never again).
+if git ls-files | grep -q '^build/'; then
+  echo "FAIL: build artifacts are tracked in git:" >&2
+  git ls-files | grep '^build/' | head >&2
+  exit 1
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+echo "--- observability smoke ---"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+./build/tools/vapro_run --app=CG --ranks=32 --noise=cpu:1:0.4:1.4:1.0 \
+  --metrics-out="$obs_tmp/metrics.json" --trace-out="$obs_tmp/trace.json" \
+  > "$obs_tmp/run.out"
+for f in metrics.json trace.json; do
+  [ -s "$obs_tmp/$f" ] || { echo "FAIL: $f not written" >&2; exit 1; }
+  if command -v python3 > /dev/null; then
+    python3 -m json.tool "$obs_tmp/$f" > /dev/null \
+      || { echo "FAIL: $f is not valid JSON" >&2; exit 1; }
+  fi
+done
+grep -q '"traceEvents"' "$obs_tmp/trace.json" \
+  || { echo "FAIL: trace.json missing traceEvents" >&2; exit 1; }
+echo "observability smoke OK"
 
 echo "--- experiment reproduction ---"
 for b in build/bench/*; do

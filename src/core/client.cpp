@@ -47,6 +47,11 @@ void VaproClient::account(const Fragment& f) {
 
 void VaproClient::on_call_begin(const sim::InvocationInfo& info, double time,
                                 const pmu::CounterSample& ground_truth) {
+  // Everything inside an interception hook is tool time (Table 1's
+  // overhead column).  Hooks fire for every fragment boundary, so the
+  // accountant samples here instead of paying two clock reads per call.
+  obs::SampledToolTimeScope tool_time(opts_.obs ? &opts_.obs->overhead()
+                                                : nullptr);
   RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
   ++invocations_seen_;
   rs.record_current = should_record(rs, info.site);
@@ -77,6 +82,8 @@ void VaproClient::on_call_begin(const sim::InvocationInfo& info, double time,
 
 void VaproClient::on_call_end(const sim::InvocationInfo& info, double time,
                               const pmu::CounterSample& ground_truth) {
+  obs::SampledToolTimeScope tool_time(opts_.obs ? &opts_.obs->overhead()
+                                                : nullptr);
   RankState& rs = ranks_[static_cast<std::size_t>(info.rank)];
   const StateKey key = make_state_key(opts_.stg_mode, info);
 
@@ -124,23 +131,78 @@ void VaproClient::on_program_end(sim::RankId rank, double time) {
   // through interception — same blind spot as the real tool.
 }
 
+namespace {
+std::string counter_list(const std::vector<pmu::Counter>& counters) {
+  std::string out;
+  for (pmu::Counter c : counters) {
+    if (!out.empty()) out += ", ";
+    out += std::string(pmu::counter_name(c));
+  }
+  return out;
+}
+}  // namespace
+
 bool VaproClient::configure_counters(
     const std::vector<pmu::Counter>& programmable) {
+  obs::ToolTimeScope tool_time(opts_.obs ? &opts_.obs->overhead() : nullptr);
   // Validate against the budget once, then apply everywhere.
   for (RankState& rs : ranks_) {
-    if (!rs.counters.configure(programmable)) return false;
+    if (!rs.counters.configure(programmable)) {
+      if (opts_.obs)
+        opts_.obs->metrics()
+            .counter("vapro.client.reprogram_rejected")
+            ->inc();
+      return false;
+    }
+  }
+  if (opts_.obs) {
+    opts_.obs->metrics().counter("vapro.client.reprograms")->inc();
+    if (auto* trace = opts_.obs->trace()) {
+      trace->instant("pmu.reprogram", "client",
+                     {obs::TraceRecorder::arg("counters",
+                                              counter_list(programmable))});
+    }
   }
   return true;
 }
 
 void VaproClient::configure_counters_multiplexed(
     const std::vector<pmu::Counter>& programmable) {
+  obs::ToolTimeScope tool_time(opts_.obs ? &opts_.obs->overhead() : nullptr);
   for (RankState& rs : ranks_) rs.counters.configure_multiplexed(programmable);
+  if (opts_.obs) {
+    opts_.obs->metrics().counter("vapro.client.reprograms_multiplexed")->inc();
+    if (auto* trace = opts_.obs->trace()) {
+      trace->instant("pmu.reprogram_multiplexed", "client",
+                     {obs::TraceRecorder::arg("counters",
+                                              counter_list(programmable))});
+    }
+  }
+}
+
+void VaproClient::publish_metrics_locked() {
+  if (!opts_.obs) return;
+  obs::MetricsRegistry& m = opts_.obs->metrics();
+  m.counter("vapro.client.fragments_total")
+      ->inc(fragments_recorded_ - published_fragments_);
+  m.counter("vapro.client.bytes_total")->inc(bytes_recorded_ - published_bytes_);
+  m.counter("vapro.client.invocations_total")
+      ->inc(invocations_seen_ - published_invocations_);
+  m.counter("vapro.client.invocations_sampled_out")
+      ->inc(sampled_out_ - published_sampled_out_);
+  published_fragments_ = fragments_recorded_;
+  published_bytes_ = bytes_recorded_;
+  published_invocations_ = invocations_seen_;
+  published_sampled_out_ = sampled_out_;
 }
 
 FragmentBatch VaproClient::drain() {
+  obs::ToolTimeScope tool_time(opts_.obs ? &opts_.obs->overhead() : nullptr);
   FragmentBatch out = std::move(buffer_);
   buffer_ = FragmentBatch{};
+  // Registry counters advance once per window, not once per intercepted
+  // call — the hot path stays registry-free.
+  publish_metrics_locked();
   return out;
 }
 

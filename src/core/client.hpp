@@ -24,6 +24,7 @@
 
 #include "src/core/fragment.hpp"
 #include "src/core/stg.hpp"
+#include "src/obs/context.hpp"
 #include "src/pmu/counter_set.hpp"
 #include "src/sim/intercept.hpp"
 
@@ -52,6 +53,9 @@ struct ClientOptions {
   double short_threshold_seconds = 500e-6;
   int short_keep_one_in = 8;
   std::uint64_t seed = 42;
+  // Self-telemetry (src/obs): interception tool-time accounting, fragment
+  // cut/sample/drop counters, PMU reprogram events; null disables.
+  obs::ObsContext* obs = nullptr;
 };
 
 // One window's worth of data shipped from clients to the server.
@@ -118,6 +122,9 @@ class VaproClient final : public sim::Interceptor {
 
   bool should_record(RankState& rs, sim::CallSiteId site);
   void account(const Fragment& f);
+  // Publishes the delta of the client's tallies since the previous drain
+  // into the metrics registry (no-op without obs).
+  void publish_metrics_locked();
 
   ClientOptions opts_;
   std::vector<RankState> ranks_;
@@ -127,6 +134,12 @@ class VaproClient final : public sim::Interceptor {
   std::uint64_t fragments_recorded_ = 0;
   std::uint64_t invocations_seen_ = 0;
   std::uint64_t sampled_out_ = 0;
+  // Registry tallies published so far (drain-time deltas keep the hot
+  // interception path free of registry traffic).
+  std::uint64_t published_bytes_ = 0;
+  std::uint64_t published_fragments_ = 0;
+  std::uint64_t published_invocations_ = 0;
+  std::uint64_t published_sampled_out_ = 0;
 };
 
 }  // namespace vapro::core

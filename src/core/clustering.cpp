@@ -111,7 +111,8 @@ ClusteringResult cluster_stg(const Stg& stg, const ClusterOptions& opts) {
 
 ClusteringResult cluster_stg_parallel(const Stg& stg,
                                       const ClusterOptions& opts,
-                                      int threads) {
+                                      int threads,
+                                      obs::TraceRecorder* trace) {
   VAPRO_CHECK(threads >= 1);
   auto work = gather_work(stg);
   if (threads == 1 || work.size() < 2) {
@@ -123,11 +124,17 @@ ClusteringResult cluster_stg_parallel(const Stg& stg,
   std::vector<std::vector<Cluster>> per_item(work.size());
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    const std::uint64_t t0 = trace ? trace->now_ns() : 0;
+    std::uint64_t items = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= work.size()) return;
+      if (i >= work.size()) break;
       per_item[i] = cluster_fragments(stg, *work[i], opts);
+      ++items;
     }
+    if (trace)
+      trace->complete("cluster.worker", "obs", t0,
+                      {obs::TraceRecorder::arg("items", items)});
   };
   std::vector<std::thread> pool;
   const int n = std::min<int>(threads, static_cast<int>(work.size()));

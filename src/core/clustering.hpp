@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/stg.hpp"
+#include "src/obs/trace_export.hpp"
 #include "src/pmu/counters.hpp"
 
 namespace vapro::core {
@@ -62,9 +63,12 @@ ClusteringResult cluster_stg(const Stg& stg, const ClusterOptions& opts);
 // Same result, but edges/vertices are clustered by `threads` worker
 // threads — the multi-threaded analysis server of §5.  Output is
 // deterministic (work items are processed in sorted key order and merged
-// in that order regardless of thread interleaving).
+// in that order regardless of thread interleaving).  When `trace` is set,
+// each worker thread records a "cluster.worker" span with the number of
+// edges/vertices it processed.
 ClusteringResult cluster_stg_parallel(const Stg& stg,
                                       const ClusterOptions& opts,
-                                      int threads);
+                                      int threads,
+                                      obs::TraceRecorder* trace = nullptr);
 
 }  // namespace vapro::core

@@ -280,6 +280,13 @@ void ProgressiveDiagnoser::feed(const Stg& stg,
                                 const ClusteringResult& clusters,
                                 std::size_t live_begin) {
   if (finished_) return;
+  // The per-stage span nests inside the server's "diagnose" stage span, so
+  // a trace shows exactly which windows ran under S1/S2/S3.
+  obs::TraceSpan span(
+      opts_.obs ? opts_.obs->trace() : nullptr,
+      "diagnosis.S" + std::to_string(stage_), "diagnosis",
+      {obs::TraceRecorder::arg("factors",
+                               static_cast<std::uint64_t>(frontier_.size()))});
   opts_.live_begin = live_begin;
   ContributionWindow window =
       analyze_contributions(stg, clusters, frontier_, machine_, opts_);
@@ -313,10 +320,35 @@ void ProgressiveDiagnoser::feed(const Stg& stg,
   if (next.empty()) {
     report_.culprits = majors;
     finished_ = true;
+    if (opts_.obs) {
+      opts_.obs->metrics().counter("vapro.diagnosis.finished")->inc();
+      if (auto* trace = opts_.obs->trace()) {
+        std::string culprits;
+        for (FactorId f : majors) {
+          if (!culprits.empty()) culprits += ", ";
+          culprits += std::string(factor_name(f));
+        }
+        trace->instant("diagnosis.finished", "diagnosis",
+                       {obs::TraceRecorder::arg("culprits", culprits)});
+      }
+    }
     return;
   }
   frontier_ = std::move(next);
   ++stage_;
+  // Stage descent: the next window needs a different counter set — exactly
+  // the moment the session reprograms the clients' PMUs.
+  if (opts_.obs) {
+    opts_.obs->metrics().counter("vapro.diagnosis.stage_advances")->inc();
+    if (auto* trace = opts_.obs->trace()) {
+      trace->instant(
+          "diagnosis.stage_advance", "diagnosis",
+          {obs::TraceRecorder::arg(
+               "to_stage", static_cast<std::uint64_t>(stage_)),
+           obs::TraceRecorder::arg(
+               "frontier", static_cast<std::uint64_t>(frontier_.size()))});
+    }
+  }
 }
 
 }  // namespace vapro::core

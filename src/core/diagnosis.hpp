@@ -26,6 +26,7 @@
 #include "src/core/breakdown.hpp"
 #include "src/core/clustering.hpp"
 #include "src/core/stg.hpp"
+#include "src/obs/context.hpp"
 
 namespace vapro::core {
 
@@ -54,6 +55,9 @@ struct DiagnosisOptions {
   // Fragments below this STG index are overlap carry-ins (Fig 8): they
   // shape cluster references/minima but never contribute variance twice.
   std::size_t live_begin = 0;
+  // Self-telemetry (src/obs): stage-descent events and counters; null
+  // disables.  Borrowed, must outlive the diagnoser.
+  obs::ObsContext* obs = nullptr;
 };
 
 // --- §4.2: full OLS quantification (also the formula-vs-OLS check). ---

@@ -1,10 +1,35 @@
 #include "src/core/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/util/check.hpp"
 
 namespace vapro::core {
+
+namespace {
+// Lap timer splitting process_window into the PipelineStats stages; every
+// statement of the window body is charged to exactly one stage, so the
+// per-stage times sum to the window's tool time.
+class StageClock {
+ public:
+  StageClock() : last_(std::chrono::steady_clock::now()) {}
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+DiagnosisOptions with_obs(DiagnosisOptions diag, obs::ObsContext* obs) {
+  diag.obs = obs;
+  return diag;
+}
+}  // namespace
 
 AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
     : opts_(opts),
@@ -14,7 +39,7 @@ AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
       comp_map_(ranks, opts.bin_seconds),
       comm_map_(ranks, opts.bin_seconds),
       io_map_(ranks, opts.bin_seconds),
-      diagnoser_(opts.machine, opts.diagnosis) {
+      diagnoser_(opts.machine, with_obs(opts.diagnosis, opts.obs)) {
   VAPRO_CHECK(ranks > 0);
 }
 
@@ -22,7 +47,20 @@ void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
   diagnoser_.restart(std::move(focus));
 }
 
-void AnalysisServer::process_window(FragmentBatch batch) {
+void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
+  obs::ObsContext* obs = opts_.obs;
+  obs::TraceRecorder* trace = obs ? obs->trace() : nullptr;
+  obs::ToolTimeScope tool_time(obs ? &obs->overhead() : nullptr);
+  const std::uint64_t window_t0 = trace ? trace->now_ns() : 0;
+  StageClock clock;
+
+  obs::PipelineStats stats;
+  stats.window = windows_;
+  stats.fragments_drained = batch.fragments.size();
+  stats.new_states = batch.new_states.size();
+  stats.drain_seconds = drain_seconds;
+
+  // --- stage: STG growth (vertex/edge ingestion + carry management) ---
   for (const sim::InvocationInfo& info : batch.new_states)
     stg_.touch_vertex(info);
   // Carry-ins from the previous window's tail enter the STG first so
@@ -30,7 +68,9 @@ void AnalysisServer::process_window(FragmentBatch batch) {
   const std::size_t live_begin = overlap_carry_.size();
   for (Fragment& f : overlap_carry_) stg_.add_fragment(std::move(f));
   overlap_carry_.clear();
+  double window_end = 0.0;
   for (Fragment& f : batch.fragments) {
+    window_end = std::max(window_end, f.end_time);
     if (opts_.window_overlap_seconds > 0.0) {
       overlap_carry_.push_back(f);  // candidate for the next window
     }
@@ -38,16 +78,23 @@ void AnalysisServer::process_window(FragmentBatch batch) {
   }
   fragments_ += batch.fragments.size();
   if (!overlap_carry_.empty()) {
-    double window_end = 0.0;
-    for (const Fragment& f : overlap_carry_)
-      window_end = std::max(window_end, f.end_time);
     const double cut = window_end - opts_.window_overlap_seconds;
     std::erase_if(overlap_carry_,
                   [cut](const Fragment& f) { return f.end_time < cut; });
   }
+  stats.carry_ins = live_begin;
+  stats.virtual_time = window_end;
+  stats.stg_seconds = clock.lap();
 
+  // --- stage: clustering (Algorithm 1 workers + rare-path scan) ---
+  const std::uint64_t cluster_t0 = trace ? trace->now_ns() : 0;
   ClusteringResult clusters =
-      cluster_stg_parallel(stg_, opts_.cluster, opts_.analysis_threads);
+      cluster_stg_parallel(stg_, opts_.cluster, opts_.analysis_threads, trace);
+  if (trace)
+    trace->complete(
+        "stage.cluster", "server", cluster_t0,
+        {obs::TraceRecorder::arg(
+            "clusters", static_cast<std::uint64_t>(clusters.clusters.size()))});
   rare_clusters_ += clusters.rare_count();
 
   // Algorithm 1 line 8: surface rare-but-expensive execution paths
@@ -79,13 +126,15 @@ void AnalysisServer::process_window(FragmentBatch batch) {
               });
     rare_findings_.resize(opts_.rare_report_limit);
   }
+  stats.clusters_formed = clusters.clusters.size();
+  stats.rare_clusters = clusters.rare_count();
+  stats.cluster_seconds = clock.lap();
 
+  // --- stage: normalization against the cross-window baseline ---
   ClusterBaseline* baseline =
       opts_.shared_baseline ? opts_.shared_baseline : &baseline_;
   std::vector<NormalizedFragment> normalized =
       normalize_fragments(stg_, clusters, baseline, live_begin);
-  deposit_fragments(normalized, comp_map_, comm_map_, io_map_);
-  coverage_.add(stg_, clusters, live_begin);
 
   if (opts_.record_eval_pairs) {
     // Map each labelled computation fragment to its cluster's stable id.
@@ -101,12 +150,54 @@ void AnalysisServer::process_window(FragmentBatch batch) {
       }
     }
   }
+  stats.normalize_seconds = clock.lap();
 
+  // --- stage: heat-map deposit + coverage accounting ---
+  deposit_fragments(normalized, comp_map_, comm_map_, io_map_);
+  coverage_.add(stg_, clusters, live_begin);
+  stats.deposit_seconds = clock.lap();
+
+  // --- stage: progressive diagnosis + observer hooks ---
   if (opts_.run_diagnosis) diagnoser_.feed(stg_, clusters, live_begin);
   if (opts_.window_observer) opts_.window_observer(stg_, clusters);
 
   stg_.clear_fragments();
   ++windows_;
+  stats.diagnosis_stage = diagnoser_.stage();
+  stats.diagnose_seconds = clock.lap();
+
+  if (obs) {
+    obs::MetricsRegistry& m = obs->metrics();
+    m.counter("vapro.server.windows_total")->inc();
+    m.counter("vapro.server.fragments_total")->inc(stats.fragments_drained);
+    m.counter("vapro.server.carry_ins_total")->inc(stats.carry_ins);
+    m.counter("vapro.server.clusters_total")->inc(stats.clusters_formed);
+    m.counter("vapro.server.rare_clusters_total")->inc(stats.rare_clusters);
+    m.gauge("vapro.server.diagnosis_stage")
+        ->set(static_cast<double>(stats.diagnosis_stage));
+    m.histogram("vapro.server.window_seconds")->record(stats.total_seconds());
+    m.histogram("vapro.server.stage.stg_seconds")->record(stats.stg_seconds);
+    m.histogram("vapro.server.stage.cluster_seconds")
+        ->record(stats.cluster_seconds);
+    m.histogram("vapro.server.stage.normalize_seconds")
+        ->record(stats.normalize_seconds);
+    m.histogram("vapro.server.stage.deposit_seconds")
+        ->record(stats.deposit_seconds);
+    m.histogram("vapro.server.stage.diagnose_seconds")
+        ->record(stats.diagnose_seconds);
+    obs->emit_window(stats);
+    if (trace)
+      trace->complete(
+          "analysis.window", "server", window_t0,
+          {obs::TraceRecorder::arg("window",
+                                   static_cast<std::uint64_t>(stats.window)),
+           obs::TraceRecorder::arg(
+               "fragments",
+               static_cast<std::uint64_t>(stats.fragments_drained)),
+           obs::TraceRecorder::arg(
+               "clusters",
+               static_cast<std::uint64_t>(stats.clusters_formed))});
+  }
 }
 
 std::vector<VarianceRegion> AnalysisServer::locate(FragmentKind kind) const {

@@ -19,6 +19,7 @@
 #include "src/core/diagnosis.hpp"
 #include "src/core/heatmap.hpp"
 #include "src/core/stg.hpp"
+#include "src/obs/context.hpp"
 #include "src/stats/vmeasure.hpp"
 
 namespace vapro::core {
@@ -51,6 +52,10 @@ struct ServerOptions {
   // each run against the best twin ever seen (between-executions variance,
   // §1).  Must outlive the server.
   ClusterBaseline* shared_baseline = nullptr;
+  // Self-telemetry (src/obs): per-window PipelineStats snapshots, stage
+  // histograms, trace spans, and tool-time accounting; null disables.
+  // Borrowed, must outlive the server.
+  obs::ObsContext* obs = nullptr;
 };
 
 // A non-repeated execution path that nonetheless consumed noticeable time —
@@ -68,8 +73,10 @@ class AnalysisServer {
  public:
   AnalysisServer(int ranks, ServerOptions opts);
 
-  // Ingests and analyzes one window of client data.
-  void process_window(FragmentBatch batch);
+  // Ingests and analyzes one window of client data.  `drain_seconds` is
+  // the wall time the caller spent draining the clients — it becomes the
+  // "drain" stage of this window's PipelineStats snapshot.
+  void process_window(FragmentBatch batch, double drain_seconds = 0.0);
 
   // Restarts diagnosis, optionally focused on a heat-map region the user
   // selected (§3.5): subsequent windows attribute only that region's

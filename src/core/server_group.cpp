@@ -10,7 +10,8 @@ namespace vapro::core {
 ServerGroup::ServerGroup(int ranks, int servers, ServerOptions opts)
     : ranks_(ranks),
       variance_threshold_(opts.variance_threshold),
-      bin_seconds_(opts.bin_seconds) {
+      bin_seconds_(opts.bin_seconds),
+      obs_(opts.obs) {
   VAPRO_CHECK(servers >= 1 && ranks >= 1);
   // Each leaf runs its own analysis; intra-leaf threading stays at 1 since
   // the leaves themselves run concurrently.
@@ -21,6 +22,11 @@ ServerGroup::ServerGroup(int ranks, int servers, ServerOptions opts)
 }
 
 void ServerGroup::process_window(FragmentBatch batch) {
+  obs::TraceRecorder* trace = obs_ ? obs_->trace() : nullptr;
+  obs::ToolTimeScope tool_time(obs_ ? &obs_->overhead() : nullptr);
+  const std::uint64_t t0 = trace ? trace->now_ns() : 0;
+  const std::uint64_t total_fragments = batch.fragments.size();
+
   const int n = servers();
   std::vector<FragmentBatch> shards(static_cast<std::size_t>(n));
   // State announcements go to every leaf (cheap, idempotent).
@@ -32,12 +38,29 @@ void ServerGroup::process_window(FragmentBatch batch) {
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(n));
   for (int s = 0; s < n; ++s) {
-    pool.emplace_back([this, s, &shards] {
+    pool.emplace_back([this, s, &shards, trace] {
+      // Each leaf's own "analysis.window" span lands on this worker's
+      // trace track; the extra span names the shard it belongs to.
+      obs::TraceSpan leaf_span(
+          trace, "group.leaf", "server_group",
+          {obs::TraceRecorder::arg("shard", static_cast<std::uint64_t>(s))});
       leaves_[static_cast<std::size_t>(s)]->process_window(
           std::move(shards[static_cast<std::size_t>(s)]));
     });
   }
   for (auto& t : pool) t.join();
+
+  if (obs_) {
+    obs_->metrics().counter("vapro.group.windows_total")->inc();
+    obs_->metrics()
+        .counter("vapro.group.fragments_total")
+        ->inc(total_fragments);
+    if (trace)
+      trace->complete(
+          "group.window", "server_group", t0,
+          {obs::TraceRecorder::arg("leaves", static_cast<std::uint64_t>(n)),
+           obs::TraceRecorder::arg("fragments", total_fragments)});
+  }
 }
 
 Heatmap ServerGroup::merged_map(FragmentKind kind) const {

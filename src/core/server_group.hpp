@@ -50,6 +50,7 @@ class ServerGroup {
   int ranks_;
   double variance_threshold_;
   double bin_seconds_;
+  obs::ObsContext* obs_ = nullptr;  // shared with the leaves (borrowed)
   std::vector<std::unique_ptr<AnalysisServer>> leaves_;
 };
 

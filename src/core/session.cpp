@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "src/core/vapro.hpp"
@@ -17,6 +18,7 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
   copts.sampling = opts.sampling;
   copts.sampling_warmup = opts.sampling_warmup;
   copts.seed = opts.seed;
+  copts.obs = opts.obs;
   client_ =
       std::make_unique<VaproClient>(simulator.config().ranks, copts);
 
@@ -33,6 +35,7 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
   sopts.record_eval_pairs = opts.record_eval_pairs;
   sopts.window_observer = opts.window_observer;
   sopts.shared_baseline = shared_baseline;
+  sopts.obs = opts.obs;
   server_ = std::make_unique<AnalysisServer>(simulator.config().ranks, sopts);
 
   // Stage-1 counters must be live from the start.  User-specified proxy
@@ -54,8 +57,11 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
       client_->configure_counters_multiplexed(wanted);
       return;
     }
-    VAPRO_LOG_WARN << "proxy metrics + stage counters exceed the PMU budget; "
-                      "raise pmu_budget or set allow_multiplexing";
+    // Once per window the over-budget set is retried; rate-limit the
+    // complaint so long runs don't get one line per window.
+    VAPRO_LOG_WARN_EVERY_N(32)
+        << "proxy metrics + stage counters exceed the PMU budget; "
+           "raise pmu_budget or set allow_multiplexing";
     client_->configure_counters(server_->counters_needed());
   };
   reprogram();
@@ -63,7 +69,16 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
   simulator_.set_interceptor(client_.get());
   periodic_id_ =
       simulator_.add_periodic(opts.window_seconds, [this, reprogram](double) {
-        server_->process_window(client_->drain());
+        // The drain is timed separately: it becomes the "drain" stage of
+        // this window's PipelineStats snapshot.
+        const auto t0 = std::chrono::steady_clock::now();
+        FragmentBatch batch = client_->drain();
+        const double drain_seconds =
+            opts_.obs ? std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count()
+                      : 0.0;
+        server_->process_window(std::move(batch), drain_seconds);
         // Progressive diagnosis may have moved to a finer stage; reprogram
         // the clients' PMU sets for the next window.
         reprogram();

@@ -21,6 +21,7 @@
 
 #include "src/core/client.hpp"
 #include "src/core/server.hpp"
+#include "src/obs/context.hpp"
 #include "src/sim/runtime.hpp"
 
 namespace vapro::core {
@@ -53,6 +54,11 @@ struct VaproOptions {
   std::uint64_t seed = 42;
   // Optional per-window hook (see ServerOptions::window_observer).
   std::function<void(const Stg&, const ClusteringResult&)> window_observer;
+  // Self-telemetry (src/obs): pipeline metrics, PipelineStats snapshots,
+  // Chrome-trace spans, and tool-vs-app overhead accounting across the
+  // whole client → server → diagnoser path.  Null (the default) disables
+  // every instrument; borrowed, must outlive the session.
+  obs::ObsContext* obs = nullptr;
 };
 
 class VaproSession {

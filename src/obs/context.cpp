@@ -1,0 +1,44 @@
+#include "src/obs/context.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace vapro::obs {
+
+TraceRecorder* ObsContext::enable_trace() {
+  if (!trace_) trace_ = std::make_unique<TraceRecorder>();
+  return trace_.get();
+}
+
+void ObsContext::add_sink(PipelineSink* sink) {
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  extra_sinks_.push_back(sink);
+}
+
+void ObsContext::emit_window(const PipelineStats& stats) {
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  windows_.on_window(stats);
+  for (PipelineSink* sink : extra_sinks_) sink->on_window(stats);
+}
+
+std::string ObsContext::metrics_json() const {
+  std::ostringstream oss;
+  oss << "{\"metrics\":" << metrics_.to_json()
+      << ",\"windows\":" << windows_.to_json()
+      << ",\"overhead\":" << overhead_.to_json() << '}';
+  return oss.str();
+}
+
+bool ObsContext::write_metrics_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << metrics_json();
+  return static_cast<bool>(out);
+}
+
+bool ObsContext::write_trace_json(const std::string& path) const {
+  if (!trace_) return false;
+  return trace_->write_json(path);
+}
+
+}  // namespace vapro::obs

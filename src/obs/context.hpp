@@ -1,0 +1,60 @@
+// ObsContext — the one handle the rest of the system carries.
+//
+// Owns the metrics registry, the self-overhead accountant, an always-on
+// CollectingSink of per-window PipelineStats, optional extra sinks, and an
+// optional Chrome trace recorder (off until enable_trace()).  Core code
+// takes a borrowed `ObsContext*` through its options structs; a null
+// pointer disables all telemetry at the cost of one branch per call site,
+// so the library has zero observability overhead unless a driver opts in.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/overhead.hpp"
+#include "src/obs/pipeline.hpp"
+#include "src/obs/trace_export.hpp"
+
+namespace vapro::obs {
+
+class ObsContext {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  OverheadAccountant& overhead() { return overhead_; }
+  const OverheadAccountant& overhead() const { return overhead_; }
+
+  // Null until enable_trace(); call sites guard with `if (auto* t = ...)`.
+  TraceRecorder* trace() { return trace_.get(); }
+  const TraceRecorder* trace() const { return trace_.get(); }
+  TraceRecorder* enable_trace();
+
+  // Extra sinks observe each window after the built-in collector; borrowed,
+  // must outlive the context's use.
+  void add_sink(PipelineSink* sink);
+  // Fans a window snapshot out to the collector and every extra sink.
+  // Serialized — safe to call from concurrent leaf servers.
+  void emit_window(const PipelineStats& stats);
+
+  const CollectingSink& windows() const { return windows_; }
+
+  // The full self-telemetry document:
+  // {"metrics":{...},"windows":[...],"overhead":{...}}.
+  std::string metrics_json() const;
+  bool write_metrics_json(const std::string& path) const;
+  // Chrome trace JSON; false when tracing was never enabled.
+  bool write_trace_json(const std::string& path) const;
+
+ private:
+  MetricsRegistry metrics_;
+  OverheadAccountant overhead_;
+  CollectingSink windows_;
+  std::vector<PipelineSink*> extra_sinks_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::mutex emit_mu_;
+};
+
+}  // namespace vapro::obs

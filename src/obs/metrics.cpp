@@ -1,0 +1,175 @@
+#include "src/obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace vapro::obs {
+
+namespace {
+
+std::size_t bucket_index(double seconds) {
+  if (seconds < Histogram::kMinSeconds) return 0;
+  const double ratio = seconds / Histogram::kMinSeconds;
+  const auto idx = static_cast<std::size_t>(std::log2(ratio)) + 1;
+  return idx >= Histogram::kBuckets ? Histogram::kBuckets - 1 : idx;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s < 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  else if (s < 1.0)
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+void append_double(std::ostringstream& oss, double v) {
+  if (std::isfinite(v)) {
+    oss << v;
+  } else {
+    oss << "null";
+  }
+}
+
+}  // namespace
+
+double Histogram::bucket_lo(std::size_t i) {
+  return i == 0 ? 0.0 : kMinSeconds * std::pow(2.0, static_cast<double>(i - 1));
+}
+
+double Histogram::bucket_hi(std::size_t i) {
+  return kMinSeconds * std::pow(2.0, static_cast<double>(i));
+}
+
+void Histogram::record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, nearest-rank then interpolate
+  // inside the bucket that holds it).
+  const double rank = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      const double frac = (rank - seen) / in_bucket;
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    seen += in_bucket;
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+double ScopedTimer::stop() {
+  if (stopped_ || (!h_ && !also_ns_)) return 0.0;
+  stopped_ = true;
+  const auto dt = std::chrono::steady_clock::now() - t0_;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+  const double seconds = static_cast<double>(ns) * 1e-9;
+  if (h_) h_->record(seconds);
+  if (also_ns_)
+    also_ns_->fetch_add(static_cast<std::uint64_t>(ns),
+                        std::memory_order_relaxed);
+  return seconds;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) oss << ',';
+    first = false;
+    oss << '"' << name << "\":" << c->value();
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) oss << ',';
+    first = false;
+    oss << '"' << name << "\":";
+    append_double(oss, g->value());
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) oss << ',';
+    first = false;
+    oss << '"' << name << "\":{\"count\":" << h->count() << ",\"sum_seconds\":";
+    append_double(oss, h->sum_seconds());
+    oss << ",\"mean_seconds\":";
+    append_double(oss, h->mean_seconds());
+    oss << ",\"p50\":";
+    append_double(oss, h->quantile(0.50));
+    oss << ",\"p95\":";
+    append_double(oss, h->quantile(0.95));
+    oss << ",\"p99\":";
+    append_double(oss, h->quantile(0.99));
+    oss << '}';
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_)
+    out.push_back({name, "counter", std::to_string(c->value())});
+  for (const auto& [name, g] : gauges_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", g->value());
+    out.push_back({name, "gauge", buf});
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::ostringstream v;
+    v << "n=" << h->count() << " mean=" << fmt_seconds(h->mean_seconds())
+      << " p50=" << fmt_seconds(h->quantile(0.5))
+      << " p95=" << fmt_seconds(h->quantile(0.95))
+      << " p99=" << fmt_seconds(h->quantile(0.99));
+    out.push_back({name, "histogram", v.str()});
+  }
+  return out;
+}
+
+}  // namespace vapro::obs

@@ -1,0 +1,134 @@
+// Self-telemetry metrics registry (the tool watching itself).
+//
+// Vapro's pitch is production-run operation at <1.38% overhead (Table 1);
+// this registry is how the reproduction observes its *own* pipeline rather
+// than burying costs in ad-hoc logs.  Three instrument kinds:
+//
+//   * Counter   — monotonic u64, relaxed-atomic increments;
+//   * Gauge     — last-written double (CAS loop for add());
+//   * Histogram — fixed log2-spaced latency buckets (100 ns .. ~55 s) with
+//                 p50/p95/p99 extraction by linear interpolation inside the
+//                 owning bucket.
+//
+// Registration takes a mutex once per (name) and hands back a stable
+// pointer; the hot path afterwards is a single relaxed atomic op, so
+// instruments can sit inside per-window (and even per-intercept) code.
+// ScopedTimer measures a wall-clock span and records it into a Histogram.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vapro::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  // Buckets double from kMinSeconds; values outside clamp to the ends.
+  static constexpr double kMinSeconds = 100e-9;
+  static constexpr std::size_t kBuckets = 30;  // 100 ns · 2^29 ≈ 53.7 s
+
+  void record(double seconds);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_seconds() const { return sum_.load(std::memory_order_relaxed); }
+  double mean_seconds() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum_seconds() / static_cast<double>(n);
+  }
+  // q in (0,1); returns 0 when empty.  Exact to within the owning bucket
+  // (≤ 2× relative error by construction of the log2 bounds).
+  double quantile(double q) const;
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Lower bound of bucket i in seconds (bucket 0 starts at 0).
+  static double bucket_lo(std::size_t i);
+  static double bucket_hi(std::size_t i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Owns every instrument; hands out stable pointers.  Same name + same kind
+// returns the same instrument (cross-module sharing by name).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  // {"count":..,"sum_seconds":..,"mean_seconds":..,"p50":..,"p95":..,
+  //  "p99":..}}}.
+  std::string to_json() const;
+
+  // Human-readable dump for the end-of-run table, sorted by name.
+  struct Row {
+    std::string name;
+    std::string kind;   // "counter" | "gauge" | "histogram"
+    std::string value;  // formatted
+  };
+  std::vector<Row> rows() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Records the lifetime of a scope into a histogram (and optionally adds the
+// same span to an atomic nanosecond accumulator — the overhead accountant's
+// hook).  Null targets make it a no-op so call sites need no branching.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h, std::atomic<std::uint64_t>* also_ns = nullptr)
+      : h_(h), also_ns_(also_ns) {
+    if (h_ || also_ns_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Ends the measurement early; the destructor then does nothing.
+  double stop();
+
+ private:
+  Histogram* h_;
+  std::atomic<std::uint64_t>* also_ns_;
+  std::chrono::steady_clock::time_point t0_{};
+  bool stopped_ = false;
+};
+
+}  // namespace vapro::obs

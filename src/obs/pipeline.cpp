@@ -1,0 +1,89 @@
+#include "src/obs/pipeline.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/log.hpp"
+
+namespace vapro::obs {
+
+namespace {
+void append_double(std::ostringstream& oss, double v) {
+  if (std::isfinite(v)) {
+    oss << v;
+  } else {
+    oss << "null";
+  }
+}
+}  // namespace
+
+void CollectingSink::on_window(const PipelineStats& stats) {
+  windows_.push_back(stats);
+}
+
+PipelineStats CollectingSink::totals() const {
+  PipelineStats t;
+  for (const PipelineStats& w : windows_) {
+    t.window = w.window;
+    t.virtual_time = w.virtual_time;
+    t.diagnosis_stage = w.diagnosis_stage;
+    t.fragments_drained += w.fragments_drained;
+    t.carry_ins += w.carry_ins;
+    t.new_states += w.new_states;
+    t.clusters_formed += w.clusters_formed;
+    t.rare_clusters += w.rare_clusters;
+    t.drain_seconds += w.drain_seconds;
+    t.stg_seconds += w.stg_seconds;
+    t.cluster_seconds += w.cluster_seconds;
+    t.normalize_seconds += w.normalize_seconds;
+    t.deposit_seconds += w.deposit_seconds;
+    t.diagnose_seconds += w.diagnose_seconds;
+  }
+  return t;
+}
+
+std::string CollectingSink::to_json() const {
+  std::ostringstream oss;
+  oss << '[';
+  bool first = true;
+  for (const PipelineStats& w : windows_) {
+    if (!first) oss << ',';
+    first = false;
+    oss << "{\"window\":" << w.window << ",\"virtual_time\":";
+    append_double(oss, w.virtual_time);
+    oss << ",\"fragments_drained\":" << w.fragments_drained
+        << ",\"carry_ins\":" << w.carry_ins
+        << ",\"new_states\":" << w.new_states
+        << ",\"clusters_formed\":" << w.clusters_formed
+        << ",\"rare_clusters\":" << w.rare_clusters
+        << ",\"diagnosis_stage\":" << w.diagnosis_stage << ",\"stages\":{";
+    const std::pair<const char*, double> stages[] = {
+        {"drain", w.drain_seconds},       {"stg", w.stg_seconds},
+        {"cluster", w.cluster_seconds},   {"normalize", w.normalize_seconds},
+        {"deposit", w.deposit_seconds},   {"diagnose", w.diagnose_seconds},
+    };
+    bool sfirst = true;
+    for (const auto& [name, secs] : stages) {
+      if (!sfirst) oss << ',';
+      sfirst = false;
+      oss << '"' << name << "\":";
+      append_double(oss, secs);
+    }
+    oss << "},\"total_seconds\":";
+    append_double(oss, w.total_seconds());
+    oss << '}';
+  }
+  oss << ']';
+  return oss.str();
+}
+
+void LoggingSink::on_window(const PipelineStats& stats) {
+  VAPRO_LOG_TAG(::vapro::util::LogLevel::kDebug, "obs")
+      << "window " << stats.window << " @" << stats.virtual_time << "s: "
+      << stats.fragments_drained << " fragments (+" << stats.carry_ins
+      << " carry), " << stats.clusters_formed << " clusters ("
+      << stats.rare_clusters << " rare), S" << stats.diagnosis_stage << ", "
+      << stats.total_seconds() * 1e3 << " ms tool time";
+}
+
+}  // namespace vapro::obs

@@ -1,0 +1,71 @@
+// Per-window pipeline snapshot emitted by the analysis server.
+//
+// One PipelineStats per processed window carries what the window ingested
+// (fragments, carry-ins, new states), what the analysis produced (clusters,
+// rare paths, diagnosis stage) and where the wall time went across the six
+// canonical stages: drain → STG growth → clustering → normalization →
+// heat-map deposit → diagnosis.  Snapshots flow through pluggable sinks;
+// CollectingSink keeps them all (JSON export + aggregate totals), and
+// LoggingSink narrates each window through the tagged logger at debug
+// level.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vapro::obs {
+
+struct PipelineStats {
+  std::size_t window = 0;            // 0-based window ordinal
+  double virtual_time = 0.0;         // simulator time at the flush
+
+  // --- volume ---
+  std::size_t fragments_drained = 0;
+  std::size_t carry_ins = 0;         // overlap fragments re-entered (Fig 8)
+  std::size_t new_states = 0;        // STG vertices announced this window
+  std::size_t clusters_formed = 0;
+  std::size_t rare_clusters = 0;     // Algorithm 1 line 8 candidates
+  int diagnosis_stage = 0;           // stage after this window's feed
+
+  // --- per-stage wall time (seconds) ---
+  double drain_seconds = 0.0;        // client buffer hand-off
+  double stg_seconds = 0.0;          // vertex/edge growth + carry management
+  double cluster_seconds = 0.0;      // Algorithm 1 + rare-path scan
+  double normalize_seconds = 0.0;    // baseline normalization + eval pairs
+  double deposit_seconds = 0.0;      // heat-map deposit + coverage
+  double diagnose_seconds = 0.0;     // progressive diagnoser + observer
+
+  // Total tool time of the window — by definition the per-stage sum, so
+  // sinks and tests can rely on the invariant without re-deriving it.
+  double total_seconds() const {
+    return drain_seconds + stg_seconds + cluster_seconds + normalize_seconds +
+           deposit_seconds + diagnose_seconds;
+  }
+};
+
+class PipelineSink {
+ public:
+  virtual ~PipelineSink() = default;
+  virtual void on_window(const PipelineStats& stats) = 0;
+};
+
+class CollectingSink final : public PipelineSink {
+ public:
+  void on_window(const PipelineStats& stats) override;
+  const std::vector<PipelineStats>& windows() const { return windows_; }
+  // Sum of every per-window field (window ordinal/stage hold the last).
+  PipelineStats totals() const;
+  // JSON array of window objects.
+  std::string to_json() const;
+
+ private:
+  std::vector<PipelineStats> windows_;
+};
+
+class LoggingSink final : public PipelineSink {
+ public:
+  void on_window(const PipelineStats& stats) override;
+};
+
+}  // namespace vapro::obs

@@ -18,6 +18,7 @@ OfflineSession::OfflineSession(const Trace& trace, OfflineOptions opts) {
   copts.pmu_budget = opts.pmu_budget;
   copts.pmu_jitter = opts.pmu_jitter;
   copts.seed = opts.seed;
+  copts.obs = opts.obs;
   client_ = std::make_unique<core::VaproClient>(ranks, copts);
 
   core::ServerOptions sopts;
@@ -30,6 +31,7 @@ OfflineSession::OfflineSession(const Trace& trace, OfflineOptions opts) {
   sopts.analysis_threads = opts.analysis_threads;
   sopts.run_diagnosis = opts.run_diagnosis;
   sopts.record_eval_pairs = opts.record_eval_pairs;
+  sopts.obs = opts.obs;
   server_ = std::make_unique<core::AnalysisServer>(ranks, sopts);
 
   client_->configure_counters(server_->counters_needed());

@@ -26,6 +26,8 @@ struct OfflineOptions {
   // Offline reads are replays of recorded values: no extra jitter.
   double pmu_jitter = 0.0;
   std::uint64_t seed = 42;
+  // Self-telemetry (src/obs) for the replayed pipeline; null disables.
+  obs::ObsContext* obs = nullptr;
 };
 
 class OfflineSession {

@@ -1,6 +1,6 @@
 #include "src/util/log.hpp"
 
-#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -9,6 +9,11 @@ namespace vapro::util {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -35,9 +40,22 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-void log_line(LogLevel level, const std::string& msg) {
+double log_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       log_epoch())
+      .count();
+}
+
+void log_line(LogLevel level, const std::string& tag, const std::string& msg) {
+  const double t = log_uptime_seconds();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[vapro %s] %s\n", level_name(level), msg.c_str());
+  if (tag.empty()) {
+    std::fprintf(stderr, "[vapro +%.3fs %s] %s\n", t, level_name(level),
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[vapro +%.3fs %s %s] %s\n", t, level_name(level),
+                 tag.c_str(), msg.c_str());
+  }
 }
 
 }  // namespace vapro::util

@@ -1,7 +1,18 @@
 // Minimal leveled logger.  Thread-safe; level settable at runtime so tests
 // and benches can silence the library.
+//
+// Each line is prefixed with a monotonic timestamp (seconds since process
+// start) and an optional component tag:
+//
+//   [vapro +12.345s WARN session] proxy metrics + stage counters ...
+//
+// VAPRO_LOG_*_EVERY_N(n) rate-limits a call site to every n-th hit (the
+// first hit always logs) — for warnings that would otherwise fire once per
+// analysis window.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,14 +24,22 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Emits one line to stderr with a level prefix; serialized by a mutex.
-void log_line(LogLevel level, const std::string& msg);
+// Monotonic seconds since the process first touched the logger.
+double log_uptime_seconds();
+
+// Emits one line to stderr with timestamp/level/tag prefix; serialized by a
+// mutex.  Empty tag omits the tag field.
+void log_line(LogLevel level, const std::string& tag, const std::string& msg);
+inline void log_line(LogLevel level, const std::string& msg) {
+  log_line(level, std::string(), msg);
+}
 
 namespace detail {
 class LogMessage {
  public:
-  explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { log_line(level_, oss_.str()); }
+  explicit LogMessage(LogLevel level, std::string tag = {})
+      : level_(level), tag_(std::move(tag)) {}
+  ~LogMessage() { log_line(level_, tag_, oss_.str()); }
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
@@ -32,6 +51,7 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  std::string tag_;
   std::ostringstream oss_;
 };
 }  // namespace detail
@@ -44,7 +64,34 @@ class LogMessage {
   else                                                          \
     ::vapro::util::detail::LogMessage(level)
 
+// Same, with a component tag in the line prefix.
+#define VAPRO_LOG_TAG(level, tag)                               \
+  if (static_cast<int>(level) < static_cast<int>(::vapro::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::vapro::util::detail::LogMessage(level, tag)
+
+// Rate-limited: this call site logs on its 1st, (n+1)th, (2n+1)th ... hit.
+// The counter lives in a per-expansion lambda so every call site gets its
+// own; counting is relaxed-atomic, so concurrent hits never block.
+#define VAPRO_LOG_EVERY_N(level, n)                                           \
+  if (static_cast<int>(level) < static_cast<int>(::vapro::util::log_level()) || \
+      !([] {                                                                  \
+        static std::atomic<std::uint64_t> vapro_log_count{0};                 \
+        return vapro_log_count.fetch_add(1, std::memory_order_relaxed) %      \
+                   static_cast<std::uint64_t>(n) ==                           \
+               0;                                                             \
+      }()))                                                                   \
+    ;                                                                         \
+  else                                                                        \
+    ::vapro::util::detail::LogMessage(level)
+
 #define VAPRO_LOG_DEBUG VAPRO_LOG(::vapro::util::LogLevel::kDebug)
 #define VAPRO_LOG_INFO VAPRO_LOG(::vapro::util::LogLevel::kInfo)
 #define VAPRO_LOG_WARN VAPRO_LOG(::vapro::util::LogLevel::kWarn)
 #define VAPRO_LOG_ERROR VAPRO_LOG(::vapro::util::LogLevel::kError)
+
+#define VAPRO_LOG_WARN_EVERY_N(n) \
+  VAPRO_LOG_EVERY_N(::vapro::util::LogLevel::kWarn, n)
+#define VAPRO_LOG_INFO_EVERY_N(n) \
+  VAPRO_LOG_EVERY_N(::vapro::util::LogLevel::kInfo, n)

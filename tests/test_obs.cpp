@@ -1,0 +1,395 @@
+// Self-telemetry subsystem (src/obs): registry semantics, quantile
+// extraction against known distributions, concurrency, Chrome-trace JSON
+// validity, and end-to-end PipelineStats invariants over a real
+// VaproSession run.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/npb.hpp"
+#include "src/core/vapro.hpp"
+#include "src/obs/context.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro::obs {
+namespace {
+
+// --- a minimal JSON validator (no external deps) -------------------------
+// Recursive-descent scan; returns true iff the whole string is one valid
+// JSON value.  Good enough to assert "parseable by Perfetto/chrome".
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string_lit()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string_lit() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- registry semantics ---------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("a.count");
+  EXPECT_EQ(c->value(), 0u);
+  c->inc();
+  c->inc(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(reg.counter("a.count"), c);
+  EXPECT_EQ(reg.counter("a.count")->value(), 42u);
+
+  Gauge* g = reg.gauge("a.gauge");
+  g->set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  g->add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+  EXPECT_EQ(reg.gauge("a.gauge"), g);
+}
+
+TEST(Metrics, HistogramCountSumAndBucketBounds) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record(4e-3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum_seconds(), 7e-3, 1e-12);
+  EXPECT_NEAR(h.mean_seconds(), 7e-3 / 3, 1e-12);
+  // Bucket bounds are contiguous and doubling.
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_hi(i), Histogram::bucket_lo(i + 1));
+    EXPECT_DOUBLE_EQ(Histogram::bucket_hi(i), 2 * Histogram::bucket_lo(i));
+  }
+}
+
+TEST(Metrics, QuantilesAgainstKnownDistribution) {
+  // 1000 samples uniform over (0, 100 ms]: quantile(q) ≈ q·100 ms.  Log2
+  // buckets bound the relative error by 2×, so assert within a factor of 2.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 0.1e-3);
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double expected = q * 100e-3;
+    const double got = h.quantile(q);
+    EXPECT_GE(got, expected / 2) << "q=" << q;
+    EXPECT_LE(got, expected * 2) << "q=" << q;
+  }
+  // Monotonicity.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+  // A point mass lands inside its own bucket.
+  Histogram point;
+  for (int i = 0; i < 100; ++i) point.record(3e-3);
+  const double p50 = point.quantile(0.5);
+  EXPECT_GE(p50, 3e-3 / 2);
+  EXPECT_LE(p50, 2 * 3e-3);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Counter* c = reg.counter("hot");
+  Histogram* h = reg.histogram("lat");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->inc();
+        h->record(1e-4);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c->value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, RegistryJsonIsValid) {
+  MetricsRegistry reg;
+  reg.counter("c")->inc(7);
+  reg.gauge("g")->set(1.25);
+  reg.histogram("h")->record(2e-3);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonScanner(json).valid()) << json;
+  EXPECT_NE(json.find("\"c\":7"), std::string::npos);
+}
+
+// --- scoped timers + overhead ---------------------------------------------
+
+TEST(Overhead, ScopedTimerAndAccountant) {
+  MetricsRegistry reg;
+  OverheadAccountant acct;
+  Histogram* h = reg.histogram("span");
+  {
+    ScopedTimer timer(h, acct.tool_ns_cell());
+  }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GT(acct.tool_seconds(), 0.0);
+  acct.set_run_wall_seconds(1.0);
+  EXPECT_GT(acct.tool_fraction_of_wall(), 0.0);
+  EXPECT_LT(acct.tool_fraction_of_wall(), 1.0);
+  EXPECT_TRUE(JsonScanner(acct.to_json()).valid());
+}
+
+// --- pipeline sinks --------------------------------------------------------
+
+TEST(Pipeline, CollectingSinkTotalsEqualPerWindowSums) {
+  CollectingSink sink;
+  PipelineStats a;
+  a.window = 0;
+  a.fragments_drained = 10;
+  a.clusters_formed = 3;
+  a.stg_seconds = 0.5;
+  a.cluster_seconds = 0.25;
+  PipelineStats b;
+  b.window = 1;
+  b.fragments_drained = 32;
+  b.carry_ins = 4;
+  b.rare_clusters = 1;
+  b.drain_seconds = 0.125;
+  b.diagnose_seconds = 1.0;
+  sink.on_window(a);
+  sink.on_window(b);
+  const PipelineStats t = sink.totals();
+  EXPECT_EQ(t.fragments_drained, 42u);
+  EXPECT_EQ(t.carry_ins, 4u);
+  EXPECT_EQ(t.clusters_formed, 3u);
+  EXPECT_EQ(t.rare_clusters, 1u);
+  EXPECT_DOUBLE_EQ(t.stg_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(t.total_seconds(),
+                   a.total_seconds() + b.total_seconds());
+  EXPECT_TRUE(JsonScanner(sink.to_json()).valid());
+}
+
+// --- trace exporter --------------------------------------------------------
+
+TEST(Trace, ChromeJsonIsParseableAndBalanced) {
+  TraceRecorder rec;
+  {
+    TraceSpan outer(&rec, "outer", "test",
+                    {TraceRecorder::arg("k", std::uint64_t{7})});
+    TraceSpan inner(&rec, "inner", "test");
+    rec.instant("marker", "test", {TraceRecorder::arg("s", "a \"quoted\"\n")});
+  }
+  const std::string json = rec.to_json();
+  ASSERT_TRUE(JsonScanner(json).valid()) << json;
+
+  // Complete (X) events are self-balanced; assert we only ever emit X/i,
+  // with sane timestamps and durations.
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (const ChromeEvent& ev : events) {
+    EXPECT_TRUE(ev.phase == 'X' || ev.phase == 'i') << ev.phase;
+    EXPECT_GE(ev.ts_us, 0.0);
+    if (ev.phase == 'X') {
+      EXPECT_GE(ev.dur_us, 0.0);
+    }
+  }
+  // Nesting: inner completes before outer, and outer's span contains it.
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_LE(events[2].ts_us, events[1].ts_us);
+  EXPECT_GE(events[2].ts_us + events[2].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST(Trace, WriteJsonRoundTripsThroughDisk) {
+  TraceRecorder rec;
+  rec.instant("x", "test");
+  const std::string path = ::testing::TempDir() + "obs_trace.json";
+  ASSERT_TRUE(rec.write_json(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, rec.to_json());
+  EXPECT_TRUE(JsonScanner(contents).valid());
+  std::remove(path.c_str());
+}
+
+// --- end-to-end over a real session ----------------------------------------
+
+TEST(ObsSession, PipelineStatsMatchSessionAndStagesSumToTotals) {
+  sim::SimConfig cfg;
+  cfg.ranks = 16;
+  cfg.cores_per_node = 8;
+  cfg.seed = 7;
+  sim::Simulator simulator(cfg);
+
+  ObsContext ctx;
+  ctx.enable_trace();
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  opts.analysis_threads = 4;  // exercise cluster.worker spans
+  opts.obs = &ctx;
+  core::VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 30;
+  simulator.run(apps::cg(p));
+
+  const auto& windows = ctx.windows().windows();
+  ASSERT_EQ(windows.size(), session.server().windows_processed());
+  ASSERT_GT(windows.size(), 0u);
+
+  // Per-window: the published total is exactly the per-stage sum.
+  for (const PipelineStats& w : windows) {
+    EXPECT_DOUBLE_EQ(w.total_seconds(),
+                     w.drain_seconds + w.stg_seconds + w.cluster_seconds +
+                         w.normalize_seconds + w.deposit_seconds +
+                         w.diagnose_seconds);
+    EXPECT_GT(w.total_seconds(), 0.0);
+  }
+
+  // Session totals equal the sum of the per-window snapshots.
+  const PipelineStats totals = ctx.windows().totals();
+  std::size_t fragments = 0;
+  for (const PipelineStats& w : windows) fragments += w.fragments_drained;
+  EXPECT_EQ(totals.fragments_drained, fragments);
+  EXPECT_EQ(totals.fragments_drained, session.server().fragments_processed());
+
+  // Registry counters agree with the session's own bookkeeping.
+  EXPECT_EQ(ctx.metrics().counter("vapro.server.windows_total")->value(),
+            session.server().windows_processed());
+  EXPECT_EQ(ctx.metrics().counter("vapro.server.fragments_total")->value(),
+            session.server().fragments_processed());
+  // The client publishes at drain time; the final partial window may still
+  // be buffered, so the published tally can only lag the session's.
+  EXPECT_LE(ctx.metrics().counter("vapro.client.fragments_total")->value(),
+            session.fragments_recorded());
+  EXPECT_GT(ctx.metrics().counter("vapro.client.fragments_total")->value(),
+            0u);
+
+  // Tool time was accounted and a stage histogram saw every window.
+  EXPECT_GT(ctx.overhead().tool_seconds(), 0.0);
+  EXPECT_EQ(ctx.metrics().histogram("vapro.server.window_seconds")->count(),
+            windows.size());
+
+  // The trace captured analysis windows and parallel cluster workers, and
+  // the full export is valid JSON.
+  std::size_t window_events = 0, worker_events = 0;
+  for (const ChromeEvent& ev : ctx.trace()->snapshot()) {
+    if (ev.name == "analysis.window") ++window_events;
+    if (ev.name == "cluster.worker") ++worker_events;
+  }
+  EXPECT_EQ(window_events, windows.size());
+  EXPECT_GT(worker_events, 0u);
+  EXPECT_TRUE(JsonScanner(ctx.trace()->to_json()).valid());
+  EXPECT_TRUE(JsonScanner(ctx.metrics_json()).valid());
+}
+
+TEST(ObsSession, ExtraSinkSeesEveryWindow) {
+  class CountingSink final : public PipelineSink {
+   public:
+    void on_window(const PipelineStats&) override { ++seen; }
+    std::size_t seen = 0;
+  };
+
+  sim::SimConfig cfg;
+  cfg.ranks = 8;
+  cfg.cores_per_node = 8;
+  sim::Simulator simulator(cfg);
+  ObsContext ctx;
+  CountingSink counting;
+  ctx.add_sink(&counting);
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  opts.obs = &ctx;
+  core::VaproSession session(simulator, opts);
+  apps::NpbParams p;
+  p.iters = 20;
+  simulator.run(apps::cg(p));
+  EXPECT_EQ(counting.seen, session.server().windows_processed());
+  EXPECT_EQ(counting.seen, ctx.windows().windows().size());
+}
+
+}  // namespace
+}  // namespace vapro::obs

@@ -7,9 +7,11 @@
 //   vapro_replay trace.vprt --context-aware --no-diagnosis
 //
 // Re-analyzes the same run under different knobs without re-running it.
+#include <chrono>
 #include <iostream>
 
 #include "src/core/report.hpp"
+#include "src/obs/context.hpp"
 #include "src/trace/offline.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -20,7 +22,8 @@ int main(int argc, char** argv) {
   if (args.positionals().empty()) {
     std::cout << "usage: vapro_replay TRACE_FILE [--window=S] "
                  "[--threshold=X] [--bins=S] [--context-aware] "
-                 "[--no-diagnosis] [--cluster-threshold=X]\n";
+                 "[--no-diagnosis] [--cluster-threshold=X] "
+                 "[--metrics-out=FILE] [--trace-out=FILE]\n";
     return 2;
   }
   trace::Trace trace = trace::Trace::load(args.positionals()[0]);
@@ -36,7 +39,17 @@ int main(int argc, char** argv) {
   if (args.get_bool("context-aware"))
     opts.stg_mode = core::StgMode::kContextAware;
 
+  const std::string metrics_path = args.get("metrics-out", "");
+  const std::string trace_out_path = args.get("trace-out", "");
+  obs::ObsContext obs_ctx;
+  if (!metrics_path.empty() || !trace_out_path.empty()) opts.obs = &obs_ctx;
+  if (!trace_out_path.empty()) obs_ctx.enable_trace();
+
+  const auto wall0 = std::chrono::steady_clock::now();
   trace::OfflineSession session(trace, opts);
+  const double replay_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
 
   std::cout << "\nfragments: " << session.fragments_recorded() << "\n\n"
             << session.computation_map().render_ascii() << '\n';
@@ -57,5 +70,28 @@ int main(int argc, char** argv) {
   }
   if (opts.run_diagnosis)
     std::cout << '\n' << session.diagnosis().summary() << '\n';
+
+  if (opts.obs) {
+    obs_ctx.overhead().set_run_wall_seconds(replay_wall_seconds);
+    bool obs_write_failed = false;
+    if (!metrics_path.empty()) {
+      if (obs_ctx.write_metrics_json(metrics_path)) {
+        std::cout << "metrics JSON -> " << metrics_path << "\n";
+      } else {
+        std::cerr << "failed to write " << metrics_path << "\n";
+        obs_write_failed = true;
+      }
+    }
+    if (!trace_out_path.empty()) {
+      if (obs_ctx.write_trace_json(trace_out_path)) {
+        std::cout << "pipeline trace (" << obs_ctx.trace()->size()
+                  << " events) -> " << trace_out_path << "\n";
+      } else {
+        std::cerr << "failed to write " << trace_out_path << "\n";
+        obs_write_failed = true;
+      }
+    }
+    if (obs_write_failed) return 1;
+  }
   return 0;
 }

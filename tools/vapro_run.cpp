@@ -9,15 +9,18 @@
 //
 // Noise spec: kind:node:t_begin:t_end:magnitude with kind one of
 //   cpu | mem | dram | l2bug | pf | io | net     (node -1 = all nodes).
+#include <chrono>
 #include <iostream>
 
 #include "src/apps/apps.hpp"
 #include "src/core/report.hpp"
 #include "src/core/report_json.hpp"
 #include "src/core/vapro.hpp"
+#include "src/obs/context.hpp"
 #include "src/sim/runtime.hpp"
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/table.hpp"
 
 namespace {
 
@@ -41,7 +44,15 @@ int usage() {
       "  --ansi                 colored heat maps\n"
       "  --csv=DIR              also dump heat-map CSVs into DIR\n"
       "  --trace=FILE           record the interception stream for\n"
-      "                         offline re-analysis with vapro_replay\n";
+      "                         offline re-analysis with vapro_replay\n"
+      "  --metrics-out=FILE     write self-telemetry JSON (pipeline\n"
+      "                         metrics, per-window stage timings,\n"
+      "                         tool-vs-app overhead)\n"
+      "  --trace-out=FILE       write a Chrome trace-event JSON of the\n"
+      "                         analysis pipeline (chrome://tracing,\n"
+      "                         Perfetto)\n"
+      "  --obs-table            print the end-of-run metrics table even\n"
+      "                         without --metrics-out\n";
   return 2;
 }
 
@@ -123,6 +134,18 @@ int main(int argc, char** argv) {
   if (sampling == "backoff") options.sampling = core::SamplingPolicy::kBackoff;
   else if (sampling == "skip-short")
     options.sampling = core::SamplingPolicy::kSkipShort;
+
+  // Self-telemetry: attach an ObsContext when any observability output is
+  // requested; the default path keeps the library instrument-free.
+  const std::string metrics_path = args.get("metrics-out", "");
+  const std::string trace_out_path = args.get("trace-out", "");
+  const bool obs_table = args.get_bool("obs-table");
+  obs::ObsContext obs_ctx;
+  const bool want_obs =
+      !metrics_path.empty() || !trace_out_path.empty() || obs_table;
+  if (want_obs) options.obs = &obs_ctx;
+  if (!trace_out_path.empty()) obs_ctx.enable_trace();
+
   core::VaproSession session(simulator, options);
 
   // Optional trace recording, teeing into the live session.
@@ -134,7 +157,11 @@ int main(int argc, char** argv) {
     simulator.set_interceptor(writer.get());
   }
 
+  const auto wall0 = std::chrono::steady_clock::now();
   auto result = simulator.run(app->program);
+  const double run_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   if (writer) {
     writer->trace().save(trace_path);
     std::cout << "trace: " << writer->trace().size() << " events ("
@@ -159,6 +186,45 @@ int main(int argc, char** argv) {
   if (!csv_dir.empty()) {
     core::write_csv_bundle(session, csv_dir);
     std::cout << "\nheat-map CSVs written to " << csv_dir << "/\n";
+  }
+
+  if (want_obs) {
+    obs_ctx.overhead().set_run_wall_seconds(run_wall_seconds);
+    obs_ctx.overhead().set_app_virtual_seconds(result.makespan);
+
+    // End-of-run self-telemetry table.
+    util::TextTable table({"metric", "kind", "value"});
+    for (const auto& row : obs_ctx.metrics().rows())
+      table.add_row({row.name, row.kind, row.value});
+    std::cout << "\n--- self-telemetry ---\n";
+    table.print(std::cout);
+    const auto& oh = obs_ctx.overhead();
+    std::cout << "tool time " << util::fmt(oh.tool_seconds() * 1e3, 1)
+              << " ms over a " << util::fmt(oh.run_wall_seconds(), 2)
+              << " s run (" << util::fmt(oh.tool_fraction_of_wall() * 100, 2)
+              << "% of wall clock); app makespan "
+              << util::fmt(oh.app_virtual_seconds(), 2) << " virtual s\n";
+
+    bool obs_write_failed = false;
+    if (!metrics_path.empty()) {
+      if (obs_ctx.write_metrics_json(metrics_path)) {
+        std::cout << "metrics JSON -> " << metrics_path << "\n";
+      } else {
+        std::cerr << "failed to write " << metrics_path << "\n";
+        obs_write_failed = true;
+      }
+    }
+    if (!trace_out_path.empty()) {
+      if (obs_ctx.write_trace_json(trace_out_path)) {
+        std::cout << "pipeline trace (" << obs_ctx.trace()->size()
+                  << " events) -> " << trace_out_path
+                  << "  (open in chrome://tracing or ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "failed to write " << trace_out_path << "\n";
+        obs_write_failed = true;
+      }
+    }
+    if (obs_write_failed) return 1;
   }
   return 0;
 }
