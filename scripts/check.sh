@@ -33,6 +33,78 @@ grep -q '"traceEvents"' "$obs_tmp/trace.json" \
   || { echo "FAIL: trace.json missing traceEvents" >&2; exit 1; }
 echo "observability smoke OK"
 
+echo "--- exposition + journal smoke ---"
+# Serve the live endpoints on an ephemeral port, scrape them while the
+# tool lingers, and validate journal + Prometheus output shape.
+./build/tools/vapro_run --app=CG --ranks=32 --noise=io:1:0.3:1.5:2.0 \
+  --listen=0 --listen-linger=6 --journal-out="$obs_tmp/run.jsonl" \
+  --alert-rule='worst_cell < 0.95' > "$obs_tmp/listen.out" 2>&1 &
+run_pid=$!
+port=""
+for _ in $(seq 1 50); do
+  port="$(sed -n 's|^listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' \
+    "$obs_tmp/listen.out" | head -1)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "FAIL: no listening port announced" >&2; exit 1; }
+fetch() {  # fetch PATH OUT — curl when present, python3 otherwise
+  if command -v curl > /dev/null; then
+    curl -sf "http://127.0.0.1:$port$1" -o "$2"
+  else
+    python3 -c "import sys,urllib.request;
+open(sys.argv[2],'wb').write(urllib.request.urlopen(
+    'http://127.0.0.1:$port'+sys.argv[1], timeout=5).read())" "$1" "$2"
+  fi
+}
+fetch /healthz "$obs_tmp/healthz.json" \
+  || { echo "FAIL: /healthz unreachable" >&2; exit 1; }
+grep -q '"status":"ok"' "$obs_tmp/healthz.json" \
+  || { echo "FAIL: /healthz not ok" >&2; exit 1; }
+fetch /metrics "$obs_tmp/metrics.prom" \
+  || { echo "FAIL: /metrics unreachable" >&2; exit 1; }
+fetch /v1/variance "$obs_tmp/variance.json" \
+  || { echo "FAIL: /v1/variance unreachable" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  # Prometheus text format: every non-comment line is "name value".
+  if ! python3 - "$obs_tmp/metrics.prom" <<'PYEOF'
+import sys
+samples = 0
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.rpartition(" ")
+    float(value)
+    assert name and all(c.isalnum() or c in "_:{}=\",." for c in name), line
+    samples += 1
+assert samples > 0, "empty /metrics exposition"
+PYEOF
+  then echo "FAIL: /metrics not valid Prometheus text" >&2; exit 1; fi
+  python3 -m json.tool "$obs_tmp/variance.json" > /dev/null \
+    || { echo "FAIL: /v1/variance is not valid JSON" >&2; exit 1; }
+fi
+wait "$run_pid" || { echo "FAIL: vapro_run --listen exited non-zero" >&2; exit 1; }
+[ -s "$obs_tmp/run.jsonl" ] || { echo "FAIL: journal not written" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  # Journal: schema header first, then one JSON object per line.
+  if ! python3 - "$obs_tmp/run.jsonl" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert lines, "empty journal"
+assert lines[0]["schema"] == "vapro.journal", lines[0]
+seqs = [e["seq"] for e in lines[1:]]
+assert seqs == sorted(seqs), "non-monotonic journal seq"
+PYEOF
+  then echo "FAIL: journal JSONL invalid" >&2; exit 1; fi
+fi
+# A journal replay must reconstruct summaries without the raw trace.
+./build/tools/vapro_replay --from-journal "$obs_tmp/run.jsonl" \
+  > /dev/null || { echo "FAIL: vapro_replay --from-journal" >&2; exit 1; }
+ctest --test-dir build -L obs --output-on-failure > /dev/null \
+  || { echo "FAIL: ctest -L obs" >&2; exit 1; }
+echo "exposition + journal smoke OK"
+
 echo "--- experiment reproduction ---"
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then

@@ -162,6 +162,8 @@ bool VaproClient::configure_counters(
                      {obs::TraceRecorder::arg("counters",
                                               counter_list(programmable))});
     }
+    journal_reprogram(counter_list(programmable), /*multiplexed=*/false,
+                      programmable.size());
   }
   return true;
 }
@@ -177,7 +179,25 @@ void VaproClient::configure_counters_multiplexed(
                      {obs::TraceRecorder::arg("counters",
                                               counter_list(programmable))});
     }
+    journal_reprogram(counter_list(programmable), /*multiplexed=*/true,
+                      programmable.size());
   }
+}
+
+void VaproClient::journal_reprogram(const std::string& counters,
+                                    bool multiplexed, std::size_t slots) {
+  obs::Journal* journal = opts_.obs ? opts_.obs->journal() : nullptr;
+  if (!journal) return;
+  // The session retries the same counter set every window; only an actual
+  // change of programming is an event.
+  const std::string key = (multiplexed ? "mux:" : "") + counters;
+  if (key == journaled_counters_) return;
+  journaled_counters_ = key;
+  journal->emit("pmu_reprogram", -1, 0.0,
+                {obs::JournalField::str("counters", counters),
+                 obs::JournalField::boolean("multiplexed", multiplexed),
+                 obs::JournalField::num("slots",
+                                        static_cast<std::uint64_t>(slots))});
 }
 
 void VaproClient::publish_metrics_locked() {

@@ -125,6 +125,10 @@ class VaproClient final : public sim::Interceptor {
   // Publishes the delta of the client's tallies since the previous drain
   // into the metrics registry (no-op without obs).
   void publish_metrics_locked();
+  // Journals a pmu_reprogram event when the programmed set changed
+  // (no-op without a journal).
+  void journal_reprogram(const std::string& counters, bool multiplexed,
+                         std::size_t slots);
 
   ClientOptions opts_;
   std::vector<RankState> ranks_;
@@ -140,6 +144,8 @@ class VaproClient final : public sim::Interceptor {
   std::uint64_t published_fragments_ = 0;
   std::uint64_t published_invocations_ = 0;
   std::uint64_t published_sampled_out_ = 0;
+  // Last journaled counter programming ("mux:"-prefixed when multiplexed).
+  std::string journaled_counters_;
 };
 
 }  // namespace vapro::core

@@ -295,6 +295,24 @@ void ProgressiveDiagnoser::feed(const Stg& stg,
   if (window.abnormal_fragments < 3 || window.total_variance_seconds <= 0.0)
     return;
 
+  obs::Journal* journal = opts_.obs ? opts_.obs->journal() : nullptr;
+  if (journal) {
+    // Events use window=-1: the diagnoser doesn't know the analysis-window
+    // ordinal; consumers correlate by sequence order (findings precede the
+    // server's "window" event for the same window — alerts.hpp relies on
+    // this).
+    journal->emit(
+        "diagnosis_window", -1, 0.0,
+        {obs::JournalField::num("stage", static_cast<std::int64_t>(stage_)),
+         obs::JournalField::num(
+             "abnormal_fragments",
+             static_cast<std::uint64_t>(window.abnormal_fragments)),
+         obs::JournalField::num("variance_seconds",
+                                window.total_variance_seconds),
+         obs::JournalField::num("abnormal_seconds", window.abnormal_seconds),
+         obs::JournalField::num("observed_seconds", window.observed_seconds)});
+  }
+
   report_.total_variance_seconds += window.total_variance_seconds;
   std::vector<FactorId> majors;
   for (const FactorContribution& fc : window.factors) {
@@ -311,6 +329,21 @@ void ProgressiveDiagnoser::feed(const Stg& stg,
     finding.major = fc.major;
     report_.findings.push_back(finding);
     if (fc.major) majors.push_back(fc.id);
+    if (journal) {
+      journal->emit(
+          "diagnosis_finding", -1, 0.0,
+          {obs::JournalField::str("factor",
+                                  std::string(factor_name(finding.id))),
+           obs::JournalField::num("stage",
+                                  static_cast<std::int64_t>(finding.stage)),
+           obs::JournalField::num("contribution_seconds",
+                                  finding.contribution_seconds),
+           obs::JournalField::num("share", finding.share),
+           obs::JournalField::num("duration_seconds",
+                                  finding.duration_seconds),
+           obs::JournalField::num("duration_share", finding.duration_share),
+           obs::JournalField::boolean("major", finding.major)});
+    }
   }
 
   std::vector<FactorId> next;
@@ -322,15 +355,20 @@ void ProgressiveDiagnoser::feed(const Stg& stg,
     finished_ = true;
     if (opts_.obs) {
       opts_.obs->metrics().counter("vapro.diagnosis.finished")->inc();
-      if (auto* trace = opts_.obs->trace()) {
-        std::string culprits;
-        for (FactorId f : majors) {
-          if (!culprits.empty()) culprits += ", ";
-          culprits += std::string(factor_name(f));
-        }
+      std::string culprits;
+      for (FactorId f : majors) {
+        if (!culprits.empty()) culprits += ",";
+        culprits += std::string(factor_name(f));
+      }
+      if (journal)
+        journal->emit(
+            "diagnosis_finished", -1, 0.0,
+            {obs::JournalField::str("culprits", culprits),
+             obs::JournalField::num("stage",
+                                    static_cast<std::int64_t>(stage_))});
+      if (auto* trace = opts_.obs->trace())
         trace->instant("diagnosis.finished", "diagnosis",
                        {obs::TraceRecorder::arg("culprits", culprits)});
-      }
     }
     return;
   }
@@ -340,6 +378,13 @@ void ProgressiveDiagnoser::feed(const Stg& stg,
   // the moment the session reprograms the clients' PMUs.
   if (opts_.obs) {
     opts_.obs->metrics().counter("vapro.diagnosis.stage_advances")->inc();
+    if (journal)
+      journal->emit(
+          "diagnosis_stage", -1, 0.0,
+          {obs::JournalField::num("to_stage",
+                                  static_cast<std::int64_t>(stage_)),
+           obs::JournalField::num(
+               "frontier", static_cast<std::uint64_t>(frontier_.size()))});
     if (auto* trace = opts_.obs->trace()) {
       trace->instant(
           "diagnosis.stage_advance", "diagnosis",

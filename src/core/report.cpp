@@ -29,15 +29,23 @@ void append_category(std::ostringstream& oss, const VaproSession& session,
                 ? render_ansi(map, opts.heatmap_rows, opts.heatmap_cols)
                 : map.render_ascii(opts.heatmap_rows, opts.heatmap_cols));
   }
+  oss << render_region_table(regions, bin_seconds);
+}
+
+}  // namespace
+
+std::string render_region_table(const std::vector<VarianceRegion>& regions,
+                                double bin_seconds, std::size_t limit) {
+  std::ostringstream oss;
   if (regions.empty()) {
     oss << "no variance regions\n";
-    return;
+    return oss.str();
   }
   util::TextTable table(
       {"ranks", "t_lo(s)", "t_hi(s)", "mean perf", "loss%", "impact(frag·s)"});
   std::size_t shown = 0;
   for (const auto& r : regions) {
-    if (++shown > 10) break;
+    if (++shown > limit) break;
     table.add_row({std::to_string(r.rank_lo) + "-" + std::to_string(r.rank_hi),
                    util::fmt(r.time_lo(bin_seconds), 2),
                    util::fmt(r.time_hi(bin_seconds), 2),
@@ -46,11 +54,25 @@ void append_category(std::ostringstream& oss, const VaproSession& session,
                    util::fmt(r.impact_seconds, 3)});
   }
   table.print(oss);
-  if (regions.size() > 10)
-    oss << "(" << regions.size() - 10 << " smaller regions omitted)\n";
+  if (regions.size() > limit)
+    oss << "(" << regions.size() - limit << " smaller regions omitted)\n";
+  return oss.str();
 }
 
-}  // namespace
+std::string render_rare_table(const std::vector<RareFinding>& findings,
+                              std::size_t limit) {
+  std::ostringstream oss;
+  util::TextTable table({"state", "kind", "execs", "total(s)", "longest(s)"});
+  std::size_t shown = 0;
+  for (const auto& f : findings) {
+    if (++shown > limit) break;
+    table.add_row({f.state, fragment_kind_name(f.kind),
+                   std::to_string(f.executions), util::fmt(f.total_seconds, 3),
+                   util::fmt(f.longest_seconds, 3)});
+  }
+  table.print(oss);
+  return oss.str();
+}
 
 std::string render_ansi(const Heatmap& map, int max_rows, int max_cols) {
   std::ostringstream oss;
@@ -97,15 +119,7 @@ std::string render_report(const VaproSession& session,
 
   if (opts.include_rare_findings && !session.rare_findings().empty()) {
     oss << "\n## rare execution paths (check manually — Algorithm 1 line 8)\n";
-    util::TextTable table({"state", "kind", "execs", "total(s)", "longest(s)"});
-    std::size_t shown = 0;
-    for (const auto& f : session.rare_findings()) {
-      if (++shown > 10) break;
-      table.add_row({f.state, fragment_kind_name(f.kind),
-                     std::to_string(f.executions), util::fmt(f.total_seconds, 3),
-                     util::fmt(f.longest_seconds, 3)});
-    }
-    table.print(oss);
+    oss << render_rare_table(session.rare_findings());
   }
 
   if (opts.include_diagnosis) {

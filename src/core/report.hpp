@@ -36,4 +36,14 @@ int write_csv_bundle(const VaproSession& session,
 std::string render_ansi(const Heatmap& map, int max_rows = 24,
                         int max_cols = 80);
 
+// The impact-ordered variance-region table of one category (top `limit`
+// regions) — shared by render_report and the journal replay path so both
+// print byte-identical tables from the same region values.
+std::string render_region_table(const std::vector<VarianceRegion>& regions,
+                                double bin_seconds, std::size_t limit = 10);
+
+// The rare-execution-path table (Algorithm 1 line 8), top `limit` rows.
+std::string render_rare_table(const std::vector<RareFinding>& findings,
+                              std::size_t limit = 10);
+
 }  // namespace vapro::core

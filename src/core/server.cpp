@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/exposition.hpp"
+#include "src/obs/journal.hpp"
 #include "src/util/check.hpp"
 
 namespace vapro::core {
 
 namespace {
+
+constexpr FragmentKind kAllKinds[] = {FragmentKind::kComputation,
+                                      FragmentKind::kCommunication,
+                                      FragmentKind::kIo};
 // Lap timer splitting process_window into the PipelineStats stages; every
 // statement of the window body is charged to exactly one stage, so the
 // per-stage times sum to the window's tool time.
@@ -41,6 +47,35 @@ AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
       io_map_(ranks, opts.bin_seconds),
       diagnoser_(opts.machine, with_obs(opts.diagnosis, opts.obs)) {
   VAPRO_CHECK(ranks > 0);
+  if (opts_.obs && opts_.live_detection) attach_live_routes();
+}
+
+AnalysisServer::~AnalysisServer() {
+  if (!opts_.obs || live_routes_.empty()) return;
+  if (obs::ExpositionServer* http = opts_.obs->exposition())
+    for (const std::string& path : live_routes_) http->remove_route(path);
+}
+
+void AnalysisServer::attach_live_routes() {
+  // The exposition server must already be started (CLIs call
+  // start_exposition before constructing the session); handlers run on the
+  // serve thread and synchronize with process_window via live_mu_ inside
+  // the render methods.
+  obs::ExpositionServer* http = opts_.obs->exposition();
+  if (!http) return;
+  http->add_route("/v1/heatmap", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_heatmap_json();
+    return r;
+  });
+  http->add_route("/v1/variance", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_variance_json();
+    return r;
+  });
+  live_routes_ = {"/v1/heatmap", "/v1/variance"};
 }
 
 void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
@@ -50,7 +85,11 @@ void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
 void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
   obs::ObsContext* obs = opts_.obs;
   obs::TraceRecorder* trace = obs ? obs->trace() : nullptr;
+  obs::Journal* journal = obs ? obs->journal() : nullptr;
   obs::ToolTimeScope tool_time(obs ? &obs->overhead() : nullptr);
+  // Exposition handlers read the maps/regions from the serve thread; the
+  // whole window body runs under the live mutex.
+  std::lock_guard<std::mutex> live_lock(live_mu_);
   const std::uint64_t window_t0 = trace ? trace->now_ns() : 0;
   StageClock clock;
 
@@ -84,6 +123,7 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
   }
   stats.carry_ins = live_begin;
   stats.virtual_time = window_end;
+  last_virtual_time_ = std::max(last_virtual_time_, window_end);
   stats.stg_seconds = clock.lap();
 
   // --- stage: clustering (Algorithm 1 workers + rare-path scan) ---
@@ -99,6 +139,7 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
 
   // Algorithm 1 line 8: surface rare-but-expensive execution paths
   // (carry-ins were reported by the previous window already).
+  const std::size_t rare_before = rare_findings_.size();
   for (const Cluster& c : clusters.clusters) {
     if (!c.rare) continue;
     RareFinding finding;
@@ -118,6 +159,22 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
                         : stg_.state_name(c.to);
     finding.window_start = first_start;
     rare_findings_.push_back(std::move(finding));
+  }
+  if (journal) {
+    // Journal each new finding before the report list is sorted/truncated;
+    // the journal is the complete record, the list the user-facing top-N.
+    for (std::size_t i = rare_before; i < rare_findings_.size(); ++i) {
+      const RareFinding& f = rare_findings_[i];
+      journal->emit(
+          "rare_finding", static_cast<std::int64_t>(stats.window),
+          f.window_start,
+          {obs::JournalField::str("state", f.state),
+           obs::JournalField::str("kind", fragment_kind_name(f.kind)),
+           obs::JournalField::num("executions",
+                                  static_cast<std::uint64_t>(f.executions)),
+           obs::JournalField::num("total_seconds", f.total_seconds),
+           obs::JournalField::num("longest_seconds", f.longest_seconds)});
+    }
   }
   if (rare_findings_.size() > opts_.rare_report_limit) {
     std::sort(rare_findings_.begin(), rare_findings_.end(),
@@ -185,6 +242,7 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
         ->record(stats.deposit_seconds);
     m.histogram("vapro.server.stage.diagnose_seconds")
         ->record(stats.diagnose_seconds);
+    if (opts_.live_detection) publish_detection(stats);
     obs->emit_window(stats);
     if (trace)
       trace->complete(
@@ -198,6 +256,66 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
                "clusters",
                static_cast<std::uint64_t>(stats.clusters_formed))});
   }
+}
+
+void AnalysisServer::publish_detection(const obs::PipelineStats& stats) {
+  obs::ObsContext* obs = opts_.obs;
+  const Heatmap* maps[3] = {&comp_map_, &comm_map_, &io_map_};
+  std::vector<VarianceRegion> regions[3];
+  for (FragmentKind kind : kAllKinds)
+    regions[static_cast<int>(kind)] = locate(kind);
+  const DetectionHealth health = detection_health(maps, regions, coverage_);
+  publish_health_gauges(obs->metrics(), health);
+
+  obs::Journal* journal = obs->journal();
+  if (!journal) return;
+  const std::int64_t window = static_cast<std::int64_t>(stats.window);
+  for (FragmentKind kind : kAllKinds)
+    region_journal_.emit(*journal, kind, regions[static_cast<int>(kind)],
+                         window, stats.virtual_time, opts_.bin_seconds,
+                         /*final_snapshot=*/false);
+  journal_window_event(
+      *journal, window, stats.virtual_time, health,
+      {obs::JournalField::num(
+           "fragments", static_cast<std::uint64_t>(stats.fragments_drained)),
+       obs::JournalField::num("carry_ins",
+                              static_cast<std::uint64_t>(stats.carry_ins)),
+       obs::JournalField::num(
+           "clusters", static_cast<std::uint64_t>(stats.clusters_formed)),
+       obs::JournalField::num(
+           "rare_clusters", static_cast<std::uint64_t>(stats.rare_clusters)),
+       obs::JournalField::num(
+           "diagnosis_stage",
+           static_cast<std::int64_t>(stats.diagnosis_stage))});
+}
+
+void AnalysisServer::journal_detection_snapshot() const {
+  obs::Journal* journal = opts_.obs ? opts_.obs->journal() : nullptr;
+  if (!journal) return;
+  std::lock_guard<std::mutex> lock(live_mu_);
+  const std::int64_t window =
+      windows_ ? static_cast<std::int64_t>(windows_) - 1 : -1;
+  for (FragmentKind kind : kAllKinds)
+    region_journal_.emit(*journal, kind, locate(kind), window,
+                         last_virtual_time_, opts_.bin_seconds,
+                         /*final_snapshot=*/true);
+  journal->flush();
+}
+
+std::string AnalysisServer::render_heatmap_json() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  const Heatmap* maps[3] = {&comp_map_, &comm_map_, &io_map_};
+  return core::render_heatmap_json(maps, ranks_, opts_.bin_seconds);
+}
+
+std::string AnalysisServer::render_variance_json() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  std::vector<VarianceRegion> regions[3];
+  for (FragmentKind kind : kAllKinds)
+    regions[static_cast<int>(kind)] = locate(kind);
+  return core::render_variance_json(regions, windows_, last_virtual_time_,
+                                    opts_.bin_seconds,
+                                    opts_.variance_threshold);
 }
 
 std::vector<VarianceRegion> AnalysisServer::locate(FragmentKind kind) const {

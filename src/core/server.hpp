@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/core/client.hpp"
@@ -18,6 +20,7 @@
 #include "src/core/detection.hpp"
 #include "src/core/diagnosis.hpp"
 #include "src/core/heatmap.hpp"
+#include "src/core/live_export.hpp"
 #include "src/core/stg.hpp"
 #include "src/obs/context.hpp"
 #include "src/stats/vmeasure.hpp"
@@ -56,6 +59,12 @@ struct ServerOptions {
   // histograms, trace spans, and tool-time accounting; null disables.
   // Borrowed, must outlive the server.
   obs::ObsContext* obs = nullptr;
+  // Live detection surfaces: with obs attached, each window also computes
+  // detection-health gauges, journals window/variance-region events, and —
+  // if the ObsContext runs an exposition server — answers /v1/heatmap and
+  // /v1/variance.  ServerGroup clears this on its leaves and serves the
+  // merged views itself.
+  bool live_detection = true;
 };
 
 // A non-repeated execution path that nonetheless consumed noticeable time —
@@ -72,6 +81,7 @@ struct RareFinding {
 class AnalysisServer {
  public:
   AnalysisServer(int ranks, ServerOptions opts);
+  ~AnalysisServer();
 
   // Ingests and analyzes one window of client data.  `drain_seconds` is
   // the wall time the caller spent draining the clients — it becomes the
@@ -113,7 +123,21 @@ class AnalysisServer {
   // when record_eval_pairs was set and labelled fragments were seen.
   stats::VMeasure clustering_quality() const;
 
+  // Emits a final, full-precision `variance_region` snapshot (final=true)
+  // for every category into the journal so vapro_replay can reconstruct
+  // the end-of-run detection report from the journal alone.  No-op without
+  // a journal.
+  void journal_detection_snapshot() const;
+
+  // Live JSON views served at /v1/heatmap and /v1/variance — also usable
+  // without an exposition server.  Region fields match report_json's.
+  std::string render_heatmap_json() const;
+  std::string render_variance_json() const;
+
  private:
+  void attach_live_routes();
+  // Detection-health gauges + window/region journal events for one window.
+  void publish_detection(const obs::PipelineStats& stats);
   ServerOptions opts_;
   int ranks_;
   Stg stg_;
@@ -131,6 +155,12 @@ class AnalysisServer {
   // (truth label, predicted cluster label) for labelled comp fragments.
   std::vector<int> eval_truth_;
   std::vector<int> eval_predicted_;
+  // Serializes process_window against concurrent /v1 scrapes; route
+  // handlers and journal_detection_snapshot take it too.
+  mutable std::mutex live_mu_;
+  std::vector<std::string> live_routes_;
+  double last_virtual_time_ = 0.0;
+  mutable RegionJournal region_journal_;
 };
 
 }  // namespace vapro::core

@@ -3,27 +3,64 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/obs/exposition.hpp"
 #include "src/util/check.hpp"
 
 namespace vapro::core {
+
+namespace {
+constexpr FragmentKind kAllKinds[] = {FragmentKind::kComputation,
+                                      FragmentKind::kCommunication,
+                                      FragmentKind::kIo};
+}  // namespace
 
 ServerGroup::ServerGroup(int ranks, int servers, ServerOptions opts)
     : ranks_(ranks),
       variance_threshold_(opts.variance_threshold),
       bin_seconds_(opts.bin_seconds),
-      obs_(opts.obs) {
+      obs_(opts.obs),
+      live_detection_(opts.live_detection) {
   VAPRO_CHECK(servers >= 1 && ranks >= 1);
   // Each leaf runs its own analysis; intra-leaf threading stays at 1 since
   // the leaves themselves run concurrently.
   opts.analysis_threads = 1;
+  // The root owns the live detection surfaces (class comment).
+  opts.live_detection = false;
   leaves_.reserve(static_cast<std::size_t>(servers));
   for (int s = 0; s < servers; ++s)
     leaves_.push_back(std::make_unique<AnalysisServer>(ranks, opts));
+  if (obs_ && live_detection_) attach_live_routes();
+}
+
+ServerGroup::~ServerGroup() {
+  if (!obs_ || live_routes_.empty()) return;
+  if (obs::ExpositionServer* http = obs_->exposition())
+    for (const std::string& path : live_routes_) http->remove_route(path);
+}
+
+void ServerGroup::attach_live_routes() {
+  obs::ExpositionServer* http = obs_->exposition();
+  if (!http) return;
+  http->add_route("/v1/heatmap", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_heatmap_json();
+    return r;
+  });
+  http->add_route("/v1/variance", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_variance_json();
+    return r;
+  });
+  live_routes_ = {"/v1/heatmap", "/v1/variance"};
 }
 
 void ServerGroup::process_window(FragmentBatch batch) {
   obs::TraceRecorder* trace = obs_ ? obs_->trace() : nullptr;
   obs::ToolTimeScope tool_time(obs_ ? &obs_->overhead() : nullptr);
+  // Held across the leaf threads so /v1 scrapes see whole windows.
+  std::lock_guard<std::mutex> live_lock(live_mu_);
   const std::uint64_t t0 = trace ? trace->now_ns() : 0;
   const std::uint64_t total_fragments = batch.fragments.size();
 
@@ -31,7 +68,9 @@ void ServerGroup::process_window(FragmentBatch batch) {
   std::vector<FragmentBatch> shards(static_cast<std::size_t>(n));
   // State announcements go to every leaf (cheap, idempotent).
   for (auto& shard : shards) shard.new_states = batch.new_states;
+  double window_end = 0.0;
   for (Fragment& f : batch.fragments) {
+    window_end = std::max(window_end, f.end_time);
     shards[static_cast<std::size_t>(f.rank % n)].fragments.push_back(
         std::move(f));
   }
@@ -50,17 +89,79 @@ void ServerGroup::process_window(FragmentBatch batch) {
   }
   for (auto& t : pool) t.join();
 
+  last_virtual_time_ = std::max(last_virtual_time_, window_end);
   if (obs_) {
     obs_->metrics().counter("vapro.group.windows_total")->inc();
     obs_->metrics()
         .counter("vapro.group.fragments_total")
         ->inc(total_fragments);
+    if (live_detection_)
+      publish_detection(static_cast<std::int64_t>(windows_),
+                        last_virtual_time_, total_fragments);
     if (trace)
       trace->complete(
           "group.window", "server_group", t0,
           {obs::TraceRecorder::arg("leaves", static_cast<std::uint64_t>(n)),
            obs::TraceRecorder::arg("fragments", total_fragments)});
   }
+  ++windows_;
+}
+
+void ServerGroup::publish_detection(std::int64_t window, double virtual_time,
+                                    std::uint64_t fragments) {
+  Heatmap comp = merged_map(FragmentKind::kComputation);
+  Heatmap comm = merged_map(FragmentKind::kCommunication);
+  Heatmap io = merged_map(FragmentKind::kIo);
+  const Heatmap* maps[3] = {&comp, &comm, &io};
+  std::vector<VarianceRegion> regions[3];
+  for (int k = 0; k < 3; ++k)
+    regions[k] = find_variance_regions(*maps[k], variance_threshold_);
+  const CoverageAccumulator cov = merged_coverage();
+  const DetectionHealth health = detection_health(maps, regions, cov);
+  publish_health_gauges(obs_->metrics(), health);
+
+  obs::Journal* journal = obs_->journal();
+  if (!journal) return;
+  for (FragmentKind kind : kAllKinds)
+    region_journal_.emit(*journal, kind, regions[static_cast<int>(kind)],
+                         window, virtual_time, bin_seconds_,
+                         /*final_snapshot=*/false);
+  journal_window_event(
+      *journal, window, virtual_time, health,
+      {obs::JournalField::num("fragments", fragments),
+       obs::JournalField::num("leaves",
+                              static_cast<std::uint64_t>(leaves_.size()))});
+}
+
+void ServerGroup::journal_detection_snapshot() const {
+  obs::Journal* journal = obs_ ? obs_->journal() : nullptr;
+  if (!journal) return;
+  std::lock_guard<std::mutex> lock(live_mu_);
+  const std::int64_t window =
+      windows_ ? static_cast<std::int64_t>(windows_) - 1 : -1;
+  for (FragmentKind kind : kAllKinds)
+    region_journal_.emit(*journal, kind, locate(kind), window,
+                         last_virtual_time_, bin_seconds_,
+                         /*final_snapshot=*/true);
+  journal->flush();
+}
+
+std::string ServerGroup::render_heatmap_json() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  Heatmap comp = merged_map(FragmentKind::kComputation);
+  Heatmap comm = merged_map(FragmentKind::kCommunication);
+  Heatmap io = merged_map(FragmentKind::kIo);
+  const Heatmap* maps[3] = {&comp, &comm, &io};
+  return core::render_heatmap_json(maps, ranks_, bin_seconds_);
+}
+
+std::string ServerGroup::render_variance_json() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  std::vector<VarianceRegion> regions[3];
+  for (FragmentKind kind : kAllKinds)
+    regions[static_cast<int>(kind)] = locate(kind);
+  return core::render_variance_json(regions, windows_, last_virtual_time_,
+                                    bin_seconds_, variance_threshold_);
 }
 
 Heatmap ServerGroup::merged_map(FragmentKind kind) const {

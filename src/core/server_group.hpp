@@ -16,6 +16,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/core/server.hpp"
@@ -24,8 +26,12 @@ namespace vapro::core {
 
 class ServerGroup {
  public:
-  // `servers` leaf servers for `ranks` ranks; options are shared.
+  // `servers` leaf servers for `ranks` ranks; options are shared.  Leaves
+  // are constructed with live_detection=false — the group publishes the
+  // merged detection gauges, journal events, and /v1 routes itself, so the
+  // shards don't each overwrite them with partial views.
   ServerGroup(int ranks, int servers, ServerOptions opts);
+  ~ServerGroup();
 
   // Splits the batch by rank shard and processes all shards concurrently.
   void process_window(FragmentBatch batch);
@@ -45,13 +51,34 @@ class ServerGroup {
   std::vector<FactorId> merged_culprits() const;
 
   std::size_t fragments_processed() const;
+  std::size_t windows_processed() const { return windows_; }
+
+  // Final full-precision merged variance_region snapshot into the journal
+  // (see AnalysisServer::journal_detection_snapshot).
+  void journal_detection_snapshot() const;
+
+  // Merged-view JSON served at /v1/heatmap and /v1/variance.
+  std::string render_heatmap_json() const;
+  std::string render_variance_json() const;
 
  private:
+  void attach_live_routes();
+  void publish_detection(std::int64_t window, double virtual_time,
+                         std::uint64_t fragments);
+
   int ranks_;
   double variance_threshold_;
   double bin_seconds_;
   obs::ObsContext* obs_ = nullptr;  // shared with the leaves (borrowed)
+  bool live_detection_ = false;     // publish merged root views?
   std::vector<std::unique_ptr<AnalysisServer>> leaves_;
+  // Serializes process_window (including its leaf threads) against /v1
+  // scrapes and journal_detection_snapshot.
+  mutable std::mutex live_mu_;
+  std::vector<std::string> live_routes_;
+  std::size_t windows_ = 0;
+  double last_virtual_time_ = 0.0;
+  mutable RegionJournal region_journal_;
 };
 
 }  // namespace vapro::core

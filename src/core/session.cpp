@@ -59,7 +59,7 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
     }
     // Once per window the over-budget set is retried; rate-limit the
     // complaint so long runs don't get one line per window.
-    VAPRO_LOG_WARN_EVERY_N(32)
+    VAPRO_LOG_TAG_EVERY_N(::vapro::util::LogLevel::kWarn, "session", 32)
         << "proxy metrics + stage counters exceed the PMU budget; "
            "raise pmu_budget or set allow_multiplexing";
     client_->configure_counters(server_->counters_needed());

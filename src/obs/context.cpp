@@ -1,13 +1,87 @@
 #include "src/obs/context.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "src/util/fs.hpp"
+
 namespace vapro::obs {
+
+ObsContext::~ObsContext() {
+  // Stop serving before any member the route handlers might read dies.
+  if (exposition_) exposition_->stop();
+  if (journal_) journal_->flush();
+}
 
 TraceRecorder* ObsContext::enable_trace() {
   if (!trace_) trace_ = std::make_unique<TraceRecorder>();
   return trace_.get();
+}
+
+Journal* ObsContext::enable_journal() {
+  if (!journal_) journal_ = std::make_unique<Journal>();
+  return journal_.get();
+}
+
+bool ObsContext::attach_journal_file(const std::string& path) {
+  Journal* journal = enable_journal();
+  auto sink = std::make_unique<JournalFileSink>(path);
+  if (!sink->ok()) return false;
+  journal_file_ = std::move(sink);
+  journal->add_sink(journal_file_.get());
+  return true;
+}
+
+ExpositionServer* ObsContext::start_exposition(int port, std::string* error) {
+  if (exposition_ && exposition_->running()) return exposition_.get();
+  auto server = std::make_unique<ExpositionServer>();
+  if (!server->start(port, error)) return nullptr;
+
+  server->add_route("/metrics", [this] {
+    HttpResponse resp;
+    resp.content_type = kPrometheusContentType;
+    resp.body = render_prometheus(metrics_);
+    // A few context-level samples the registry does not own.
+    std::ostringstream extra;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", overhead_.tool_seconds());
+    extra << "# TYPE vapro_obs_tool_seconds gauge\nvapro_obs_tool_seconds "
+          << buf << '\n';
+    std::snprintf(buf, sizeof(buf), "%.17g", uptime_seconds());
+    extra << "# TYPE vapro_obs_uptime_seconds gauge\nvapro_obs_uptime_seconds "
+          << buf << '\n';
+    extra << "# TYPE vapro_obs_journal_events_total counter\n"
+          << "vapro_obs_journal_events_total "
+          << (journal_ ? journal_->events_emitted() : 0) << '\n';
+    resp.body += extra.str();
+    return resp;
+  });
+
+  server->add_route("/healthz", [this] {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    std::ostringstream body;
+    char buf[40];
+    body << "{\"status\":\"ok\",\"uptime_seconds\":";
+    std::snprintf(buf, sizeof(buf), "%.3f", uptime_seconds());
+    body << buf << ",\"windows\":" << windows_emitted()
+         << ",\"last_window_age_seconds\":";
+    const double age = last_window_age_seconds();
+    if (age < 0.0) {
+      body << "null";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3f", age);
+      body << buf;
+    }
+    body << ",\"journal_events\":"
+         << (journal_ ? journal_->events_emitted() : 0) << "}";
+    resp.body = body.str();
+    return resp;
+  });
+
+  exposition_ = std::move(server);
+  return exposition_.get();
 }
 
 void ObsContext::add_sink(PipelineSink* sink) {
@@ -16,9 +90,35 @@ void ObsContext::add_sink(PipelineSink* sink) {
 }
 
 void ObsContext::emit_window(const PipelineStats& stats) {
-  std::lock_guard<std::mutex> lock(emit_mu_);
-  windows_.on_window(stats);
-  for (PipelineSink* sink : extra_sinks_) sink->on_window(stats);
+  {
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    windows_.on_window(stats);
+    for (PipelineSink* sink : extra_sinks_) sink->on_window(stats);
+  }
+  windows_emitted_.fetch_add(1, std::memory_order_relaxed);
+  last_window_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count(),
+      std::memory_order_relaxed);
+  // Flush-on-window: every journaled conclusion of a finished window is
+  // durable before the next window starts.
+  if (journal_) journal_->flush();
+}
+
+double ObsContext::last_window_age_seconds() const {
+  const std::int64_t last = last_window_ns_.load(std::memory_order_relaxed);
+  if (last < 0) return -1.0;
+  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+  return static_cast<double>(now_ns - last) * 1e-9;
+}
+
+double ObsContext::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
 }
 
 std::string ObsContext::metrics_json() const {
@@ -30,6 +130,7 @@ std::string ObsContext::metrics_json() const {
 }
 
 bool ObsContext::write_metrics_json(const std::string& path) const {
+  util::ensure_parent_dirs(path);
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   out << metrics_json();
@@ -38,6 +139,7 @@ bool ObsContext::write_metrics_json(const std::string& path) const {
 
 bool ObsContext::write_trace_json(const std::string& path) const {
   if (!trace_) return false;
+  util::ensure_parent_dirs(path);
   return trace_->write_json(path);
 }
 

@@ -1,18 +1,25 @@
 // ObsContext — the one handle the rest of the system carries.
 //
 // Owns the metrics registry, the self-overhead accountant, an always-on
-// CollectingSink of per-window PipelineStats, optional extra sinks, and an
-// optional Chrome trace recorder (off until enable_trace()).  Core code
-// takes a borrowed `ObsContext*` through its options structs; a null
-// pointer disables all telemetry at the cost of one branch per call site,
-// so the library has zero observability overhead unless a driver opts in.
+// CollectingSink of per-window PipelineStats, optional extra sinks, an
+// optional Chrome trace recorder (off until enable_trace()), an optional
+// event journal (off until enable_journal()), and an optional embedded
+// HTTP exposition server (off until start_exposition()).  Core code takes
+// a borrowed `ObsContext*` through its options structs; a null pointer
+// disables all telemetry at the cost of one branch per call site, so the
+// library has zero observability overhead unless a driver opts in.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/obs/exposition.hpp"
+#include "src/obs/journal.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/overhead.hpp"
 #include "src/obs/pipeline.hpp"
@@ -22,6 +29,7 @@ namespace vapro::obs {
 
 class ObsContext {
  public:
+  ~ObsContext();
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   OverheadAccountant& overhead() { return overhead_; }
@@ -31,6 +39,22 @@ class ObsContext {
   TraceRecorder* trace() { return trace_.get(); }
   const TraceRecorder* trace() const { return trace_.get(); }
   TraceRecorder* enable_trace();
+
+  // Null until enable_journal(); call sites guard with `if (auto* j = ...)`.
+  Journal* journal() { return journal_.get(); }
+  const Journal* journal() const { return journal_.get(); }
+  Journal* enable_journal();
+  // enable_journal() + attach an owned JSONL file sink (parent directories
+  // are created).  False when the file cannot be opened.
+  bool attach_journal_file(const std::string& path);
+
+  // Null until start_exposition().  Starting binds 127.0.0.1:`port`
+  // (0 = ephemeral) and registers the built-in routes (/, /metrics,
+  // /healthz); core components add their /v1 snapshots on top.  On bind
+  // failure returns null and sets `error`.
+  ExpositionServer* exposition() { return exposition_.get(); }
+  const ExpositionServer* exposition() const { return exposition_.get(); }
+  ExpositionServer* start_exposition(int port, std::string* error = nullptr);
 
   // Extra sinks observe each window after the built-in collector; borrowed,
   // must outlive the context's use.
@@ -48,13 +72,29 @@ class ObsContext {
   // Chrome trace JSON; false when tracing was never enabled.
   bool write_trace_json(const std::string& path) const;
 
+  // Liveness for /healthz: windows emitted so far and the wall-clock age
+  // of the last one (negative = no window yet).
+  std::uint64_t windows_emitted() const {
+    return windows_emitted_.load(std::memory_order_relaxed);
+  }
+  double last_window_age_seconds() const;
+  double uptime_seconds() const;
+
  private:
   MetricsRegistry metrics_;
   OverheadAccountant overhead_;
   CollectingSink windows_;
   std::vector<PipelineSink*> extra_sinks_;
   std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<JournalFileSink> journal_file_;
+  std::unique_ptr<ExpositionServer> exposition_;
   std::mutex emit_mu_;
+  std::atomic<std::uint64_t> windows_emitted_{0};
+  // Nanoseconds since `epoch_` of the last emit_window; -1 before any.
+  std::atomic<std::int64_t> last_window_ns_{-1};
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace vapro::obs

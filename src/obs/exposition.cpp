@@ -1,0 +1,214 @@
+#include "src/obs/exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "src/util/log.hpp"
+
+namespace vapro::obs {
+
+namespace {
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+void append_sample(std::ostringstream& oss, const std::string& name,
+                   double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prometheus spells special values differently from printf.
+  if (std::strstr(buf, "nan"))
+    oss << name << " NaN\n";
+  else if (std::strstr(buf, "inf"))
+    oss << name << (buf[0] == '-' ? " -Inf\n" : " +Inf\n");
+  else
+    oss << name << ' ' << buf << '\n';
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "OK";
+  }
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream oss;
+  for (const auto& [name, value] : registry.counter_values()) {
+    const std::string n = sanitize_metric_name(name);
+    oss << "# TYPE " << n << " counter\n";
+    oss << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    const std::string n = sanitize_metric_name(name);
+    oss << "# TYPE " << n << " gauge\n";
+    append_sample(oss, n, value);
+  }
+  for (const auto& [name, hist] : registry.histogram_entries()) {
+    const std::string n = sanitize_metric_name(name);
+    oss << "# TYPE " << n << " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s{quantile=\"%g\"}", n.c_str(), q);
+      append_sample(oss, label, hist->quantile(q));
+    }
+    append_sample(oss, n + "_sum", hist->sum_seconds());
+    oss << n << "_count " << hist->count() << '\n';
+  }
+  return oss.str();
+}
+
+bool ExpositionServer::start(int port, std::string* error) {
+  if (running()) {
+    if (error) *error = "exposition server already running";
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error)
+      *error = "port " + std::to_string(port) + " unavailable: " +
+               std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) < 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void ExpositionServer::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblock the accept() by tearing the listen socket down.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+}
+
+void ExpositionServer::add_route(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  routes_[path] = std::move(handler);
+}
+
+void ExpositionServer::remove_route(const std::string& path) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  routes_.erase(path);
+}
+
+void ExpositionServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;  // listen socket is gone
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ExpositionServer::handle_connection(int fd) {
+  // One request per connection; read until the end of the header block
+  // (we never accept bodies) with a small cap against abuse.
+  std::string req;
+  char buf[2048];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 16384) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = req.find("\r\n");
+  if (line_end == std::string::npos) return;
+  std::istringstream request_line(req.substr(0, line_end));
+  std::string method, target;
+  request_line >> method >> target;
+
+  HttpResponse resp;
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+  } else {
+    const std::size_t q = target.find('?');
+    if (q != std::string::npos) target.resize(q);
+    resp = dispatch(target);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << ' ' << status_text(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << resp.body;
+  const std::string payload = out.str();
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+HttpResponse ExpositionServer::dispatch(const std::string& path) {
+  // Handlers are invoked under the routes mutex so remove_route (called
+  // from a destructing AnalysisServer) cannot race an in-flight call.
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  auto it = routes_.find(path);
+  if (it == routes_.end()) {
+    HttpResponse resp;
+    resp.status = 404;
+    std::ostringstream body;
+    body << "unknown path " << path << "\navailable:\n";
+    for (const auto& [p, h] : routes_) body << "  " << p << '\n';
+    resp.body = body.str();
+    return resp;
+  }
+  return it->second();
+}
+
+}  // namespace vapro::obs

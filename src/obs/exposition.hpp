@@ -1,0 +1,88 @@
+// Live exposition: a tiny embedded HTTP server (plain POSIX sockets, no
+// dependencies) so an operator can watch a production run instead of
+// waiting for write-at-exit files.
+//
+// One background thread accepts connections on a loopback (by default)
+// listen socket and answers GET requests, one per connection
+// (HTTP/1.1 with Connection: close — every Prometheus scraper and curl
+// understands this).  Routes are a name → handler registry: ObsContext
+// registers /metrics (Prometheus text format rendered on demand from the
+// MetricsRegistry) and /healthz; AnalysisServer/ServerGroup add
+// /v1/heatmap and /v1/variance JSON snapshots.  Handlers run on the serve
+// thread, so they must do their own synchronization with the analysis
+// thread (the core routes lock the owning server's live mutex).
+//
+// Port 0 binds an ephemeral port; port() reports the real one.  start()
+// returns false with a readable message when the port is taken — callers
+// surface that instead of crashing mid-run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.hpp"
+
+namespace vapro::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class ExpositionServer {
+ public:
+  ExpositionServer() = default;
+  ~ExpositionServer() { stop(); }
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serve thread.
+  // On failure returns false and, when `error` is non-null, a human
+  // message (e.g. "port 9100 in use: Address already in use").
+  bool start(int port, std::string* error = nullptr);
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  int port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  using Handler = std::function<HttpResponse()>;
+  // Registers (or replaces) a GET route.  remove_route is safe while the
+  // server runs: it synchronizes with any in-flight handler invocation, so
+  // after it returns the handler will never be called again.
+  void add_route(const std::string& path, Handler handler);
+  void remove_route(const std::string& path);
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  HttpResponse dispatch(const std::string& path);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::mutex routes_mu_;
+  std::map<std::string, Handler> routes_;
+};
+
+// Prometheus text exposition format (version 0.0.4) for every instrument
+// in the registry: counters and gauges verbatim, histograms as summaries
+// (quantile-labelled samples plus _sum/_count).  Metric names are
+// sanitized ('.' → '_').
+std::string render_prometheus(const MetricsRegistry& registry);
+
+// The scrape Content-Type Prometheus expects.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace vapro::obs

@@ -1,0 +1,401 @@
+#include "src/obs/journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "src/util/fs.hpp"
+
+namespace vapro::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g never produces JSON-invalid text for finite values; inf/nan are
+  // not valid JSON, so clamp them to null (consumers treat as absent).
+  if (std::strstr(buf, "inf") || std::strstr(buf, "nan")) return "null";
+  return buf;
+}
+
+std::string unescape_json_string(const std::string& raw) {
+  // `raw` includes the surrounding quotes.
+  std::string out;
+  for (std::size_t i = 1; i + 1 < raw.size(); ++i) {
+    char c = raw[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i + 1 >= raw.size()) break;  // dangling backslash before the quote
+    switch (raw[i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 < raw.size()) {
+          const std::string hex = raw.substr(i + 1, 4);
+          out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          i += 4;
+        }
+        break;
+      }
+      default: out += raw[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string journal_json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JournalField JournalField::num(const std::string& key, double v) {
+  return {key, format_double(v)};
+}
+
+JournalField JournalField::num(const std::string& key, std::uint64_t v) {
+  return {key, std::to_string(v)};
+}
+
+JournalField JournalField::num(const std::string& key, std::int64_t v) {
+  return {key, std::to_string(v)};
+}
+
+JournalField JournalField::str(const std::string& key, const std::string& v) {
+  return {key, '"' + journal_json_escape(v) + '"'};
+}
+
+JournalField JournalField::boolean(const std::string& key, bool v) {
+  return {key, v ? "true" : "false"};
+}
+
+std::string JournalEvent::to_json_line() const {
+  std::ostringstream oss;
+  oss << "{\"seq\":" << seq << ",\"type\":\"" << journal_json_escape(type)
+      << '"';
+  if (window >= 0) oss << ",\"window\":" << window;
+  oss << ",\"t\":" << format_double(virtual_time);
+  for (const JournalField& f : fields)
+    oss << ",\"" << journal_json_escape(f.key) << "\":" << f.json;
+  oss << '}';
+  return oss.str();
+}
+
+bool JournalEvent::has(const std::string& key) const {
+  for (const JournalField& f : fields)
+    if (f.key == key) return true;
+  return false;
+}
+
+double JournalEvent::number(const std::string& key, double fallback) const {
+  for (const JournalField& f : fields) {
+    if (f.key != key) continue;
+    if (f.json.empty() || f.json[0] == '"' || f.json == "null" ||
+        f.json == "true" || f.json == "false")
+      return fallback;
+    return std::strtod(f.json.c_str(), nullptr);
+  }
+  return fallback;
+}
+
+std::string JournalEvent::str(const std::string& key) const {
+  for (const JournalField& f : fields) {
+    if (f.key != key) continue;
+    if (f.json.size() >= 2 && f.json.front() == '"')
+      return unescape_json_string(f.json);
+    return {};
+  }
+  return {};
+}
+
+bool JournalEvent::flag(const std::string& key, bool fallback) const {
+  for (const JournalField& f : fields) {
+    if (f.key != key) continue;
+    if (f.json == "true") return true;
+    if (f.json == "false") return false;
+    return fallback;
+  }
+  return fallback;
+}
+
+// --- Journal --------------------------------------------------------------
+
+void Journal::add_sink(JournalSink* sink) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  sinks_.push_back(sink);
+}
+
+std::uint64_t Journal::emit(JournalEvent event) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  event.seq = next_seq_++;
+  const std::uint64_t seq = event.seq;
+  if (dispatching_) {
+    // Re-entrant emit from inside a sink callback (e.g. the alert engine
+    // journaling a fired alert): queue it; the outer dispatch drains.
+    pending_.push_back(std::move(event));
+    return seq;
+  }
+  dispatching_ = true;
+  dispatch_locked(event);
+  while (!pending_.empty()) {
+    std::vector<JournalEvent> batch;
+    batch.swap(pending_);
+    for (const JournalEvent& ev : batch) dispatch_locked(ev);
+  }
+  dispatching_ = false;
+  return seq;
+}
+
+std::uint64_t Journal::emit(const std::string& type, std::int64_t window,
+                            double virtual_time,
+                            std::vector<JournalField> fields) {
+  JournalEvent ev;
+  ev.type = type;
+  ev.window = window;
+  ev.virtual_time = virtual_time;
+  ev.fields = std::move(fields);
+  return emit(std::move(ev));
+}
+
+void Journal::dispatch_locked(const JournalEvent& event) {
+  for (JournalSink* sink : sinks_) sink->on_event(event);
+}
+
+void Journal::flush() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (JournalSink* sink : sinks_) sink->flush();
+}
+
+std::uint64_t Journal::events_emitted() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return next_seq_;
+}
+
+// --- JournalFileSink ------------------------------------------------------
+
+JournalFileSink::JournalFileSink(const std::string& path) : path_(path) {
+  util::ensure_parent_dirs(path);
+  out_.open(path, std::ios::binary);
+  ok_ = static_cast<bool>(out_);
+  if (ok_) {
+    out_ << "{\"type\":\"journal_header\",\"schema\":\"" << kJournalSchemaName
+         << "\",\"schema_version\":" << kJournalSchemaVersion << "}\n";
+  }
+}
+
+void JournalFileSink::on_event(const JournalEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) return;
+  out_ << event.to_json_line() << '\n';
+}
+
+void JournalFileSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok_) out_.flush();
+}
+
+// --- reader ---------------------------------------------------------------
+
+namespace {
+
+// Minimal parser for one flat JSON object of scalar values.  Captures each
+// value's raw text verbatim so rewriting is byte-identical.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  bool parse(std::vector<JournalField>* out, std::string* error) {
+    skip_ws();
+    if (!eat('{')) return fail(error, "expected '{'");
+    skip_ws();
+    if (eat('}')) return finish(error);
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return fail(error, "expected key string");
+      skip_ws();
+      if (!eat(':')) return fail(error, "expected ':'");
+      skip_ws();
+      std::string raw;
+      if (!parse_scalar(&raw)) return fail(error, "expected scalar value");
+      out->push_back({std::move(key), std::move(raw)});
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return finish(error);
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+ private:
+  bool finish(std::string* error) {
+    skip_ws();
+    if (pos_ != s_.size()) return fail(error, "trailing characters");
+    return true;
+  }
+  bool fail(std::string* error, const char* what) {
+    if (error) *error = what;
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  // Parses a quoted string; returns the *unescaped* content.
+  bool parse_string(std::string* out) {
+    std::string raw;
+    if (!parse_raw_string(&raw)) return false;
+    *out = unescape_json_string(raw);
+    return true;
+  }
+  bool parse_raw_string(std::string* raw) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    const std::size_t start = pos_++;
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (s_[pos_] == '"') {
+        ++pos_;
+        *raw = s_.substr(start, pos_ - start);
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool parse_scalar(std::string* raw) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '"') return parse_raw_string(raw);
+    if (c == '{' || c == '[') return false;  // journal values are flat
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
+           !std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    *raw = s_.substr(start, pos_ - start);
+    if (*raw == "true" || *raw == "false" || *raw == "null") return true;
+    // Must look like a JSON number.
+    char* end = nullptr;
+    std::strtod(raw->c_str(), &end);
+    return end && *end == '\0' && !raw->empty();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+JournalReadResult fail_result(const std::string& error) {
+  JournalReadResult r;
+  r.error = error;
+  return r;
+}
+
+}  // namespace
+
+JournalReadResult parse_journal(std::istream& in) {
+  JournalReadResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::int64_t last_seq = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<JournalField> fields;
+    std::string err;
+    if (!LineParser(line).parse(&fields, &err))
+      return fail_result("line " + std::to_string(line_no) + ": " + err);
+
+    JournalEvent ev;
+    bool have_seq = false;
+    for (JournalField& f : fields) {
+      if (f.key == "seq") {
+        ev.seq = static_cast<std::uint64_t>(std::strtoull(f.json.c_str(),
+                                                          nullptr, 10));
+        have_seq = true;
+      } else if (f.key == "type") {
+        if (f.json.size() >= 2 && f.json.front() == '"')
+          ev.type = unescape_json_string(f.json);
+      } else if (f.key == "window") {
+        ev.window = static_cast<std::int64_t>(std::strtoll(f.json.c_str(),
+                                                           nullptr, 10));
+      } else if (f.key == "t") {
+        ev.virtual_time = std::strtod(f.json.c_str(), nullptr);
+      } else {
+        ev.fields.push_back(std::move(f));
+      }
+    }
+
+    if (!saw_header) {
+      if (ev.type != "journal_header")
+        return fail_result("line 1: not a vapro.journal header");
+      const JournalEvent& h = ev;
+      if (h.str("schema") != kJournalSchemaName)
+        return fail_result("schema name mismatch: '" + h.str("schema") +
+                           "' (want " + kJournalSchemaName + ")");
+      result.schema_version = static_cast<int>(h.number("schema_version", -1));
+      if (result.schema_version != kJournalSchemaVersion)
+        return fail_result(
+            "schema version mismatch: journal is v" +
+            std::to_string(result.schema_version) + ", reader expects v" +
+            std::to_string(kJournalSchemaVersion));
+      saw_header = true;
+      continue;
+    }
+
+    if (!have_seq)
+      return fail_result("line " + std::to_string(line_no) + ": missing seq");
+    if (static_cast<std::int64_t>(ev.seq) <= last_seq)
+      return fail_result("line " + std::to_string(line_no) +
+                         ": non-monotonic seq " + std::to_string(ev.seq));
+    last_seq = static_cast<std::int64_t>(ev.seq);
+    result.events.push_back(std::move(ev));
+  }
+  if (!saw_header) return fail_result("empty journal (no header line)");
+  result.ok = true;
+  return result;
+}
+
+JournalReadResult read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail_result("cannot open " + path);
+  return parse_journal(in);
+}
+
+}  // namespace vapro::obs

@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vapro::obs {
@@ -100,6 +101,14 @@ class MetricsRegistry {
     std::string value;  // formatted
   };
   std::vector<Row> rows() const;
+
+  // Raw snapshots for machine renderers (Prometheus exposition).  The
+  // Histogram pointers stay valid for the registry's lifetime; instrument
+  // reads are atomic, so renderers need no further locking.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_entries()
+      const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,19 @@
+#include "src/util/fs.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+namespace vapro::util {
+
+bool ensure_parent_dirs(const std::string& file_path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(file_path).parent_path();
+  if (parent.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  // create_directories reports success (no error) when the path already
+  // exists; any other error means the parent cannot be materialized.
+  return !ec || std::filesystem::is_directory(parent);
+}
+
+}  // namespace vapro::util

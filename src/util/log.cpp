@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <tuple>
 
 namespace vapro::util {
 
@@ -45,6 +48,27 @@ double log_uptime_seconds() {
                                        log_epoch())
       .count();
 }
+
+namespace detail {
+
+std::atomic<std::uint64_t>* rate_counter(const char* file, int line,
+                                         const std::string& tag) {
+  // Keyed by (file pointer is not stable across TUs with identical string
+  // literals merged or not — use the text), line, and component tag.  The
+  // registry is tiny (one entry per rate-limited site × component), so a
+  // mutex-guarded map lookup per hit is cheap next to the log line it
+  // guards.
+  using Key = std::tuple<std::string, int, std::string>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<std::atomic<std::uint64_t>>>* registry =
+      new std::map<Key, std::unique_ptr<std::atomic<std::uint64_t>>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*registry)[Key{file, line, tag}];
+  if (!slot) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return slot.get();
+}
+
+}  // namespace detail
 
 void log_line(LogLevel level, const std::string& tag, const std::string& msg) {
   const double t = log_uptime_seconds();

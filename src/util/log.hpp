@@ -8,7 +8,10 @@
 //
 // VAPRO_LOG_*_EVERY_N(n) rate-limits a call site to every n-th hit (the
 // first hit always logs) — for warnings that would otherwise fire once per
-// analysis window.
+// analysis window.  Rate-limit counters are keyed by (component tag, call
+// site): a shared helper reached with different component tags keeps one
+// counter per component, so one chatty component cannot silence another's
+// first warning.
 #pragma once
 
 #include <atomic>
@@ -35,6 +38,21 @@ inline void log_line(LogLevel level, const std::string& msg) {
 }
 
 namespace detail {
+// Rate-limit counter for one (component tag, file, line) triple.  Counters
+// live in a process-wide registry so the same call site reached with
+// different runtime tags counts each component independently; the pointer
+// is stable, and the increment itself is relaxed-atomic.
+std::atomic<std::uint64_t>* rate_counter(const char* file, int line,
+                                         const std::string& tag);
+// True on the 1st, (n+1)th, (2n+1)th ... hit of this (tag, site).
+inline bool rate_limited_hit(const char* file, int line,
+                             const std::string& tag, std::uint64_t n) {
+  return rate_counter(file, line, tag)
+                 ->fetch_add(1, std::memory_order_relaxed) %
+             (n == 0 ? 1 : n) ==
+         0;
+}
+
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level, std::string tag = {})
@@ -71,20 +89,20 @@ class LogMessage {
   else                                                          \
     ::vapro::util::detail::LogMessage(level, tag)
 
-// Rate-limited: this call site logs on its 1st, (n+1)th, (2n+1)th ... hit.
-// The counter lives in a per-expansion lambda so every call site gets its
-// own; counting is relaxed-atomic, so concurrent hits never block.
-#define VAPRO_LOG_EVERY_N(level, n)                                           \
+// Rate-limited with a component tag: this (tag, call site) pair logs on
+// its 1st, (n+1)th, (2n+1)th ... hit.  `tag` may be a runtime value — each
+// distinct tag reaching the same site gets its own counter.
+#define VAPRO_LOG_TAG_EVERY_N(level, tag, n)                                  \
   if (static_cast<int>(level) < static_cast<int>(::vapro::util::log_level()) || \
-      !([] {                                                                  \
-        static std::atomic<std::uint64_t> vapro_log_count{0};                 \
-        return vapro_log_count.fetch_add(1, std::memory_order_relaxed) %      \
-                   static_cast<std::uint64_t>(n) ==                           \
-               0;                                                             \
-      }()))                                                                   \
+      !::vapro::util::detail::rate_limited_hit(                               \
+          __FILE__, __LINE__, (tag), static_cast<std::uint64_t>(n)))          \
     ;                                                                         \
   else                                                                        \
-    ::vapro::util::detail::LogMessage(level)
+    ::vapro::util::detail::LogMessage(level, (tag))
+
+// Untagged form (one counter per site, empty tag in the prefix).
+#define VAPRO_LOG_EVERY_N(level, n) \
+  VAPRO_LOG_TAG_EVERY_N(level, ::std::string(), n)
 
 #define VAPRO_LOG_DEBUG VAPRO_LOG(::vapro::util::LogLevel::kDebug)
 #define VAPRO_LOG_INFO VAPRO_LOG(::vapro::util::LogLevel::kInfo)

@@ -1,0 +1,235 @@
+// Tests for src/obs/exposition: raw-socket HTTP conformance, Prometheus
+// text-format validity, the /healthz and /v1 routes, concurrent scrapes
+// against a live analysis, and graceful port-in-use failure.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/npb.hpp"
+#include "src/core/vapro.hpp"
+#include "src/obs/context.hpp"
+#include "src/obs/exposition.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro {
+namespace {
+
+struct HttpReply {
+  bool ok = false;
+  int status = 0;
+  std::string content_type;
+  std::string body;
+  std::string raw;
+};
+
+// Minimal HTTP/1.1 client over a plain socket — the same wire surface a
+// Prometheus scraper or curl uses, so header framing is tested for real.
+HttpReply http_get(int port, const std::string& path) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  for (std::size_t off = 0; off < request.size();) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return reply;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = reply.raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return reply;
+  const std::string headers = reply.raw.substr(0, header_end);
+  reply.body = reply.raw.substr(header_end + 4);
+  std::istringstream hs(headers);
+  std::string status_line;
+  std::getline(hs, status_line);
+  if (std::sscanf(status_line.c_str(), "HTTP/1.1 %d", &reply.status) != 1)
+    return reply;
+  std::string line;
+  while (std::getline(hs, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    constexpr const char* kCt = "Content-Type: ";
+    if (line.rfind(kCt, 0) == 0) reply.content_type = line.substr(14);
+  }
+  reply.ok = true;
+  return reply;
+}
+
+// Validates Prometheus text format 0.0.4: every non-comment line must be
+// "name[{labels}] value" with a parseable double and a sane metric name.
+void expect_valid_prometheus(const std::string& body) {
+  std::istringstream is(body);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 ||
+                  line.rfind("# HELP ", 0) == 0)
+          << "bad comment line: " << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no value in: " << line;
+    const std::string name_part = line.substr(0, space);
+    const std::string value_part = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value_part.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    for (char c : name_part.substr(0, name_part.find('{')))
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric name char '" << c << "' in: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u) << "empty exposition body";
+}
+
+TEST(Exposition, MetricsRouteServesPrometheusTextFormat) {
+  obs::ObsContext ctx;
+  ctx.metrics().counter("vapro.test.requests")->inc(42);
+  ctx.metrics().gauge("vapro.test.depth")->set(3.5);
+  ctx.metrics().histogram("vapro.test.latency")->record(0.01);
+  std::string error;
+  ASSERT_NE(ctx.start_exposition(0, &error), nullptr) << error;
+  const int port = ctx.exposition()->port();
+  ASSERT_GT(port, 0);
+
+  HttpReply reply = http_get(port, "/metrics");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.content_type, obs::kPrometheusContentType);
+  expect_valid_prometheus(reply.body);
+  EXPECT_NE(reply.body.find("vapro_test_requests 42"), std::string::npos);
+  EXPECT_NE(reply.body.find("# TYPE vapro_test_requests counter"),
+            std::string::npos);
+  EXPECT_NE(reply.body.find("vapro_test_latency_count"), std::string::npos);
+}
+
+TEST(Exposition, HealthzReportsLiveness) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  HttpReply reply = http_get(ctx.exposition()->port(), "/healthz");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.content_type, "application/json");
+  EXPECT_NE(reply.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"windows\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"last_window_age_seconds\""),
+            std::string::npos);
+}
+
+TEST(Exposition, UnknownRouteIs404) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  HttpReply reply = http_get(ctx.exposition()->port(), "/nope");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 404);
+}
+
+TEST(Exposition, PortInUseFailsWithReadableError) {
+  obs::ExpositionServer first;
+  std::string error;
+  ASSERT_TRUE(first.start(0, &error)) << error;
+  obs::ExpositionServer second;
+  EXPECT_FALSE(second.start(first.port(), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(std::to_string(first.port())), std::string::npos)
+      << "error should name the port: " << error;
+  EXPECT_FALSE(second.running());
+}
+
+TEST(Exposition, RequestCounterAdvances) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  const auto before = ctx.exposition()->requests_served();
+  ASSERT_TRUE(http_get(ctx.exposition()->port(), "/healthz").ok);
+  ASSERT_TRUE(http_get(ctx.exposition()->port(), "/metrics").ok);
+  EXPECT_EQ(ctx.exposition()->requests_served(), before + 2);
+}
+
+// Scrape every route from several client threads while the analysis runs:
+// the /v1 routes lock the server's live mutex against process_window, so
+// this doubles as a deadlock/data-race check (run under TSan in CI).
+TEST(Exposition, ConcurrentScrapeDuringAnalysis) {
+  sim::SimConfig cfg;
+  cfg.ranks = 16;
+  cfg.cores_per_node = 8;
+  sim::Simulator simulator(cfg);
+
+  obs::ObsContext ctx;
+  std::string error;
+  ASSERT_NE(ctx.start_exposition(0, &error), nullptr) << error;
+  const int port = ctx.exposition()->port();
+
+  core::VaproOptions opts;
+  opts.window_seconds = 0.05;
+  opts.obs = &ctx;
+  core::VaproSession session(simulator, opts);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes{0};
+  std::vector<std::thread> scrapers;
+  const char* kPaths[] = {"/metrics", "/healthz", "/v1/heatmap",
+                          "/v1/variance"};
+  for (const char* path : kPaths) {
+    scrapers.emplace_back([&, path] {
+      while (!done.load(std::memory_order_relaxed)) {
+        HttpReply reply = http_get(port, path);
+        ASSERT_TRUE(reply.ok) << path;
+        ASSERT_EQ(reply.status, 200) << path;
+        ASSERT_FALSE(reply.body.empty()) << path;
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  apps::NpbParams p;
+  p.iters = 60;
+  simulator.run(apps::cg(p));
+  done.store(true);
+  for (auto& t : scrapers) t.join();
+  EXPECT_GT(scrapes.load(), 4);
+
+  // After the run the snapshot routes must agree with the session itself.
+  HttpReply variance = http_get(port, "/v1/variance");
+  ASSERT_TRUE(variance.ok);
+  EXPECT_EQ(variance.content_type, "application/json");
+  std::ostringstream want_windows;
+  want_windows << "\"windows\":" << session.server().windows_processed();
+  EXPECT_NE(variance.body.find(want_windows.str()), std::string::npos)
+      << variance.body;
+}
+
+}  // namespace
+}  // namespace vapro

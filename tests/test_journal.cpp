@@ -1,0 +1,311 @@
+// Tests for src/obs/journal + src/obs/alerts + src/core/journal_replay:
+// byte-identical write→read round-trips, schema-version rejection, parent
+// directory creation, alert rule parsing/firing, and the acceptance
+// criterion that a journal re-ingested by the replay path reproduces the
+// live run's detection and diagnosis summaries exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/npb.hpp"
+#include "src/core/journal_replay.hpp"
+#include "src/core/report.hpp"
+#include "src/core/vapro.hpp"
+#include "src/obs/alerts.hpp"
+#include "src/obs/context.hpp"
+#include "src/obs/journal.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace vapro {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return std::string(::testing::TempDir()) + leaf;
+}
+
+// In-memory sink used to inspect the exact event stream a run produced.
+struct CollectingJournalSink final : obs::JournalSink {
+  std::vector<obs::JournalEvent> events;
+  void on_event(const obs::JournalEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+struct CollectingAlertSink final : obs::AlertSink {
+  std::vector<obs::Alert> alerts;
+  void on_alert(const obs::Alert& alert) override {
+    alerts.push_back(alert);
+  }
+};
+
+TEST(Journal, RoundTripIsByteIdentical) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    obs::Journal journal;
+    obs::JournalFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    journal.add_sink(&sink);
+    journal.emit("window", 0, 0.25,
+                 {obs::JournalField::num("variance_ratio", 1.3333333333333333),
+                  obs::JournalField::num("region_count", std::uint64_t{2}),
+                  obs::JournalField::boolean("final", false)});
+    journal.emit("variance_region", 0, 0.1 + 0.2,  // not representable
+                 {obs::JournalField::num("mean_perf", 0.58521992720657923),
+                  obs::JournalField::str("kind", "io"),
+                  obs::JournalField::str("note", "quote \" slash \\ nl \n")});
+    journal.emit("diagnosis_finished", -1, 1e-308,
+                 {obs::JournalField::str("culprits", "io,network")});
+    journal.flush();
+    EXPECT_EQ(journal.events_emitted(), 3u);
+  }
+
+  obs::JournalReadResult read = obs::read_journal(path);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.schema_version, obs::kJournalSchemaVersion);
+  ASSERT_EQ(read.events.size(), 3u);
+  for (std::size_t i = 0; i < read.events.size(); ++i)
+    EXPECT_EQ(read.events[i].seq, i);
+
+  // Re-serializing every parsed event must reproduce the original file
+  // line for line: values keep their raw text, nothing is re-rounded.
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  EXPECT_NE(line.find("\"schema\":\"vapro.journal\""), std::string::npos);
+  for (const obs::JournalEvent& ev : read.events) {
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(ev.to_json_line(), line);
+  }
+  EXPECT_FALSE(std::getline(in, line)) << "trailing junk: " << line;
+
+  // Typed accessors see through the raw text.
+  EXPECT_DOUBLE_EQ(read.events[1].number("mean_perf"), 0.58521992720657923);
+  EXPECT_EQ(read.events[1].str("note"), "quote \" slash \\ nl \n");
+  EXPECT_EQ(read.events[0].flag("final", true), false);
+}
+
+TEST(Journal, SchemaVersionMismatchIsRejected) {
+  const std::string path = temp_path("journal_future.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"type\":\"journal_header\",\"schema\":\"vapro.journal\","
+           "\"schema_version\":" << (obs::kJournalSchemaVersion + 1) << "}\n"
+        << "{\"seq\":0,\"type\":\"window\",\"window\":0,\"t\":0.1}\n";
+  }
+  obs::JournalReadResult read = obs::read_journal(path);
+  EXPECT_FALSE(read.ok);
+  EXPECT_NE(read.error.find("version"), std::string::npos) << read.error;
+
+  {
+    std::ofstream out(path);
+    out << "{\"type\":\"journal_header\",\"schema\":\"someone.else\","
+           "\"schema_version\":1}\n";
+  }
+  read = obs::read_journal(path);
+  EXPECT_FALSE(read.ok);
+}
+
+TEST(Journal, ReaderRejectsNonMonotonicSequence) {
+  const std::string path = temp_path("journal_gap.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"type\":\"journal_header\",\"schema\":\"vapro.journal\","
+           "\"schema_version\":1}\n"
+        << "{\"seq\":1,\"type\":\"window\",\"window\":0,\"t\":0.1}\n"
+        << "{\"seq\":1,\"type\":\"window\",\"window\":1,\"t\":0.2}\n";
+  }
+  obs::JournalReadResult read = obs::read_journal(path);
+  EXPECT_FALSE(read.ok);
+  EXPECT_NE(read.error.find("seq"), std::string::npos) << read.error;
+}
+
+TEST(Journal, FileSinkCreatesParentDirectories) {
+  const std::string path = temp_path("journal_nest/a/b/run.jsonl");
+  obs::JournalFileSink sink(path);
+  ASSERT_TRUE(sink.ok());
+  obs::Journal journal;
+  journal.add_sink(&sink);
+  journal.emit("window", 0, 0.1, {});
+  journal.flush();
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string header;
+  EXPECT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("vapro.journal"), std::string::npos);
+}
+
+TEST(Alerts, RuleParsing) {
+  obs::AlertRule rule;
+  std::string error;
+  ASSERT_TRUE(obs::parse_alert_rule("variance_ratio > 1.2 for 3", &rule,
+                                    &error))
+      << error;
+  EXPECT_EQ(rule.metric, "variance_ratio");
+  EXPECT_EQ(rule.op, obs::AlertRule::Op::kGt);
+  EXPECT_DOUBLE_EQ(rule.threshold, 1.2);
+  EXPECT_EQ(rule.for_windows, 3);
+
+  ASSERT_TRUE(obs::parse_alert_rule("factor=io contribution > 0.25", &rule,
+                                    &error))
+      << error;
+  EXPECT_EQ(rule.metric, "factor");
+  EXPECT_EQ(rule.factor, "io");
+  EXPECT_DOUBLE_EQ(rule.threshold, 0.25);
+
+  ASSERT_TRUE(obs::parse_alert_rule("worst_cell < 0.7", &rule, &error));
+  EXPECT_EQ(rule.op, obs::AlertRule::Op::kLt);
+  EXPECT_EQ(rule.for_windows, 1);
+
+  EXPECT_FALSE(obs::parse_alert_rule("nonsense !! 12", &rule, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::parse_alert_rule("unknown_metric > 1", &rule, &error));
+}
+
+TEST(Alerts, ForWindowsRequiresConsecutiveStreakAndRearms) {
+  obs::Journal journal;
+  obs::AlertEngine engine;
+  CollectingAlertSink sink;
+  engine.add_alert_sink(&sink);
+  obs::AlertRule rule;
+  std::string error;
+  ASSERT_TRUE(obs::parse_alert_rule("variance_ratio > 1.2 for 3", &rule,
+                                    &error));
+  engine.add_rule(std::move(rule));
+  journal.add_sink(&engine);
+
+  auto window = [&](std::int64_t w, double ratio) {
+    journal.emit("window", w, 0.1 * static_cast<double>(w + 1),
+                 {obs::JournalField::num("variance_ratio", ratio)});
+  };
+  window(0, 1.5);
+  window(1, 1.5);
+  EXPECT_EQ(sink.alerts.size(), 0u);  // streak of 2 < 3
+  window(2, 1.1);                     // streak broken
+  window(3, 1.5);
+  window(4, 1.5);
+  EXPECT_EQ(sink.alerts.size(), 0u);
+  window(5, 1.5);                     // 3rd consecutive — fires
+  ASSERT_EQ(sink.alerts.size(), 1u);
+  EXPECT_EQ(sink.alerts[0].window, 5);
+  EXPECT_DOUBLE_EQ(sink.alerts[0].value, 1.5);
+  window(6, 1.5);                     // sustained: no re-fire while armed
+  EXPECT_EQ(sink.alerts.size(), 1u);
+  window(7, 1.0);                     // condition breaks → re-arm
+  window(8, 1.5);
+  window(9, 1.5);
+  window(10, 1.5);
+  EXPECT_EQ(sink.alerts.size(), 2u);
+  EXPECT_EQ(engine.alerts_fired(), 2u);
+}
+
+TEST(Alerts, FactorRuleMatchesDiagnosisFindings) {
+  obs::Journal journal;
+  obs::AlertEngine engine;
+  CollectingAlertSink sink;
+  engine.add_alert_sink(&sink);
+  obs::AlertRule rule;
+  std::string error;
+  ASSERT_TRUE(obs::parse_alert_rule("factor=io contribution > 0.25", &rule,
+                                    &error));
+  engine.add_rule(std::move(rule));
+  journal.add_sink(&engine);
+
+  // Findings precede their window event in seq order (diagnosis feeds
+  // before the server emits "window") — the engine buffers the factor hit.
+  journal.emit("diagnosis_finding", -1, 0.0,
+               {obs::JournalField::str("factor", "network"),
+                obs::JournalField::num("share", 0.5)});
+  journal.emit("window", 0, 0.1, {});
+  EXPECT_EQ(sink.alerts.size(), 0u);  // wrong factor
+
+  journal.emit("diagnosis_finding", -1, 0.0,
+               {obs::JournalField::str("factor", "io"),
+                obs::JournalField::num("share", 0.4)});
+  journal.emit("window", 1, 0.2, {});
+  ASSERT_EQ(sink.alerts.size(), 1u);
+  EXPECT_NE(sink.alerts[0].metric.find("io"), std::string::npos);
+  EXPECT_DOUBLE_EQ(sink.alerts[0].value, 0.4);
+}
+
+TEST(Alerts, JournalSinkRecordsAlertBackIntoJournal) {
+  obs::Journal journal;
+  CollectingJournalSink events;
+  journal.add_sink(&events);
+  obs::AlertEngine engine;
+  obs::JournalAlertSink back(&journal);
+  engine.add_alert_sink(&back);
+  obs::AlertRule rule;
+  std::string error;
+  ASSERT_TRUE(obs::parse_alert_rule("worst_cell < 0.7", &rule, &error));
+  engine.add_rule(std::move(rule));
+  journal.add_sink(&engine);
+
+  journal.emit("window", 0, 0.1,
+               {obs::JournalField::num("worst_cell", 0.5)});
+  // Re-entrant emit is queued after the triggering event, seq stays dense.
+  ASSERT_EQ(events.events.size(), 2u);
+  EXPECT_EQ(events.events[0].type, "window");
+  EXPECT_EQ(events.events[1].type, "alert");
+  EXPECT_EQ(events.events[1].seq, 1u);
+  EXPECT_EQ(events.events[1].str("metric"), "worst_cell");
+}
+
+// Acceptance: a journal captured from a live run, re-ingested through
+// core::summarize_journal, reproduces the run's own detection region table
+// and diagnosis summary character for character.
+TEST(JournalReplay, ReproducesLiveDetectionAndDiagnosisSummaries) {
+  sim::SimConfig cfg;
+  cfg.ranks = 16;
+  cfg.cores_per_node = 8;
+  cfg.seed = 3;
+  sim::NoiseSpec noise;
+  noise.kind = sim::NoiseKind::kIoInterference;
+  noise.node = 1;
+  noise.t_begin = 0.2;
+  noise.t_end = 10.0;
+  noise.magnitude = 2.0;
+  cfg.noises.push_back(noise);
+  sim::Simulator simulator(cfg);
+
+  obs::ObsContext ctx;
+  ctx.enable_journal();
+  CollectingJournalSink events;
+  ctx.journal()->add_sink(&events);
+
+  core::VaproOptions opts;
+  opts.window_seconds = 0.1;
+  opts.obs = &ctx;
+  core::VaproSession session(simulator, opts);
+
+  apps::NpbParams p;
+  p.iters = 80;
+  simulator.run(apps::cg(p));
+  session.server().journal_detection_snapshot();
+
+  core::JournalSummary summary = core::summarize_journal(events.events);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_GT(summary.windows, 0u);
+
+  // Region tables per category, byte for byte.
+  for (core::FragmentKind kind :
+       {core::FragmentKind::kComputation, core::FragmentKind::kCommunication,
+        core::FragmentKind::kIo}) {
+    const auto live = session.server().locate(kind);
+    EXPECT_EQ(core::render_region_table(
+                  summary.regions[static_cast<int>(kind)], opts.bin_seconds),
+              core::render_region_table(live, opts.bin_seconds))
+        << core::fragment_kind_name(kind);
+  }
+
+  // Diagnosis verdict, byte for byte.
+  EXPECT_EQ(summary.diagnosis.summary(),
+            session.server().diagnosis().summary());
+}
+
+}  // namespace
+}  // namespace vapro

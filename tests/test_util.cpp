@@ -10,6 +10,7 @@
 
 #include "src/util/check.hpp"
 #include "src/util/csv.hpp"
+#include "src/util/log.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
 
@@ -160,6 +161,32 @@ TEST(Check, FailsLoudly) {
 TEST(Fmt, Precision) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+// Simulates a shared helper whose VAPRO_LOG_TAG_EVERY_N site is reached with
+// different runtime component tags (e.g. one journal warning used by every
+// sink).  The counter must be keyed per (site, tag): a chatty component
+// spinning the counter must not swallow another component's first warning.
+TEST(Log, RateLimitCountersArePerTagAndSite) {
+  using detail::rate_limited_hit;
+  const char* file = "rate_limit_regression.cpp";
+
+  // "alpha" hammers the site: logs on hits 1 and n+1, nothing in between.
+  EXPECT_TRUE(rate_limited_hit(file, 10, "alpha", 5));
+  for (int i = 0; i < 4; ++i)
+    EXPECT_FALSE(rate_limited_hit(file, 10, "alpha", 5));
+  EXPECT_TRUE(rate_limited_hit(file, 10, "alpha", 5));
+
+  // "beta" reaches the SAME site afterwards — its first hit must still log.
+  EXPECT_TRUE(rate_limited_hit(file, 10, "beta", 5));
+  EXPECT_FALSE(rate_limited_hit(file, 10, "beta", 5));
+
+  // A different line is a different site even for the same tag.
+  EXPECT_TRUE(rate_limited_hit(file, 11, "alpha", 5));
+
+  // n=0 is treated as log-every-hit rather than a division by zero.
+  EXPECT_TRUE(rate_limited_hit(file, 12, "gamma", 0));
+  EXPECT_TRUE(rate_limited_hit(file, 12, "gamma", 0));
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// Shared observability flag wiring for the vapro_run / vapro_replay CLIs:
+//
+//   --metrics-out=FILE   self-telemetry JSON (parent dirs created)
+//   --trace-out=FILE     Chrome trace-event JSON of the pipeline
+//   --journal-out=FILE   schema-versioned JSONL event journal
+//   --listen=PORT        embedded HTTP endpoint (0 = ephemeral port):
+//                        /metrics /healthz /v1/heatmap /v1/variance
+//   --listen-linger=S    keep serving S seconds after the run finishes
+//   --alert-rule=SPEC    alert rule (repeatable; see src/obs/alerts.hpp)
+//   --alert-file=FILE    also append fired alerts to FILE (webhook stub)
+//   --obs-table          print the end-of-run metrics table regardless
+//
+// Declare the ObsCli BEFORE the ObsContext in main(): the journal borrows
+// the alert engine as a sink, so the context (which flushes the journal on
+// destruction) must die first.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/alerts.hpp"
+#include "src/obs/context.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace vapro::tools {
+
+struct ObsCli {
+  std::string metrics_path;
+  std::string trace_out_path;
+  std::string journal_path;
+  std::string listen;
+  double listen_linger = 0.0;
+  std::string alert_file;
+  std::vector<std::string> alert_specs;
+  bool obs_table = false;
+
+  obs::AlertEngine alert_engine;
+  obs::StderrAlertSink stderr_sink;
+  std::unique_ptr<obs::JournalAlertSink> journal_alert_sink;
+  std::unique_ptr<obs::WebhookFileSink> webhook_sink;
+
+  void parse(const util::CliArgs& args) {
+    metrics_path = args.get("metrics-out", "");
+    trace_out_path = args.get("trace-out", "");
+    journal_path = args.get("journal-out", "");
+    listen = args.get("listen", "");
+    listen_linger = args.get_double("listen-linger", 0.0);
+    alert_file = args.get("alert-file", "");
+    alert_specs = args.get_all("alert-rule");
+    obs_table = args.get_bool("obs-table");
+  }
+
+  // Any flag that needs an ObsContext attached?
+  bool want_obs() const {
+    return !metrics_path.empty() || !trace_out_path.empty() ||
+           !journal_path.empty() || !listen.empty() || !alert_file.empty() ||
+           !alert_specs.empty() || obs_table;
+  }
+
+  // Enables journal/alerts/exposition on `ctx` per the parsed flags.  Call
+  // BEFORE constructing the session, so core components find the
+  // exposition server and journal when they attach.  On failure returns
+  // false with a printable message in `error`.
+  bool activate(obs::ObsContext& ctx, std::string* error) {
+    if (!trace_out_path.empty()) ctx.enable_trace();
+    if (!journal_path.empty() || !alert_specs.empty()) ctx.enable_journal();
+    if (!journal_path.empty() && !ctx.attach_journal_file(journal_path)) {
+      *error = "cannot open --journal-out file " + journal_path;
+      return false;
+    }
+    if (!alert_specs.empty()) {
+      for (const std::string& spec : alert_specs) {
+        obs::AlertRule rule;
+        if (!obs::parse_alert_rule(spec, &rule, error)) return false;
+        alert_engine.add_rule(std::move(rule));
+      }
+      alert_engine.add_alert_sink(&stderr_sink);
+      journal_alert_sink =
+          std::make_unique<obs::JournalAlertSink>(ctx.journal());
+      alert_engine.add_alert_sink(journal_alert_sink.get());
+      if (!alert_file.empty()) {
+        webhook_sink = std::make_unique<obs::WebhookFileSink>(alert_file);
+        if (!webhook_sink->ok()) {
+          *error = "cannot open --alert-file " + alert_file;
+          return false;
+        }
+        alert_engine.add_alert_sink(webhook_sink.get());
+      }
+      ctx.journal()->add_sink(&alert_engine);
+    }
+    if (!listen.empty()) {
+      std::string bind_error;
+      if (!ctx.start_exposition(std::atoi(listen.c_str()), &bind_error)) {
+        *error = "--listen: " + bind_error;
+        return false;
+      }
+      // Printed (and flushed) before the run so scrapers can attach early.
+      std::cout << "listening on http://127.0.0.1:"
+                << ctx.exposition()->port()
+                << "  (/metrics /healthz /v1/heatmap /v1/variance)\n"
+                << std::flush;
+    }
+    return true;
+  }
+
+  // End-of-run outputs: metrics table, JSON/trace writes, journal and
+  // alert summary lines.  Returns false when any file write failed.
+  bool finish(obs::ObsContext& ctx) {
+    util::TextTable table({"metric", "kind", "value"});
+    for (const auto& row : ctx.metrics().rows())
+      table.add_row({row.name, row.kind, row.value});
+    std::cout << "\n--- self-telemetry ---\n";
+    table.print(std::cout);
+
+    bool failed = false;
+    if (!metrics_path.empty()) {
+      if (ctx.write_metrics_json(metrics_path)) {
+        std::cout << "metrics JSON -> " << metrics_path << "\n";
+      } else {
+        std::cerr << "failed to write " << metrics_path << "\n";
+        failed = true;
+      }
+    }
+    if (!trace_out_path.empty()) {
+      if (ctx.write_trace_json(trace_out_path)) {
+        std::cout << "pipeline trace (" << ctx.trace()->size()
+                  << " events) -> " << trace_out_path
+                  << "  (open in chrome://tracing or ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "failed to write " << trace_out_path << "\n";
+        failed = true;
+      }
+    }
+    if (obs::Journal* journal = ctx.journal()) {
+      journal->flush();
+      std::cout << "journal: " << journal->events_emitted() << " events";
+      if (!journal_path.empty()) std::cout << " -> " << journal_path;
+      std::cout << "\n";
+    }
+    if (alert_engine.rules() > 0)
+      std::cout << "alerts fired: " << alert_engine.alerts_fired() << " ("
+                << alert_engine.rules() << " rules)\n";
+    return !failed;
+  }
+
+  // Keeps the exposition endpoint alive after the run (--listen-linger).
+  void linger(const obs::ObsContext& ctx) const {
+    if (!ctx.exposition() || listen_linger <= 0.0) return;
+    std::cout << "serving for " << listen_linger
+              << "s more (--listen-linger)\n"
+              << std::flush;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(listen_linger));
+  }
+};
+
+}  // namespace vapro::tools

@@ -1,4 +1,5 @@
-// vapro_replay — offline analysis of a recorded trace.
+// vapro_replay — offline analysis of a recorded trace, or re-ingestion of
+// an event journal.
 //
 //   vapro_record: use `vapro_run --trace=FILE ...` to record (or any code
 //   attaching trace::TraceWriter), then:
@@ -7,25 +8,56 @@
 //   vapro_replay trace.vprt --context-aware --no-diagnosis
 //
 // Re-analyzes the same run under different knobs without re-running it.
+//
+//   vapro_replay --from-journal run.jsonl
+//
+// reconstructs the original run's detection/diagnosis summaries from its
+// `--journal-out` event journal alone (no raw trace needed): the journal
+// carries every conclusion at full precision.
 #include <chrono>
 #include <iostream>
 
+#include "src/core/journal_replay.hpp"
 #include "src/core/report.hpp"
 #include "src/obs/context.hpp"
 #include "src/trace/offline.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
+#include "tools/obs_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace vapro;
   util::CliArgs args(argc, argv);
-  if (args.positionals().empty()) {
+  // Both `--from-journal FILE` (FILE parses as the flag value) and
+  // `FILE --from-journal` (FILE parses as a positional) are accepted.
+  std::string journal_in = args.get("from-journal", "");
+  if (args.has("from-journal") && journal_in.empty() &&
+      !args.positionals().empty())
+    journal_in = args.positionals()[0];
+  if (args.positionals().empty() && journal_in.empty()) {
     std::cout << "usage: vapro_replay TRACE_FILE [--window=S] "
                  "[--threshold=X] [--bins=S] [--context-aware] "
                  "[--no-diagnosis] [--cluster-threshold=X] "
-                 "[--metrics-out=FILE] [--trace-out=FILE]\n";
+                 "[--metrics-out=FILE] [--trace-out=FILE] [--obs-table]\n"
+                 "       vapro_replay --from-journal JOURNAL_FILE\n"
+                 "extra observability flags (as in vapro_run): "
+                 "[--journal-out=FILE] [--listen=PORT] [--listen-linger=S] "
+                 "[--alert-rule=SPEC]... [--alert-file=FILE]\n";
     return 2;
   }
+
+  if (!journal_in.empty()) {
+    // Journal re-ingestion: no clustering, no heat maps — just the
+    // producer's own conclusions, replayed.
+    core::JournalSummary summary = core::summarize_journal_file(journal_in);
+    if (!summary.ok) {
+      std::cerr << "journal replay failed: " << summary.error << "\n";
+      return 1;
+    }
+    std::cout << core::render_journal_summary(summary);
+    return 0;
+  }
+
   trace::Trace trace = trace::Trace::load(args.positionals()[0]);
   std::cout << "loaded " << trace.size() << " events ("
             << trace.byte_size() / 1024 << " KiB)\n";
@@ -39,11 +71,18 @@ int main(int argc, char** argv) {
   if (args.get_bool("context-aware"))
     opts.stg_mode = core::StgMode::kContextAware;
 
-  const std::string metrics_path = args.get("metrics-out", "");
-  const std::string trace_out_path = args.get("trace-out", "");
+  // ObsCli before ObsContext: the journal borrows the alert engine.
+  tools::ObsCli obs_cli;
+  obs_cli.parse(args);
   obs::ObsContext obs_ctx;
-  if (!metrics_path.empty() || !trace_out_path.empty()) opts.obs = &obs_ctx;
-  if (!trace_out_path.empty()) obs_ctx.enable_trace();
+  if (obs_cli.want_obs()) {
+    opts.obs = &obs_ctx;
+    std::string error;
+    if (!obs_cli.activate(obs_ctx, &error)) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+  }
 
   const auto wall0 = std::chrono::steady_clock::now();
   trace::OfflineSession session(trace, opts);
@@ -73,25 +112,10 @@ int main(int argc, char** argv) {
 
   if (opts.obs) {
     obs_ctx.overhead().set_run_wall_seconds(replay_wall_seconds);
-    bool obs_write_failed = false;
-    if (!metrics_path.empty()) {
-      if (obs_ctx.write_metrics_json(metrics_path)) {
-        std::cout << "metrics JSON -> " << metrics_path << "\n";
-      } else {
-        std::cerr << "failed to write " << metrics_path << "\n";
-        obs_write_failed = true;
-      }
-    }
-    if (!trace_out_path.empty()) {
-      if (obs_ctx.write_trace_json(trace_out_path)) {
-        std::cout << "pipeline trace (" << obs_ctx.trace()->size()
-                  << " events) -> " << trace_out_path << "\n";
-      } else {
-        std::cerr << "failed to write " << trace_out_path << "\n";
-        obs_write_failed = true;
-      }
-    }
-    if (obs_write_failed) return 1;
+    session.server().journal_detection_snapshot();
+    const bool obs_write_ok = obs_cli.finish(obs_ctx);
+    obs_cli.linger(obs_ctx);
+    if (!obs_write_ok) return 1;
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "src/trace/trace.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
+#include "tools/obs_cli.hpp"
 
 namespace {
 
@@ -52,7 +53,18 @@ int usage() {
       "                         analysis pipeline (chrome://tracing,\n"
       "                         Perfetto)\n"
       "  --obs-table            print the end-of-run metrics table even\n"
-      "                         without --metrics-out\n";
+      "                         without --metrics-out\n"
+      "  --journal-out=FILE     write the schema-versioned JSONL event\n"
+      "                         journal (variance regions, rare paths,\n"
+      "                         diagnosis verdicts, PMU reprograms)\n"
+      "  --listen=PORT          serve /metrics (Prometheus), /healthz,\n"
+      "                         /v1/heatmap, /v1/variance on\n"
+      "                         127.0.0.1:PORT (0 = ephemeral)\n"
+      "  --listen-linger=S      keep serving S seconds after the run\n"
+      "  --alert-rule=SPEC      alert rule (repeatable), e.g.\n"
+      "                         'variance_ratio > 1.2 for 3' or\n"
+      "                         'factor=io contribution > 0.25'\n"
+      "  --alert-file=FILE      append fired alerts to FILE (webhook stub)\n";
   return 2;
 }
 
@@ -137,14 +149,19 @@ int main(int argc, char** argv) {
 
   // Self-telemetry: attach an ObsContext when any observability output is
   // requested; the default path keeps the library instrument-free.
-  const std::string metrics_path = args.get("metrics-out", "");
-  const std::string trace_out_path = args.get("trace-out", "");
-  const bool obs_table = args.get_bool("obs-table");
+  // ObsCli before ObsContext: the journal borrows the alert engine.
+  tools::ObsCli obs_cli;
+  obs_cli.parse(args);
   obs::ObsContext obs_ctx;
-  const bool want_obs =
-      !metrics_path.empty() || !trace_out_path.empty() || obs_table;
-  if (want_obs) options.obs = &obs_ctx;
-  if (!trace_out_path.empty()) obs_ctx.enable_trace();
+  const bool want_obs = obs_cli.want_obs();
+  if (want_obs) {
+    options.obs = &obs_ctx;
+    std::string error;
+    if (!obs_cli.activate(obs_ctx, &error)) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+  }
 
   core::VaproSession session(simulator, options);
 
@@ -191,40 +208,19 @@ int main(int argc, char** argv) {
   if (want_obs) {
     obs_ctx.overhead().set_run_wall_seconds(run_wall_seconds);
     obs_ctx.overhead().set_app_virtual_seconds(result.makespan);
+    // Final full-precision region snapshot so a journal replay reproduces
+    // the end-of-run detection report exactly.
+    session.server().journal_detection_snapshot();
 
-    // End-of-run self-telemetry table.
-    util::TextTable table({"metric", "kind", "value"});
-    for (const auto& row : obs_ctx.metrics().rows())
-      table.add_row({row.name, row.kind, row.value});
-    std::cout << "\n--- self-telemetry ---\n";
-    table.print(std::cout);
+    const bool obs_write_ok = obs_cli.finish(obs_ctx);
     const auto& oh = obs_ctx.overhead();
     std::cout << "tool time " << util::fmt(oh.tool_seconds() * 1e3, 1)
               << " ms over a " << util::fmt(oh.run_wall_seconds(), 2)
               << " s run (" << util::fmt(oh.tool_fraction_of_wall() * 100, 2)
               << "% of wall clock); app makespan "
               << util::fmt(oh.app_virtual_seconds(), 2) << " virtual s\n";
-
-    bool obs_write_failed = false;
-    if (!metrics_path.empty()) {
-      if (obs_ctx.write_metrics_json(metrics_path)) {
-        std::cout << "metrics JSON -> " << metrics_path << "\n";
-      } else {
-        std::cerr << "failed to write " << metrics_path << "\n";
-        obs_write_failed = true;
-      }
-    }
-    if (!trace_out_path.empty()) {
-      if (obs_ctx.write_trace_json(trace_out_path)) {
-        std::cout << "pipeline trace (" << obs_ctx.trace()->size()
-                  << " events) -> " << trace_out_path
-                  << "  (open in chrome://tracing or ui.perfetto.dev)\n";
-      } else {
-        std::cerr << "failed to write " << trace_out_path << "\n";
-        obs_write_failed = true;
-      }
-    }
-    if (obs_write_failed) return 1;
+    obs_cli.linger(obs_ctx);
+    if (!obs_write_ok) return 1;
   }
   return 0;
 }
