@@ -2,14 +2,43 @@
 # Full verification cycle: configure, build, test, guard the repo
 # hygiene invariants, smoke the observability outputs, regenerate every
 # experiment.  Mirrors what CI would run.
+#
+#   scripts/check.sh                   the full cycle
+#   scripts/check.sh --sanitize=asan   ASan+UBSan build, fault+stress suites
+#   scripts/check.sh --sanitize=tsan   TSan build, fault+stress suites
+#
+# Sanitizer mode builds into build-<name>/ (the plain build/ stays usable),
+# runs the whole test suite under the sanitizer, then re-runs the fault and
+# stress labels explicitly — those suites exist to execute failure paths,
+# exactly where use-after-free and data races hide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+sanitize=""
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize=asan|--sanitize=tsan) sanitize="${arg#--sanitize=}" ;;
+    *) echo "usage: scripts/check.sh [--sanitize=asan|tsan]" >&2; exit 2 ;;
+  esac
+done
+
 # Build artifacts must never be tracked (they were once; never again).
-if git ls-files | grep -q '^build/'; then
+if git ls-files | grep -q '^build[^/]*/'; then
   echo "FAIL: build artifacts are tracked in git:" >&2
-  git ls-files | grep '^build/' | head >&2
+  git ls-files | grep '^build[^/]*/' | head >&2
   exit 1
+fi
+
+if [ -n "$sanitize" ]; then
+  build="build-$sanitize"
+  cmake -B "$build" -G Ninja -DVAPRO_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVAPRO_FAULT_INJECTION=ON
+  cmake --build "$build"
+  ctest --test-dir "$build" --output-on-failure
+  echo "--- $sanitize: fault + stress labels ---"
+  ctest --test-dir "$build" -L 'fault|stress' --output-on-failure
+  echo "check.sh --sanitize=$sanitize OK"
+  exit 0
 fi
 
 cmake -B build -G Ninja

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates the golden files in tests/golden/ from the current renderers.
+#
+# Usage: scripts/update_goldens.sh [build-dir]
+#
+# Run after an INTENTIONAL formatting change to the report tables, then
+# review the diff of tests/golden/ like any other code change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/tests/test_golden" ]]; then
+  echo "building test_golden in $BUILD_DIR ..."
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target test_golden -j >/dev/null
+fi
+
+mkdir -p tests/golden
+VAPRO_UPDATE_GOLDENS=1 "$BUILD_DIR/tests/test_golden" \
+  --gtest_brief=1 >/dev/null
+
+echo "updated goldens:"
+git -c core.quotepath=off status --short tests/golden || true

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/testing/fault.hpp"
 #include "src/util/check.hpp"
 
 namespace vapro::core {
@@ -75,7 +76,10 @@ void VaproClient::on_call_begin(const sim::InvocationInfo& info, double time,
   comp.counters = rs.counters.read_delta(rs.last_gt, ground_truth);
   comp.truth_class = info.truth_class_since_last;
   account(comp);
-  buffer_.fragments.push_back(std::move(comp));
+  if (VAPRO_FAULT("client.ingest") == testing::FaultAction::kDrop)
+    ++ingest_faults_;  // record lost before reaching the buffer
+  else
+    buffer_.fragments.push_back(std::move(comp));
 
   rs.begin_time = time;
 }
@@ -106,7 +110,10 @@ void VaproClient::on_call_end(const sim::InvocationInfo& info, double time,
     inv.args = info.args;
     inv.op = info.kind;
     account(inv);
-    buffer_.fragments.push_back(std::move(inv));
+    if (VAPRO_FAULT("client.ingest") == testing::FaultAction::kDrop)
+      ++ingest_faults_;
+    else
+      buffer_.fragments.push_back(std::move(inv));
   }
 
   // Update the per-site span statistic (previous call end → this call end)

@@ -101,6 +101,9 @@ class VaproClient final : public sim::Interceptor {
   std::uint64_t fragments_recorded() const { return fragments_recorded_; }
   std::uint64_t invocations_seen() const { return invocations_seen_; }
   std::uint64_t invocations_sampled_out() const { return sampled_out_; }
+  // Fragments lost to injected "client.ingest" drops (a crashed or
+  // corrupted per-rank record); the analysis server never sees these.
+  std::uint64_t ingest_faults() const { return ingest_faults_; }
 
  private:
   struct RankState {
@@ -138,6 +141,7 @@ class VaproClient final : public sim::Interceptor {
   std::uint64_t fragments_recorded_ = 0;
   std::uint64_t invocations_seen_ = 0;
   std::uint64_t sampled_out_ = 0;
+  std::uint64_t ingest_faults_ = 0;
   // Registry tallies published so far (drain-time deltas keep the hot
   // interception path free of registry traffic).
   std::uint64_t published_bytes_ = 0;

@@ -24,6 +24,7 @@
 #include "src/core/stg.hpp"
 #include "src/obs/context.hpp"
 #include "src/stats/vmeasure.hpp"
+#include "src/util/clock.hpp"
 
 namespace vapro::core {
 
@@ -59,6 +60,10 @@ struct ServerOptions {
   // histograms, trace spans, and tool-time accounting; null disables.
   // Borrowed, must outlive the server.
   obs::ObsContext* obs = nullptr;
+  // Time source for stage timings (null = the process-wide real clock).
+  // Tests install a util::VirtualClock so window/stage timing logic runs
+  // deterministically without sleeps; borrowed, must outlive the server.
+  util::Clock* clock = nullptr;
   // Live detection surfaces: with obs attached, each window also computes
   // detection-health gauges, journals window/variance-region events, and —
   // if the ObsContext runs an exposition server — answers /v1/heatmap and
@@ -112,6 +117,10 @@ class AnalysisServer {
   std::size_t windows_processed() const { return windows_; }
   std::size_t fragments_processed() const { return fragments_; }
   std::size_t rare_clusters_reported() const { return rare_clusters_; }
+  // Windows whose live detection publish was lost to an injected
+  // "server.window" fault; journal_detection_snapshot still recovers the
+  // final regions.
+  std::size_t publish_faults() const { return publish_faults_; }
   // Rare-but-expensive paths surfaced per Algorithm 1 line 8, sorted by
   // total time (descending), capped at rare_report_limit.
   const std::vector<RareFinding>& rare_findings() const {
@@ -150,6 +159,7 @@ class AnalysisServer {
   std::size_t windows_ = 0;
   std::size_t fragments_ = 0;
   std::size_t rare_clusters_ = 0;
+  std::size_t publish_faults_ = 0;
   std::vector<RareFinding> rare_findings_;
   std::vector<Fragment> overlap_carry_;
   // (truth label, predicted cluster label) for labelled comp fragments.

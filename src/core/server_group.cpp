@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/obs/exposition.hpp"
+#include "src/testing/fault.hpp"
 #include "src/util/check.hpp"
 
 namespace vapro::core {
@@ -95,9 +96,15 @@ void ServerGroup::process_window(FragmentBatch batch) {
     obs_->metrics()
         .counter("vapro.group.fragments_total")
         ->inc(total_fragments);
-    if (live_detection_)
-      publish_detection(static_cast<std::int64_t>(windows_),
-                        last_virtual_time_, total_fragments);
+    if (live_detection_) {
+      if (VAPRO_FAULT("group.merge") == testing::FaultAction::kFail)
+        // Merged publish lost for this window; leaves are unaffected and
+        // the final snapshot still recovers the merged regions.
+        ++merge_faults_;
+      else
+        publish_detection(static_cast<std::int64_t>(windows_),
+                          last_virtual_time_, total_fragments);
+    }
     if (trace)
       trace->complete(
           "group.window", "server_group", t0,

@@ -52,6 +52,9 @@ class ServerGroup {
 
   std::size_t fragments_processed() const;
   std::size_t windows_processed() const { return windows_; }
+  // Windows whose merged root publish was lost to an injected
+  // "group.merge" fault (leaves and the final snapshot are unaffected).
+  std::size_t merge_faults() const { return merge_faults_; }
 
   // Final full-precision merged variance_region snapshot into the journal
   // (see AnalysisServer::journal_detection_snapshot).
@@ -77,6 +80,7 @@ class ServerGroup {
   mutable std::mutex live_mu_;
   std::vector<std::string> live_routes_;
   std::size_t windows_ = 0;
+  std::size_t merge_faults_ = 0;
   double last_virtual_time_ = 0.0;
   mutable RegionJournal region_journal_;
 };

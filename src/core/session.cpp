@@ -1,8 +1,8 @@
 #include <algorithm>
-#include <chrono>
 #include <sstream>
 
 #include "src/core/vapro.hpp"
+#include "src/util/clock.hpp"
 #include "src/util/log.hpp"
 #include "src/util/table.hpp"
 
@@ -36,6 +36,7 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
   sopts.window_observer = opts.window_observer;
   sopts.shared_baseline = shared_baseline;
   sopts.obs = opts.obs;
+  sopts.clock = opts.clock;
   server_ = std::make_unique<AnalysisServer>(simulator.config().ranks, sopts);
 
   // Stage-1 counters must be live from the start.  User-specified proxy
@@ -71,13 +72,11 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
       simulator_.add_periodic(opts.window_seconds, [this, reprogram](double) {
         // The drain is timed separately: it becomes the "drain" stage of
         // this window's PipelineStats snapshot.
-        const auto t0 = std::chrono::steady_clock::now();
+        util::Clock* clock = opts_.clock ? opts_.clock : util::real_clock();
+        const double t0 = clock->now_seconds();
         FragmentBatch batch = client_->drain();
         const double drain_seconds =
-            opts_.obs ? std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count()
-                      : 0.0;
+            opts_.obs ? clock->now_seconds() - t0 : 0.0;
         server_->process_window(std::move(batch), drain_seconds);
         // Progressive diagnosis may have moved to a finer stage; reprogram
         // the clients' PMU sets for the next window.

@@ -59,6 +59,9 @@ struct VaproOptions {
   // whole client → server → diagnoser path.  Null (the default) disables
   // every instrument; borrowed, must outlive the session.
   obs::ObsContext* obs = nullptr;
+  // Wall-clock source for drain/stage timings (null = the process-wide
+  // real clock); tests install a util::VirtualClock.  Borrowed.
+  util::Clock* clock = nullptr;
 };
 
 class VaproSession {

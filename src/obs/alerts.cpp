@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/testing/fault.hpp"
 #include "src/util/fs.hpp"
 #include "src/util/log.hpp"
 
@@ -218,7 +219,19 @@ void AlertEngine::fire(RuleState& st, double value,
   alert.threshold = st.rule.threshold;
   alert.window = event.window;
   alert.virtual_time = event.virtual_time;
-  for (AlertSink* sink : sinks_) sink->on_alert(alert);
+  for (AlertSink* sink : sinks_) {
+    if (VAPRO_FAULT("alerts.dispatch") == testing::FaultAction::kDrop) {
+      ++dispatch_faults_;
+      continue;  // this sink misses the alert; the rule state already fired
+    }
+    // A sink that throws must not take down the analysis thread or starve
+    // the remaining sinks of the alert.
+    try {
+      sink->on_alert(alert);
+    } catch (...) {
+      ++dispatch_faults_;
+    }
+  }
 }
 
 }  // namespace vapro::obs

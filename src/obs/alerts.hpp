@@ -110,6 +110,9 @@ class AlertEngine final : public JournalSink {
 
   std::size_t rules() const { return states_.size(); }
   std::uint64_t alerts_fired() const { return fired_; }
+  // Sink deliveries lost to injected "alerts.dispatch" drops or sinks that
+  // threw; firing state is unaffected (a lost delivery never re-fires).
+  std::uint64_t dispatch_faults() const { return dispatch_faults_; }
 
  private:
   struct RuleState {
@@ -126,6 +129,7 @@ class AlertEngine final : public JournalSink {
   std::vector<RuleState> states_;
   std::vector<AlertSink*> sinks_;
   std::uint64_t fired_ = 0;
+  std::uint64_t dispatch_faults_ = 0;
 };
 
 }  // namespace vapro::obs

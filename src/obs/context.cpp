@@ -11,7 +11,11 @@ namespace vapro::obs {
 ObsContext::~ObsContext() {
   // Stop serving before any member the route handlers might read dies.
   if (exposition_) exposition_->stop();
-  if (journal_) journal_->flush();
+  // Flush only the file sink the context owns: borrowed sinks (alert
+  // engines, test collectors) are routinely declared after the context and
+  // are already gone by now — fanning out through the journal here would
+  // call through their dead vptrs.
+  if (journal_file_) journal_file_->flush();
 }
 
 TraceRecorder* ObsContext::enable_trace() {
@@ -97,9 +101,7 @@ void ObsContext::emit_window(const PipelineStats& stats) {
   }
   windows_emitted_.fetch_add(1, std::memory_order_relaxed);
   last_window_ns_.store(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count(),
+      static_cast<std::int64_t>((clock_->now_seconds() - epoch_seconds_) * 1e9),
       std::memory_order_relaxed);
   // Flush-on-window: every journaled conclusion of a finished window is
   // durable before the next window starts.
@@ -109,16 +111,13 @@ void ObsContext::emit_window(const PipelineStats& stats) {
 double ObsContext::last_window_age_seconds() const {
   const std::int64_t last = last_window_ns_.load(std::memory_order_relaxed);
   if (last < 0) return -1.0;
-  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - epoch_)
-                          .count();
+  const std::int64_t now_ns = static_cast<std::int64_t>(
+      (clock_->now_seconds() - epoch_seconds_) * 1e9);
   return static_cast<double>(now_ns - last) * 1e-9;
 }
 
 double ObsContext::uptime_seconds() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       epoch_)
-      .count();
+  return clock_->now_seconds() - epoch_seconds_;
 }
 
 std::string ObsContext::metrics_json() const {

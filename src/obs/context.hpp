@@ -11,7 +11,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,6 +23,7 @@
 #include "src/obs/overhead.hpp"
 #include "src/obs/pipeline.hpp"
 #include "src/obs/trace_export.hpp"
+#include "src/util/clock.hpp"
 
 namespace vapro::obs {
 
@@ -80,6 +80,15 @@ class ObsContext {
   double last_window_age_seconds() const;
   double uptime_seconds() const;
 
+  // Time source for uptime/window-age (defaults to the real steady clock).
+  // Install a util::VirtualClock BEFORE the first emit_window to test
+  // age/linger logic without sleeping; borrowed, must outlive the context.
+  void set_clock(util::Clock* clock) {
+    clock_ = clock ? clock : util::real_clock();
+    epoch_seconds_ = clock_->now_seconds();
+  }
+  util::Clock* clock() const { return clock_; }
+
  private:
   MetricsRegistry metrics_;
   OverheadAccountant overhead_;
@@ -91,10 +100,11 @@ class ObsContext {
   std::unique_ptr<ExpositionServer> exposition_;
   std::mutex emit_mu_;
   std::atomic<std::uint64_t> windows_emitted_{0};
-  // Nanoseconds since `epoch_` of the last emit_window; -1 before any.
+  // Nanoseconds since the clock epoch of the last emit_window; -1 before
+  // any.
   std::atomic<std::int64_t> last_window_ns_{-1};
-  const std::chrono::steady_clock::time_point epoch_ =
-      std::chrono::steady_clock::now();
+  util::Clock* clock_ = util::real_clock();
+  double epoch_seconds_ = clock_->now_seconds();
 };
 
 }  // namespace vapro::obs

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/testing/fault.hpp"
 #include "src/util/log.hpp"
 
 namespace vapro::obs {
@@ -48,6 +49,7 @@ const char* status_text(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "OK";
   }
 }
@@ -146,6 +148,13 @@ void ExpositionServer::serve_loop() {
       if (errno == EINTR) continue;
       break;  // listen socket is gone
     }
+    if (VAPRO_FAULT("expo.accept") == testing::FaultAction::kFail) {
+      // Transient accept-side failure (EMFILE/EAGAIN): drop this client
+      // and keep serving — the loop must never wedge on one bad accept.
+      accept_faults_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
     handle_connection(fd);
     ::close(fd);
   }
@@ -184,7 +193,18 @@ void ExpositionServer::handle_connection(int fd) {
       << "\r\nContent-Length: " << resp.body.size()
       << "\r\nConnection: close\r\n\r\n"
       << resp.body;
-  const std::string payload = out.str();
+  std::string payload = out.str();
+  switch (VAPRO_FAULT("expo.send")) {
+    case testing::FaultAction::kClose:
+      // Peer-visible mid-response close: half the payload goes out, then
+      // the connection dies.  Clients must treat the short body as failure.
+      payload.resize(payload.size() / 2);
+      break;
+    case testing::FaultAction::kFail:
+      return;  // send() failed outright; nothing reaches the client
+    default:
+      break;
+  }
   std::size_t sent = 0;
   while (sent < payload.size()) {
     const ssize_t n =
@@ -208,7 +228,21 @@ HttpResponse ExpositionServer::dispatch(const std::string& path) {
     resp.body = body.str();
     return resp;
   }
-  return it->second();
+  // A handler that throws must surface as a 503 response, never as a hung
+  // connection or a dead serve thread.
+  try {
+    return it->second();
+  } catch (const std::exception& e) {
+    HttpResponse resp;
+    resp.status = 503;
+    resp.body = std::string("handler error: ") + e.what() + '\n';
+    return resp;
+  } catch (...) {
+    HttpResponse resp;
+    resp.status = 503;
+    resp.body = "handler error\n";
+    return resp;
+  }
 }
 
 }  // namespace vapro::obs

@@ -53,6 +53,11 @@ class ExpositionServer {
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  // Connections dropped at accept time (injected "expo.accept" faults or
+  // real transient accept errors) without wedging the serve loop.
+  std::uint64_t accept_faults() const {
+    return accept_faults_.load(std::memory_order_relaxed);
+  }
 
   using Handler = std::function<HttpResponse()>;
   // Registers (or replaces) a GET route.  remove_route is safe while the
@@ -71,6 +76,7 @@ class ExpositionServer {
   std::thread thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> accept_faults_{0};
   std::mutex routes_mu_;
   std::map<std::string, Handler> routes_;
 };

@@ -1,11 +1,15 @@
 #include "src/obs/journal.hpp"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "src/testing/fault.hpp"
 #include "src/util/fs.hpp"
 
 namespace vapro::obs {
@@ -200,25 +204,141 @@ std::uint64_t Journal::events_emitted() const {
 
 // --- JournalFileSink ------------------------------------------------------
 
-JournalFileSink::JournalFileSink(const std::string& path) : path_(path) {
+namespace {
+
+std::string header_line() {
+  std::ostringstream oss;
+  oss << "{\"type\":\"journal_header\",\"schema\":\"" << kJournalSchemaName
+      << "\",\"schema_version\":" << kJournalSchemaVersion << "}\n";
+  return oss.str();
+}
+
+}  // namespace
+
+JournalFileSink::JournalFileSink(const std::string& path, OpenMode mode) {
+  ok_ = open_file(path, mode);
+}
+
+JournalFileSink::~JournalFileSink() {
+  if (file_) std::fclose(file_);
+}
+
+bool JournalFileSink::open_file(const std::string& path, OpenMode mode) {
   util::ensure_parent_dirs(path);
-  out_.open(path, std::ios::binary);
-  ok_ = static_cast<bool>(out_);
-  if (ok_) {
-    out_ << "{\"type\":\"journal_header\",\"schema\":\"" << kJournalSchemaName
-         << "\",\"schema_version\":" << kJournalSchemaVersion << "}\n";
+  std::FILE* f = nullptr;
+  if (mode == OpenMode::kAppend) {
+    f = std::fopen(path.c_str(), "r+b");
+    if (f) {
+      // Recover a torn tail: everything after the last complete line is a
+      // partial write from a killed writer — truncate it away and resume.
+      std::fseek(f, 0, SEEK_END);
+      const long size = std::ftell(f);
+      long keep = 0;
+      if (size > 0) {
+        std::string content(static_cast<std::size_t>(size), '\0');
+        std::fseek(f, 0, SEEK_SET);
+        if (std::fread(content.data(), 1, content.size(), f) != content.size()) {
+          std::fclose(f);
+          return false;
+        }
+        const std::size_t last_nl = content.rfind('\n');
+        keep = last_nl == std::string::npos
+                   ? 0
+                   : static_cast<long>(last_nl) + 1;
+      }
+      recovered_tail_bytes_ = static_cast<std::uint64_t>(size - keep);
+      if (keep != size &&
+          (std::fflush(f) != 0 || ::ftruncate(fileno(f), keep) != 0)) {
+        std::fclose(f);
+        return false;
+      }
+      std::fseek(f, keep, SEEK_SET);
+      // An existing file shrunk to nothing needs its header back.
+      if (keep == 0) {
+        const std::string header = header_line();
+        if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+          std::fclose(f);
+          return false;
+        }
+      }
+      path_ = path;
+      file_ = f;
+      return true;
+    }
+    // No existing file: fall through to a fresh create.
   }
+  f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::string header = header_line();
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    std::fclose(f);
+    return false;
+  }
+  path_ = path;
+  file_ = f;
+  return true;
+}
+
+void JournalFileSink::sync_locked() {
+  if (!file_) return;
+  std::fflush(file_);
+  ::fsync(fileno(file_));
+}
+
+bool JournalFileSink::rotate(const std::string& new_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) return false;
+  // The finished segment must be durable before the switch: a crash right
+  // after rotate() must never lose events the old file acknowledged.
+  sync_locked();
+  if (VAPRO_FAULT("journal.rotate") == testing::FaultAction::kFail) {
+    ++write_faults_;
+    return false;  // new segment unwritable; keep appending to the old one
+  }
+  std::FILE* old = file_;
+  const std::string old_path = std::move(path_);
+  file_ = nullptr;
+  if (!open_file(new_path, OpenMode::kTruncate)) {
+    // Could not create the new segment: keep the old one active.
+    path_ = old_path;
+    file_ = old;
+    return false;
+  }
+  std::fclose(old);
+  return true;
 }
 
 void JournalFileSink::on_event(const JournalEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!ok_) return;
-  out_ << event.to_json_line() << '\n';
+  const std::string line = event.to_json_line() + '\n';
+  switch (VAPRO_FAULT("journal.write")) {
+    case testing::FaultAction::kShortWrite:
+      // Torn write: a prefix reaches the disk and the writer dies.  The
+      // sink goes quiet like a crashed process; kAppend reopen recovers.
+      std::fwrite(line.data(), 1, line.size() / 2, file_);
+      std::fflush(file_);
+      ok_ = false;
+      ++write_faults_;
+      return;
+    case testing::FaultAction::kFail:
+      // ENOSPC: this line is lost but the writer keeps going — readers see
+      // a seq gap, never a reorder.
+      ++write_faults_;
+      return;
+    default:
+      break;
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    ++write_faults_;
+    return;
+  }
+  ++lines_written_;
 }
 
 void JournalFileSink::flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (ok_) out_.flush();
+  if (ok_) std::fflush(file_);
 }
 
 // --- reader ---------------------------------------------------------------
@@ -328,19 +448,31 @@ JournalReadResult fail_result(const std::string& error) {
 
 }  // namespace
 
-JournalReadResult parse_journal(std::istream& in) {
+JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts) {
   JournalReadResult result;
-  std::string line;
-  std::size_t line_no = 0;
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(std::move(line));
+  }
   bool saw_header = false;
   std::int64_t last_seq = -1;
-  while (std::getline(in, line)) {
-    ++line_no;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t line_no = i + 1;
     if (line.empty()) continue;
     std::vector<JournalField> fields;
     std::string err;
-    if (!LineParser(line).parse(&fields, &err))
+    if (!LineParser(line).parse(&fields, &err)) {
+      // A torn final line (writer killed mid-write) can never parse as a
+      // complete object — the closing '}' is the last byte out.  Recovery
+      // applies only there; corruption before the tail stays fatal.
+      if (opts.recover_truncated_tail && i + 1 == lines.size() && saw_header) {
+        result.truncated_tail = true;
+        break;
+      }
       return fail_result("line " + std::to_string(line_no) + ": " + err);
+    }
 
     JournalEvent ev;
     bool have_seq = false;
@@ -392,10 +524,11 @@ JournalReadResult parse_journal(std::istream& in) {
   return result;
 }
 
-JournalReadResult read_journal(const std::string& path) {
+JournalReadResult read_journal(const std::string& path,
+                               JournalReadOptions opts) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return fail_result("cannot open " + path);
-  return parse_journal(in);
+  return parse_journal(in, opts);
 }
 
 }  // namespace vapro::obs

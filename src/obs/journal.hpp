@@ -23,7 +23,7 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -106,36 +106,84 @@ class Journal {
 
 // Appends events as JSONL; writes the schema header line on open and
 // creates missing parent directories instead of failing.
+//
+// Crash durability: a writer killed mid-line leaves a torn final line.
+// Opening the same path in kAppend mode recovers — the partial tail is
+// truncated away and appending resumes after the last complete line (the
+// header is only written when the file is new/empty).  rotate() makes the
+// finished segment durable (flush + fsync) before switching to a fresh
+// file, so a rotation boundary never loses acknowledged events.
+//
+// Fault sites (src/testing): "journal.write" honors short_write (torn
+// line, sink stops as a crashed writer would) and fail (ENOSPC: the line
+// is dropped and counted, seq numbers keep a gap); "journal.rotate"
+// honors fail (the new segment cannot be created; the old file stays
+// active and rotate() returns false).
 class JournalFileSink final : public JournalSink {
  public:
-  explicit JournalFileSink(const std::string& path);
+  enum class OpenMode {
+    kTruncate,  // fresh file, write the schema header
+    kAppend,    // reopen: recover a torn tail, append after the last line
+  };
+
+  explicit JournalFileSink(const std::string& path,
+                           OpenMode mode = OpenMode::kTruncate);
+  ~JournalFileSink() override;
   bool ok() const { return ok_; }
   const std::string& path() const { return path_; }
+
+  // Flushes + fsyncs the current segment, then starts a fresh file at
+  // `new_path` (with a new header).  On failure the current segment stays
+  // active and false is returned.
+  bool rotate(const std::string& new_path);
+
+  std::uint64_t lines_written() const { return lines_written_; }
+  // Writes dropped or torn by injected/real write errors.
+  std::uint64_t write_faults() const { return write_faults_; }
+  // Bytes of torn final line discarded by kAppend recovery (0 = clean).
+  std::uint64_t recovered_tail_bytes() const { return recovered_tail_bytes_; }
 
   void on_event(const JournalEvent& event) override;
   void flush() override;
 
  private:
+  bool open_file(const std::string& path, OpenMode mode);
+  void sync_locked();
+
   std::string path_;
-  std::ofstream out_;
+  std::FILE* file_ = nullptr;
   bool ok_ = false;
+  std::uint64_t lines_written_ = 0;
+  std::uint64_t write_faults_ = 0;
+  std::uint64_t recovered_tail_bytes_ = 0;
   std::mutex mu_;
 };
 
 // --- reader API -----------------------------------------------------------
 
+struct JournalReadOptions {
+  // A writer killed mid-line leaves a torn final line.  With this set the
+  // reader accepts such a journal: the unparseable FINAL line is dropped,
+  // every complete event before it is returned, and `truncated_tail` is
+  // reported.  Corruption anywhere but the final line stays fatal.
+  bool recover_truncated_tail = false;
+};
+
 struct JournalReadResult {
   bool ok = false;
   std::string error;            // set when !ok (schema mismatch, bad JSON…)
   int schema_version = 0;       // from the header line
+  bool truncated_tail = false;  // a torn final line was dropped (recovery)
   std::vector<JournalEvent> events;
 };
 
 // Parses a journal file/stream.  Fails (ok=false) on: missing or malformed
 // header, schema name/version mismatch, a line that is not a flat JSON
-// object of scalars, or a non-monotonic sequence number.
-JournalReadResult read_journal(const std::string& path);
-JournalReadResult parse_journal(std::istream& in);
+// object of scalars, or a non-monotonic sequence number.  Sequence numbers
+// may be sparse (a writer may drop lines on ENOSPC) but never reorder.
+JournalReadResult read_journal(const std::string& path,
+                               JournalReadOptions opts = {});
+JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts = {});
 
 // JSON string escaping shared by journal/exposition/alert serializers.
 std::string journal_json_escape(const std::string& s);

@@ -1,0 +1,235 @@
+#include "src/testing/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vapro::testing {
+
+namespace {
+
+// SplitMix64 step — the same expansion util::Rng uses for stream seeding,
+// duplicated here so the injector stays dependency-free (it is linked into
+// every library that carries a hook).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// xorshift64* on the rule's own state: uniform enough for fault
+// probabilities, and the sequence depends only on (plan seed, site, rule
+// index) — never on other sites' traffic.
+double next_uniform(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return static_cast<double>((x * 0x2545f4914f6cdd1dULL) >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+}  // namespace
+
+const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kFail: return "fail";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kShortWrite: return "short_write";
+    case FaultAction::kClose: return "close";
+    case FaultAction::kThrow: return "throw";
+  }
+  return "none";
+}
+
+bool parse_fault_action(const std::string& token, FaultAction* out) {
+  if (token == "fail") *out = FaultAction::kFail;
+  else if (token == "drop") *out = FaultAction::kDrop;
+  else if (token == "short_write") *out = FaultAction::kShortWrite;
+  else if (token == "close") *out = FaultAction::kClose;
+  else if (token == "throw") *out = FaultAction::kThrow;
+  else return false;
+  return true;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream oss;
+  oss << "seed " << seed << '\n';
+  for (const FaultRule& r : rules) {
+    oss << r.site;
+    if (r.on) oss << " on=" << r.on;
+    if (r.every) oss << " every=" << r.every;
+    if (r.prob > 0.0) oss << " prob=" << r.prob;
+    oss << ' ' << fault_action_name(r.action);
+    if (r.limit != ~std::uint64_t{0}) oss << " limit=" << r.limit;
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+bool FaultPlan::parse(const std::string& text, FaultPlan* out,
+                      std::string* error) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& what) {
+    if (error)
+      *error = "fault plan line " + std::to_string(line_no) + ": " + what;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head)) continue;  // blank / comment-only line
+
+    if (head == "seed") {
+      if (!(tokens >> plan.seed)) return fail("seed needs a number");
+      continue;
+    }
+
+    FaultRule rule;
+    rule.site = head;
+    bool have_action = false, have_trigger = false;
+    std::string tok;
+    while (tokens >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq != std::string::npos) {
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        char* end = nullptr;
+        if (key == "on") rule.on = std::strtoull(val.c_str(), &end, 10);
+        else if (key == "every") rule.every = std::strtoull(val.c_str(), &end, 10);
+        else if (key == "limit") rule.limit = std::strtoull(val.c_str(), &end, 10);
+        else if (key == "prob") rule.prob = std::strtod(val.c_str(), &end);
+        else return fail("unknown key '" + key + "'");
+        if (!end || *end != '\0' || val.empty())
+          return fail("bad value '" + val + "' for " + key);
+        if (key != "limit") have_trigger = true;
+      } else {
+        if (have_action) return fail("two actions on one rule");
+        if (!parse_fault_action(tok, &rule.action))
+          return fail("unknown action '" + tok + "'");
+        have_action = true;
+      }
+    }
+    if (!have_action) return fail("rule for '" + rule.site + "' has no action");
+    if (!have_trigger) return fail("rule for '" + rule.site +
+                                   "' has no trigger (on=/every=/prob=)");
+    if (rule.prob < 0.0 || rule.prob > 1.0)
+      return fail("prob must be within [0, 1]");
+    plan.rules.push_back(std::move(rule));
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+bool FaultPlan::parse_file(const std::string& path, FaultPlan* out,
+                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open fault plan " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str(), out, error);
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rule_states_.clear();
+  sites_.clear();
+  rule_states_.reserve(plan.rules.size());
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    RuleState st;
+    st.rule = plan.rules[i];
+    // Never-zero xorshift seed, unique per (plan seed, site, rule index).
+    st.rng = mix64(plan.seed ^ fnv1a(st.rule.site) ^ (i * 0x9e37ULL)) | 1ULL;
+    rule_states_.push_back(std::move(st));
+  }
+  for (RuleState& st : rule_states_)
+    sites_[st.rule.site].rules.push_back(&st);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  rule_states_.clear();
+  sites_.clear();
+}
+
+FaultAction FaultInjector::hit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return FaultAction::kNone;
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return FaultAction::kNone;
+  SiteState& ss = it->second;
+  const std::uint64_t n = ++ss.hits;
+  for (RuleState* st : ss.rules) {
+    if (st->fired >= st->rule.limit) continue;
+    bool fire = false;
+    if (st->rule.on && n == st->rule.on) fire = true;
+    if (st->rule.every && n % st->rule.every == 0) fire = true;
+    if (st->rule.prob > 0.0 && next_uniform(&st->rng) < st->rule.prob)
+      fire = true;
+    if (!fire) continue;
+    ++st->fired;
+    ++ss.injected;
+    return st->rule.action;
+  }
+  return FaultAction::kNone;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [site, ss] : sites_) total += ss.injected;
+  return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+FaultInjector::injected_by_site() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [site, ss] : sites_)
+    if (ss.injected) out.emplace_back(site, ss.injected);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vapro::testing

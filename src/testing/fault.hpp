@@ -1,0 +1,170 @@
+// Deterministic fault injection for the online pipeline.
+//
+// Production hardening is only as good as the failure paths that were
+// actually executed, so the hazard sites of the live pipeline — journal
+// writes and rotation, exposition socket accept/send, alert sink dispatch,
+// client fragment ingestion, per-window publication — each carry a named
+// injection point:
+//
+//   switch (VAPRO_FAULT("journal.write")) { ... }
+//
+// A seeded FaultPlan maps site names to actions with deterministic
+// triggers (the Nth hit, every Nth hit, or a seeded probability), so any
+// failure found by the stress fuzzer replays exactly from
+// `--seed N --fault-plan P`.  When the build disables the hooks
+// (VAPRO_FAULT_INJECTION undefined — the Release default), VAPRO_FAULT
+// folds to kNone and the hazard sites compile back to their plain form;
+// when enabled but no plan is armed, the cost is one relaxed atomic load.
+//
+// Plan text, one rule per line ('#' comments, blank lines ignored):
+//
+//   seed 42
+//   journal.write  on=3     short_write
+//   journal.write  every=7  fail        limit=2
+//   expo.send      prob=0.5 close
+//   alerts.dispatch on=2    throw
+//
+// Sites (see docs/TESTING.md for the action each one honors):
+//   journal.write   short_write | fail      torn final line / ENOSPC drop
+//   journal.rotate  fail                    rotation target unwritable
+//   expo.accept     fail                    accept fails, connection lost
+//   expo.send       close | fail            peer closes mid-response
+//   alerts.dispatch drop | throw            sink unavailable / sink throws
+//   client.ingest   drop                    fragment lost before buffering
+//   server.window   fail                    window publication skipped
+//   group.merge     fail                    merged-root publication skipped
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vapro::testing {
+
+enum class FaultAction : std::uint8_t {
+  kNone,        // no fault at this hit
+  kFail,        // the operation reports failure (ENOSPC, EAGAIN, ...)
+  kDrop,        // the payload is silently lost
+  kShortWrite,  // only a prefix of the payload reaches the medium
+  kClose,       // the peer vanishes mid-operation
+  kThrow,       // the callee throws (sites wrap this via throw_if)
+};
+
+const char* fault_action_name(FaultAction a);
+// Parses an action token from plan text; false on unknown token.
+bool parse_fault_action(const std::string& token, FaultAction* out);
+
+// One site rule.  Triggers compose with OR; every trigger is evaluated
+// against the site's own hit counter, so interleaving with other sites
+// never changes when a rule fires.
+struct FaultRule {
+  std::string site;
+  FaultAction action = FaultAction::kNone;
+  std::uint64_t on = 0;       // fire on exactly the Nth hit (1-based)
+  std::uint64_t every = 0;    // fire on every Nth hit
+  double prob = 0.0;          // seeded per-hit probability
+  std::uint64_t limit = ~std::uint64_t{0};  // max firings of this rule
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+  // Canonical text form; parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  // Parses plan text / a plan file.  On failure returns false and sets
+  // `error` to a line-numbered message.
+  static bool parse(const std::string& text, FaultPlan* out,
+                    std::string* error);
+  static bool parse_file(const std::string& path, FaultPlan* out,
+                         std::string* error);
+};
+
+// Thrown by FaultInjector::throw_if for kThrow actions, so hardened sites
+// can prove they survive a throwing callee.
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at " + site) {}
+};
+
+// Process-wide injection registry.  arm() installs a plan; every
+// VAPRO_FAULT(site) consults it.  Per-(site, rule) counters are seeded and
+// serialized, so a plan's firing schedule is a pure function of the hit
+// sequence each site observes.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(FaultPlan plan);
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Records a hit at `site` and returns the action to apply now.
+  FaultAction hit(const char* site);
+
+  // Bookkeeping for tests and the stress fuzzer's report.
+  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t injected(const std::string& site) const;
+  std::uint64_t injected_total() const;
+  // site → injected count, sorted by site name (deterministic output).
+  std::vector<std::pair<std::string, std::uint64_t>> injected_by_site() const;
+
+  // Convenience for sites whose fault is "the callee throws".
+  static void throw_if(FaultAction a, const char* site) {
+    if (a == FaultAction::kThrow) throw FaultInjected(site);
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t fired = 0;
+    std::uint64_t rng = 0;  // per-rule xorshift state, seeded from the plan
+  };
+  struct SiteState {
+    std::uint64_t hits = 0;
+    std::uint64_t injected = 0;
+    std::vector<RuleState*> rules;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::vector<RuleState> rule_states_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+// RAII plan installation for tests: arms on construction, disarms on
+// destruction (also on early return / thrown assertion).
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan) {
+    FaultInjector::instance().arm(std::move(plan));
+  }
+  ~FaultScope() { FaultInjector::instance().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+inline FaultAction fault_hit(const char* site) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (!inj.armed()) return FaultAction::kNone;
+  return inj.hit(site);
+}
+
+}  // namespace vapro::testing
+
+// The hook macro.  Hazard sites switch on its value; with the hooks
+// compiled out it is a constant and the switch folds away entirely.
+#if defined(VAPRO_FAULT_INJECTION) && VAPRO_FAULT_INJECTION
+#define VAPRO_FAULT(site) (::vapro::testing::fault_hit(site))
+#else
+#define VAPRO_FAULT(site) (::vapro::testing::FaultAction::kNone)
+#endif

@@ -1,0 +1,35 @@
+#include "src/util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace vapro::util {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double now_seconds() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+  void sleep_for(double seconds) override {
+    if (seconds > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace
+
+Clock* real_clock() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace vapro::util

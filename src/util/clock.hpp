@@ -1,0 +1,57 @@
+// Injectable monotonic time.
+//
+// Window ages, linger deadlines, and stage timings all need a monotonic
+// clock, but reading std::chrono::steady_clock directly makes every test
+// of that logic sleep-and-hope.  Components instead take a borrowed
+// `util::Clock*` (null = the process-wide real clock), and tests install a
+// VirtualClock they advance explicitly — time-dependent behavior becomes a
+// deterministic function of advance() calls, with no sleeps and no flaky
+// tolerance windows.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace vapro::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic seconds since an arbitrary epoch.
+  virtual double now_seconds() const = 0;
+  // Blocks (real clock) or advances virtual time (virtual clock).
+  virtual void sleep_for(double seconds) = 0;
+};
+
+// The process-wide steady_clock-backed instance.  Never null.
+Clock* real_clock();
+
+// Test clock: now_seconds() moves only via advance()/sleep_for().  A
+// virtual sleeper IS the advancing party — sleep_for(s) bumps time by s
+// and returns immediately, so linger/retry loops run at full speed while
+// observing exactly the timeline the test scripted.  Thread-safe.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double now_seconds() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+  void sleep_for(double seconds) override { advance(seconds); }
+
+  void advance(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seconds > 0.0) now_ += seconds;
+  }
+  void set(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seconds > now_) now_ = seconds;  // monotonic: never step backwards
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_;
+};
+
+}  // namespace vapro::util

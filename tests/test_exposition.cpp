@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -20,6 +21,7 @@
 #include "src/obs/context.hpp"
 #include "src/obs/exposition.hpp"
 #include "src/sim/runtime.hpp"
+#include "src/testing/fault.hpp"
 
 namespace vapro {
 namespace {
@@ -156,6 +158,73 @@ TEST(Exposition, UnknownRouteIs404) {
   ASSERT_TRUE(reply.ok);
   EXPECT_EQ(reply.status, 404);
 }
+
+TEST(Exposition, ThrowingHandlerReturns503NotAHang) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  ctx.exposition()->add_route("/boom", []() -> obs::HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  // The raw-socket client sees a complete, well-framed 503 response — not
+  // a dropped connection, not a hang, and the serve thread survives.
+  HttpReply reply = http_get(ctx.exposition()->port(), "/boom");
+  ASSERT_TRUE(reply.ok) << "connection was dropped instead of answered";
+  EXPECT_EQ(reply.status, 503);
+  EXPECT_NE(reply.body.find("handler exploded"), std::string::npos);
+  // Later requests on other routes still work.
+  HttpReply healthz = http_get(ctx.exposition()->port(), "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_EQ(healthz.status, 200);
+}
+
+#if defined(VAPRO_FAULT_INJECTION) && VAPRO_FAULT_INJECTION
+
+vapro::testing::FaultPlan expo_plan(const std::string& text) {
+  vapro::testing::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(vapro::testing::FaultPlan::parse(text, &plan, &error)) << error;
+  return plan;
+}
+
+TEST(ExpositionFault, AcceptFaultDropsOneClientWithoutWedging) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  vapro::testing::FaultScope scope(
+      expo_plan("seed 1\nexpo.accept on=1 fail\n"));
+  // First connection is dropped at accept; the reply never completes.
+  HttpReply dropped = http_get(ctx.exposition()->port(), "/healthz");
+  EXPECT_FALSE(dropped.ok);
+  EXPECT_EQ(ctx.exposition()->accept_faults(), 1u);
+  // The serve loop is still alive for the next client.
+  HttpReply reply = http_get(ctx.exposition()->port(), "/healthz");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+}
+
+TEST(ExpositionFault, MidResponseCloseTruncatesBody) {
+  obs::ObsContext ctx;
+  ctx.metrics().counter("vapro.test.padding")->inc(1);
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  vapro::testing::FaultScope scope(
+      expo_plan("seed 1\nexpo.send on=1 close\n"));
+  // Half the payload arrives, then the peer vanishes: the client's
+  // Content-Length check must fail rather than trust the short body.
+  HttpReply truncated = http_get(ctx.exposition()->port(), "/metrics");
+  if (truncated.ok) {
+    // Header survived the cut: the body must be visibly short.
+    const std::size_t cl = truncated.raw.find("Content-Length: ");
+    ASSERT_NE(cl, std::string::npos);
+    const std::size_t content_length = static_cast<std::size_t>(
+        std::strtoull(truncated.raw.c_str() + cl + 16, nullptr, 10));
+    EXPECT_LT(truncated.body.size(), content_length);
+  }
+  // Next scrape is whole again.
+  HttpReply reply = http_get(ctx.exposition()->port(), "/metrics");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+}
+
+#endif  // VAPRO_FAULT_INJECTION
 
 TEST(Exposition, PortInUseFailsWithReadableError) {
   obs::ExpositionServer first;

@@ -1,0 +1,121 @@
+// Golden-file tests for the human-facing report tables.  The rendered
+// text of render_region_table / render_rare_table is part of the tool's
+// interface — operators diff it, scripts scrape it — so formatting changes
+// must be deliberate.  Expected outputs live in tests/golden/; regenerate
+// them with scripts/update_goldens.sh after an intentional change and
+// review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/report.hpp"
+
+namespace vapro {
+namespace {
+
+// tests/golden/ next to this source file; __FILE__ is absolute under CMake.
+std::string golden_path(const std::string& name) {
+  std::string dir = __FILE__;
+  dir.resize(dir.find_last_of('/') + 1);
+  return dir + "golden/" + name;
+}
+
+// Compares `rendered` against the golden file, or rewrites the file when
+// VAPRO_UPDATE_GOLDENS is set (see scripts/update_goldens.sh).
+void expect_matches_golden(const std::string& rendered,
+                           const std::string& name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("VAPRO_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run scripts/update_goldens.sh";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str())
+      << "rendered table drifted from " << path
+      << "; if intentional, run scripts/update_goldens.sh and review";
+}
+
+std::vector<core::VarianceRegion> fixture_regions() {
+  core::VarianceRegion big;
+  big.rank_lo = 4;
+  big.rank_hi = 11;
+  big.bin_lo = 8;
+  big.bin_hi = 15;
+  big.cells = 64;
+  big.mean_perf = 0.58521992720657923;
+  big.impact_seconds = 12.75;
+  core::VarianceRegion small;
+  small.rank_lo = 0;
+  small.rank_hi = 0;
+  small.bin_lo = 2;
+  small.bin_hi = 2;
+  small.cells = 1;
+  small.mean_perf = 0.8125;
+  small.impact_seconds = 0.03125;
+  return {big, small};
+}
+
+std::vector<core::RareFinding> fixture_findings() {
+  core::RareFinding io;
+  io.state = "Write site7 path 1/2";
+  io.kind = core::FragmentKind::kIo;
+  io.executions = 2;
+  io.total_seconds = 1.5;
+  io.longest_seconds = 1.25;
+  core::RareFinding comp;
+  comp.state = "site3 -> site4";
+  comp.kind = core::FragmentKind::kComputation;
+  comp.executions = 1;
+  comp.total_seconds = 0.5;
+  comp.longest_seconds = 0.5;
+  return {io, comp};
+}
+
+TEST(Golden, RegionTable) {
+  expect_matches_golden(
+      core::render_region_table(fixture_regions(), /*bin_seconds=*/0.25),
+      "region_table.txt");
+}
+
+TEST(Golden, RegionTableEmpty) {
+  expect_matches_golden(core::render_region_table({}, 0.25),
+                        "region_table_empty.txt");
+}
+
+TEST(Golden, RegionTableTruncation) {
+  // Past `limit`, smaller regions fold into one "omitted" line.
+  std::vector<core::VarianceRegion> many = fixture_regions();
+  for (int i = 0; i < 4; ++i) {
+    core::VarianceRegion r;
+    r.rank_lo = r.rank_hi = i;
+    r.bin_lo = r.bin_hi = i;
+    r.cells = 1;
+    r.mean_perf = 0.80 + 0.01 * i;
+    r.impact_seconds = 0.01 * (i + 1);
+    many.push_back(r);
+  }
+  expect_matches_golden(core::render_region_table(many, 0.25, /*limit=*/3),
+                        "region_table_truncated.txt");
+}
+
+TEST(Golden, RareTable) {
+  expect_matches_golden(core::render_rare_table(fixture_findings()),
+                        "rare_table.txt");
+}
+
+TEST(Golden, RareTableEmpty) {
+  expect_matches_golden(core::render_rare_table({}), "rare_table_empty.txt");
+}
+
+}  // namespace
+}  // namespace vapro

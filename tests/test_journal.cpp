@@ -124,6 +124,72 @@ TEST(Journal, ReaderRejectsNonMonotonicSequence) {
   EXPECT_NE(read.error.find("seq"), std::string::npos) << read.error;
 }
 
+TEST(Journal, TruncatedTailIsFatalStrictlyButRecoverable) {
+  // A writer killed mid-write leaves a partial final line.  The strict
+  // reader fails; recover_truncated_tail drops ONLY that torn tail.
+  const std::string path = temp_path("journal_torn_tail.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"type\":\"journal_header\",\"schema\":\"vapro.journal\","
+           "\"schema_version\":1}\n"
+        << "{\"seq\":0,\"type\":\"window\",\"window\":0,\"t\":0.1}\n"
+        << "{\"seq\":1,\"type\":\"window\",\"window\":1,\"t\":0.2}\n"
+        << "{\"seq\":2,\"type\":\"window\",\"wi";  // torn: no newline
+  }
+  obs::JournalReadResult strict = obs::read_journal(path);
+  EXPECT_FALSE(strict.ok);
+
+  obs::JournalReadOptions opts;
+  opts.recover_truncated_tail = true;
+  obs::JournalReadResult read = obs::read_journal(path, opts);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_TRUE(read.truncated_tail);
+  ASSERT_EQ(read.events.size(), 2u);
+  EXPECT_EQ(read.events[1].seq, 1u);
+}
+
+TEST(Journal, RecoveryDoesNotExcuseMidFileCorruption) {
+  const std::string path = temp_path("journal_mid_corrupt.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"type\":\"journal_header\",\"schema\":\"vapro.journal\","
+           "\"schema_version\":1}\n"
+        << "{\"seq\":0,\"type\":\"win"  // torn line in the MIDDLE
+        << "\n{\"seq\":1,\"type\":\"window\",\"window\":1,\"t\":0.2}\n";
+  }
+  obs::JournalReadOptions opts;
+  opts.recover_truncated_tail = true;
+  obs::JournalReadResult read = obs::read_journal(path, opts);
+  EXPECT_FALSE(read.ok);  // only the FINAL line may be torn
+}
+
+TEST(Journal, AppendReopenResumesAfterTornTail) {
+  const std::string path = temp_path("journal_append_resume.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"type\":\"journal_header\",\"schema\":\"vapro.journal\","
+           "\"schema_version\":1}\n"
+        << "{\"seq\":0,\"type\":\"window\",\"window\":0,\"t\":0.1}\n"
+        << "{\"seq\":1,\"type\":\"wind";  // torn by a crash
+  }
+  obs::JournalFileSink sink(path, obs::JournalFileSink::OpenMode::kAppend);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_GT(sink.recovered_tail_bytes(), 0u);
+  obs::JournalEvent ev;
+  ev.seq = 1;
+  ev.type = "window";
+  ev.window = 1;
+  ev.virtual_time = 0.2;
+  sink.on_event(ev);
+  sink.flush();
+  // The resumed file reads back clean — no recovery flag needed.
+  obs::JournalReadResult read = obs::read_journal(path);
+  ASSERT_TRUE(read.ok) << read.error;
+  ASSERT_EQ(read.events.size(), 2u);
+  EXPECT_EQ(read.events[0].seq, 0u);
+  EXPECT_EQ(read.events[1].seq, 1u);
+}
+
 TEST(Journal, FileSinkCreatesParentDirectories) {
   const std::string path = temp_path("journal_nest/a/b/run.jsonl");
   obs::JournalFileSink sink(path);

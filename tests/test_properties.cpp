@@ -2,7 +2,10 @@
 // and parameter sweeps, not just on hand-picked cases.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "src/core/clustering.hpp"
 #include "src/core/detection.hpp"
@@ -253,6 +256,106 @@ TEST(NetworkProperty, TimesPositiveAndMonotoneInBytes) {
     double large = net.p2p_time(1e6, a, b, 1.0);
     EXPECT_GT(small, 0.0);
     EXPECT_GT(large, small);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Clustering invariants (Algorithm 1): the norm-sorted greedy sweep must
+// produce the same clusters regardless of fragment arrival order, and a
+// looser threshold can only merge clusters, never split them.
+// ---------------------------------------------------------------------
+
+sim::InvocationInfo cluster_call(sim::CallSiteId site) {
+  sim::InvocationInfo info;
+  info.site = site;
+  info.kind = sim::OpKind::kBarrier;
+  return info;
+}
+
+// One edge populated with computation fragments carrying the given
+// TOT_INS workloads, in exactly that order.
+core::Stg stg_with_workloads(const std::vector<double>& workloads) {
+  core::Stg stg(core::StgMode::kContextFree);
+  const core::StateKey a = stg.touch_vertex(cluster_call(1));
+  const core::StateKey b = stg.touch_vertex(cluster_call(2));
+  double t = 0.0;
+  for (double w : workloads) {
+    core::Fragment f;
+    f.kind = core::FragmentKind::kComputation;
+    f.from = a;
+    f.to = b;
+    f.start_time = t;
+    f.end_time = t + 0.01;
+    f.counters[pmu::Counter::kTotIns] = w;
+    stg.add_fragment(f);
+    t += 0.02;
+  }
+  return stg;
+}
+
+// Order-independent fingerprint of a clustering: sorted
+// (size, seed_norm, rare) triples.
+std::vector<std::tuple<std::size_t, double, bool>> cluster_signature(
+    const core::ClusteringResult& result) {
+  std::vector<std::tuple<std::size_t, double, bool>> sig;
+  for (const core::Cluster& c : result.clusters)
+    sig.emplace_back(c.members.size(), c.seed_norm, c.rare);
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+TEST(ClusteringProperty, StableUnderPermutationOfEqualNormFragments) {
+  // Three workload classes, each heavily duplicated so equal-norm ties are
+  // the common case, plus a rare singleton.
+  std::vector<double> workloads;
+  for (int i = 0; i < 8; ++i) workloads.push_back(1000.0);
+  for (int i = 0; i < 8; ++i) workloads.push_back(1030.0);  // within 5%
+  for (int i = 0; i < 8; ++i) workloads.push_back(2000.0);
+  workloads.push_back(9000.0);
+
+  const auto baseline =
+      cluster_signature(cluster_stg(stg_with_workloads(workloads),
+                                    core::ClusterOptions{}));
+  ASSERT_FALSE(baseline.empty());
+
+  util::Rng rng(2024);
+  for (int round = 0; round < 16; ++round) {
+    // Fisher–Yates on the arrival order.
+    std::vector<double> shuffled = workloads;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.uniform_u64(i)]);
+    const auto sig = cluster_signature(
+        cluster_stg(stg_with_workloads(shuffled), core::ClusterOptions{}));
+    EXPECT_EQ(sig, baseline) << "permutation round " << round;
+  }
+}
+
+TEST(ClusteringProperty, ClusterCountMonotoneInThreshold) {
+  util::Rng rng(77);
+  for (int round = 0; round < 8; ++round) {
+    // Random 1-D workloads spread over a decade: plenty of threshold
+    // boundaries to cross as the knob loosens.
+    std::vector<double> workloads;
+    for (int i = 0; i < 48; ++i)
+      workloads.push_back(rng.uniform(1000.0, 10000.0));
+    const core::Stg stg = stg_with_workloads(workloads);
+
+    std::size_t prev_count = workloads.size() + 1;
+    for (double threshold :
+         {0.001, 0.005, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 3.0, 10.0}) {
+      core::ClusterOptions opts;
+      opts.threshold = threshold;
+      const auto result = cluster_stg(stg, opts);
+      // Every fragment lands in exactly one cluster at every threshold.
+      std::size_t members = 0;
+      for (const core::Cluster& c : result.clusters) members += c.members.size();
+      EXPECT_EQ(members, workloads.size());
+      EXPECT_LE(result.clusters.size(), prev_count)
+          << "threshold " << threshold << " split clusters";
+      prev_count = result.clusters.size();
+    }
+    // Sanity for the sweep itself: the loosest threshold really merges.
+    EXPECT_EQ(prev_count, 1u);
   }
 }
 

@@ -150,13 +150,14 @@ struct ObsCli {
   }
 
   // Keeps the exposition endpoint alive after the run (--listen-linger).
+  // The wait goes through the context's clock, so tests driving a
+  // util::VirtualClock skip the linger instantly.
   void linger(const obs::ObsContext& ctx) const {
     if (!ctx.exposition() || listen_linger <= 0.0) return;
     std::cout << "serving for " << listen_linger
               << "s more (--listen-linger)\n"
               << std::flush;
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(listen_linger));
+    ctx.clock()->sleep_for(listen_linger);
   }
 };
 

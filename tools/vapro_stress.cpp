@@ -1,0 +1,458 @@
+// vapro_stress — seeded scenario fuzzer for the online pipeline.
+//
+// Generates randomized multi-process sessions (rank count, fragment mix,
+// transport drop/duplicate/reorder, optional mid-run faults from a
+// FaultPlan), drives them through AnalysisServer / ServerGroup with the
+// event journal attached, and asserts pipeline invariants after every
+// window and at end of round:
+//
+//   * journal sequence numbers are strictly monotonic (sparse is fine —
+//     an injected ENOSPC drops a line, never reorders one);
+//   * no lost regions: every live variance region survives into the final
+//     journal snapshot;
+//   * replay-vs-live equality: the region tables reconstructed from the
+//     journal render byte-identically to the live server's;
+//   * no alert double-fire: replaying the journal through a fresh
+//     AlertEngine fires exactly as often as the live engine did.
+//
+// Everything — scenario shape, fragment workloads, transport chaos, fault
+// schedule — is a pure function of --seed and --fault-plan, and the report
+// never prints wall-clock values, so a failure reproduces byte-identically:
+//
+//   vapro_stress --seed 7 --rounds 5 --fault-plan plans/enospc.plan
+//
+// Exit code 0 = all invariants held, 1 = at least one violation (the
+// report says which round and which invariant).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/journal_replay.hpp"
+#include "src/core/report.hpp"
+#include "src/core/server.hpp"
+#include "src/core/server_group.hpp"
+#include "src/obs/alerts.hpp"
+#include "src/obs/context.hpp"
+#include "src/testing/fault.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/clock.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace vapro;
+
+int usage() {
+  std::cout <<
+      "usage: vapro_stress [options]\n"
+      "  --seed=N           scenario seed (default 1); same seed, same\n"
+      "                     fault plan => byte-identical report\n"
+      "  --rounds=N         scenarios to run (default 5)\n"
+      "  --fault-plan=FILE  arm deterministic fault injection from FILE\n"
+      "                     (see docs/TESTING.md for the plan syntax)\n"
+      "  --scratch=DIR      journal scratch directory (default\n"
+      "                     /tmp/vapro_stress; never printed, so two runs\n"
+      "                     with different scratch dirs still compare equal)\n"
+      "  --verbose          print the per-round region tables\n";
+  return 2;
+}
+
+// Deterministic per-round scenario shape drawn from the round's own rng.
+struct Scenario {
+  int ranks = 0;
+  int windows = 0;
+  int sites = 0;          // distinct call sites (STG vertices)
+  int reps = 0;           // site-loop repetitions per rank per window
+  bool use_group = false; // ServerGroup vs single AnalysisServer
+  int group_servers = 0;
+  double drop_prob = 0.0;      // transport: fragment lost
+  double dup_prob = 0.0;       // transport: fragment duplicated
+  bool reorder = false;        // transport: window batch shuffled
+  int slow_rank = -1;          // rank hit by the injected slowdown
+  int slow_window_lo = 0;      // windows [lo, hi] run slow on that rank
+  int slow_window_hi = 0;
+  double slow_factor = 1.0;    // duration multiplier while slow
+};
+
+Scenario make_scenario(util::Rng& rng) {
+  Scenario sc;
+  sc.ranks = 6 + static_cast<int>(rng.uniform_u64(11));       // 6..16
+  sc.windows = 3 + static_cast<int>(rng.uniform_u64(4));      // 3..6
+  sc.sites = 3 + static_cast<int>(rng.uniform_u64(3));        // 3..5
+  sc.reps = 2 + static_cast<int>(rng.uniform_u64(3));         // 2..4
+  sc.use_group = rng.bernoulli(0.4);
+  sc.group_servers = 2 + static_cast<int>(rng.uniform_u64(2)); // 2..3
+  sc.drop_prob = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.08) : 0.0;
+  sc.dup_prob = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.05) : 0.0;
+  sc.reorder = rng.bernoulli(0.5);
+  sc.slow_rank = static_cast<int>(rng.uniform_u64(
+      static_cast<std::uint64_t>(sc.ranks)));
+  sc.slow_window_lo = 1;
+  sc.slow_window_hi = sc.windows - 1;
+  sc.slow_factor = rng.uniform(1.6, 3.0);
+  return sc;
+}
+
+// The op kind cycling across call sites: a mix of communication and IO so
+// all three heat-map categories see fragments.
+sim::OpKind site_op(int site) {
+  switch (site % 4) {
+    case 0: return sim::OpKind::kAllreduce;
+    case 1: return sim::OpKind::kSend;
+    case 2: return sim::OpKind::kFileWrite;
+    default: return sim::OpKind::kBarrier;
+  }
+}
+
+// One window of synthetic client data: every rank loops `reps` times over
+// the site ring, cutting a computation fragment (fixed workload, noisy
+// duration) before each invocation and a vertex fragment for the
+// invocation itself.  Transport chaos (drop/dup/reorder) is applied to the
+// assembled batch, as a lossy client->server link would.
+core::FragmentBatch make_window_batch(const Scenario& sc, int window,
+                                      double window_seconds,
+                                      util::Rng& rng) {
+  core::FragmentBatch batch;
+  std::vector<core::StateKey> site_keys(
+      static_cast<std::size_t>(sc.sites));
+  for (int s = 0; s < sc.sites; ++s) {
+    sim::InvocationInfo info;
+    info.site = static_cast<sim::CallSiteId>(100 + s);
+    info.kind = site_op(s);
+    site_keys[static_cast<std::size_t>(s)] =
+        core::make_state_key(core::StgMode::kContextFree, info);
+    batch.new_states.push_back(info);
+  }
+
+  const double t0 = window * window_seconds;
+  const bool slow_window =
+      window >= sc.slow_window_lo && window <= sc.slow_window_hi;
+  const int steps = sc.sites * sc.reps;
+  const double step_seconds = window_seconds / (steps + 1);
+
+  for (int rank = 0; rank < sc.ranks; ++rank) {
+    core::StateKey prev = core::kStartState;
+    double t = t0;
+    for (int step = 0; step < steps; ++step) {
+      const int s = step % sc.sites;
+      const core::StateKey key = site_keys[static_cast<std::size_t>(s)];
+      const bool slow = slow_window && rank == sc.slow_rank;
+
+      // Computation: identical workload per edge, duration stretched on
+      // the slow rank so the heat map grows a variance region.
+      core::Fragment comp;
+      comp.kind = core::FragmentKind::kComputation;
+      comp.rank = rank;
+      comp.from = prev;
+      comp.to = key;
+      comp.start_time = t;
+      const double base = step_seconds * 0.7;
+      comp.end_time = t + base * (slow ? sc.slow_factor : 1.0) *
+                              rng.uniform(0.98, 1.02);
+      comp.counters[pmu::Counter::kTotIns] = 1e6 * (1 + s);
+      batch.fragments.push_back(comp);
+      t = comp.end_time;
+
+      // The invocation itself: fixed arguments per site, so per-vertex
+      // clustering sees one fixed-workload class.
+      core::Fragment inv;
+      inv.op = site_op(s);
+      inv.kind = sim::is_io_op(inv.op) ? core::FragmentKind::kIo
+                                       : core::FragmentKind::kCommunication;
+      inv.rank = rank;
+      inv.from = key;
+      inv.to = key;
+      inv.start_time = t;
+      inv.end_time = t + step_seconds * 0.3 *
+                             (slow ? sc.slow_factor : 1.0) *
+                             rng.uniform(0.98, 1.02);
+      inv.args.bytes = 4096.0 * (1 + s);
+      inv.args.peer = (rank + 1) % sc.ranks;
+      inv.args.fd = sim::is_io_op(inv.op) ? 3 : -1;
+      batch.fragments.push_back(inv);
+      t = inv.end_time;
+      prev = key;
+    }
+  }
+
+  // Transport chaos.  Drops and duplicates are per-fragment Bernoulli
+  // draws; reorder is a full Fisher–Yates shuffle of the window batch.
+  std::vector<core::Fragment> wire;
+  wire.reserve(batch.fragments.size());
+  std::size_t dropped = 0, duplicated = 0;
+  for (const core::Fragment& f : batch.fragments) {
+    if (sc.drop_prob > 0 && rng.bernoulli(sc.drop_prob)) {
+      ++dropped;
+      continue;
+    }
+    wire.push_back(f);
+    if (sc.dup_prob > 0 && rng.bernoulli(sc.dup_prob)) {
+      wire.push_back(f);
+      ++duplicated;
+    }
+  }
+  if (sc.reorder && wire.size() > 1) {
+    for (std::size_t i = wire.size() - 1; i > 0; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.uniform_u64(i + 1));
+      std::swap(wire[i], wire[j]);
+    }
+  }
+  batch.fragments = std::move(wire);
+  (void)dropped;
+  (void)duplicated;
+  return batch;
+}
+
+// Journal sink asserting strict seq monotonicity as events are emitted
+// (the in-memory stream; the on-disk file may be sparse under faults).
+struct SeqCheckSink final : obs::JournalSink {
+  std::uint64_t last = 0;
+  bool any = false;
+  bool violated = false;
+  void on_event(const obs::JournalEvent& event) override {
+    if (any && event.seq <= last) violated = true;
+    last = event.seq;
+    any = true;
+  }
+};
+
+struct CountingAlertSink final : obs::AlertSink {
+  std::uint64_t delivered = 0;
+  void on_alert(const obs::Alert&) override { ++delivered; }
+};
+
+struct RoundResult {
+  bool pass = true;
+  std::vector<std::string> failures;
+  std::ostringstream report;
+
+  void check(bool ok, const std::string& what) {
+    if (!ok) {
+      pass = false;
+      failures.push_back(what);
+    }
+  }
+};
+
+const core::FragmentKind kKinds[3] = {core::FragmentKind::kComputation,
+                                      core::FragmentKind::kCommunication,
+                                      core::FragmentKind::kIo};
+
+RoundResult run_round(int round, std::uint64_t seed,
+                      const std::string& scratch, bool verbose) {
+  RoundResult rr;
+  util::Rng rng(seed ^ (0x5bd1e995ULL * static_cast<std::uint64_t>(round + 1)));
+  const Scenario sc = make_scenario(rng);
+  const double window_seconds = 0.25;
+  const double bin_seconds = 0.05;
+
+  rr.report << "round " << round << ": ranks=" << sc.ranks
+            << " windows=" << sc.windows << " sites=" << sc.sites
+            << " reps=" << sc.reps
+            << " group=" << (sc.use_group ? sc.group_servers : 0)
+            << " drop=" << (sc.drop_prob > 0 ? 1 : 0)
+            << " dup=" << (sc.dup_prob > 0 ? 1 : 0)
+            << " reorder=" << (sc.reorder ? 1 : 0)
+            << " slow_rank=" << sc.slow_rank << "\n";
+
+  // Virtual time: the whole round runs on a scripted clock, so stage
+  // timings and window ages in the journal are deterministic too.
+  util::VirtualClock vclock;
+  obs::ObsContext ctx;
+  ctx.set_clock(&vclock);
+  const std::string journal_path =
+      scratch + "/round" + std::to_string(round) + ".jsonl";
+  if (!ctx.attach_journal_file(journal_path)) {
+    rr.check(false, "journal file unwritable");
+    return rr;
+  }
+  SeqCheckSink seq_check;
+  ctx.journal()->add_sink(&seq_check);
+
+  obs::AlertEngine engine;
+  obs::AlertRule rule;
+  std::string rule_error;
+  obs::parse_alert_rule("variance_ratio > 1.2 for 2", &rule, &rule_error);
+  engine.add_rule(rule);
+  CountingAlertSink alert_sink;
+  engine.add_alert_sink(&alert_sink);
+  ctx.journal()->add_sink(&engine);
+
+  core::ServerOptions opts;
+  opts.bin_seconds = bin_seconds;
+  opts.cluster.min_cluster_size = 3;
+  opts.run_diagnosis = false;  // diagnosis needs the simulator's noise model
+  opts.obs = &ctx;
+  opts.clock = &vclock;
+
+  std::unique_ptr<core::AnalysisServer> server;
+  std::unique_ptr<core::ServerGroup> group;
+  if (sc.use_group)
+    group = std::make_unique<core::ServerGroup>(sc.ranks, sc.group_servers,
+                                                opts);
+  else
+    server = std::make_unique<core::AnalysisServer>(sc.ranks, opts);
+
+  std::size_t sent_fragments = 0;
+  for (int w = 0; w < sc.windows; ++w) {
+    core::FragmentBatch batch =
+        make_window_batch(sc, w, window_seconds, rng);
+    sent_fragments += batch.fragments.size();
+    if (group)
+      group->process_window(std::move(batch));
+    else
+      server->process_window(std::move(batch), /*drain_seconds=*/0.0);
+    vclock.advance(window_seconds);
+
+    // Per-window invariants.
+    rr.check(!seq_check.violated, "journal seq not monotonic (live)");
+    const std::size_t processed =
+        group ? group->windows_processed() : server->windows_processed();
+    rr.check(processed == static_cast<std::size_t>(w + 1),
+             "windows_processed out of step");
+    for (core::FragmentKind kind : kKinds) {
+      const auto regions =
+          group ? group->locate(kind) : server->locate(kind);
+      for (const core::VarianceRegion& r : regions) {
+        rr.check(r.cells > 0, "region with zero cells");
+        rr.check(r.rank_lo <= r.rank_hi && r.rank_hi < sc.ranks,
+                 "region rank range out of bounds");
+        rr.check(r.bin_lo <= r.bin_hi, "region bin range inverted");
+        rr.check(r.impact_seconds >= 0.0, "negative region impact");
+      }
+    }
+  }
+
+  // End of round: final full-precision snapshot, then replay the journal
+  // file and demand the reconstruction matches the live server.
+  if (group)
+    group->journal_detection_snapshot();
+  else
+    server->journal_detection_snapshot();
+  ctx.journal()->flush();
+
+  obs::JournalReadOptions ropts;
+  ropts.recover_truncated_tail = true;
+  const obs::JournalReadResult read = obs::read_journal(journal_path, ropts);
+  rr.check(read.ok, "journal unreadable: " + read.error);
+  if (read.ok) {
+    bool file_monotonic = true;
+    for (std::size_t i = 1; i < read.events.size(); ++i)
+      if (read.events[i].seq <= read.events[i - 1].seq) file_monotonic = false;
+    rr.check(file_monotonic, "journal seq not monotonic (file)");
+
+    const core::JournalSummary summary = core::summarize_journal(read.events);
+    rr.check(summary.ok, "journal summary failed: " + summary.error);
+
+    std::size_t live_regions = 0;
+    for (int k = 0; k < 3; ++k) {
+      const auto live = group ? group->locate(kKinds[k])
+                              : server->locate(kKinds[k]);
+      live_regions += live.size();
+      const std::string live_table =
+          core::render_region_table(live, bin_seconds);
+      const std::string replay_table =
+          core::render_region_table(summary.regions[k], bin_seconds);
+      rr.check(replay_table == live_table,
+               std::string("replay-vs-live mismatch (") +
+                   core::fragment_kind_name(kKinds[k]) + ")");
+      if (verbose && !live.empty())
+        rr.report << core::fragment_kind_name(kKinds[k]) << " regions:\n"
+                  << live_table;
+    }
+    // The slowdown ran long enough that detection must have seen it.
+    rr.check(live_regions > 0, "no variance regions despite injected slowdown");
+
+    // No alert double-fire: a fresh engine replaying the journal fires
+    // exactly as often as the live one did.
+    obs::AlertEngine replay_engine;
+    replay_engine.add_rule(rule);
+    for (const obs::JournalEvent& event : read.events)
+      replay_engine.on_event(event);
+    rr.check(replay_engine.alerts_fired() == engine.alerts_fired(),
+             "alert fire count diverges on replay");
+
+    rr.report << "  fragments=" << sent_fragments
+              << " windows=" << sc.windows
+              << " journal_events=" << read.events.size()
+              << " truncated_tail=" << (read.truncated_tail ? 1 : 0)
+              << " alerts=" << engine.alerts_fired()
+              << " delivered=" << alert_sink.delivered << "\n";
+  }
+
+  const std::size_t faults =
+      group ? group->merge_faults() : server->publish_faults();
+  rr.report << "  publish_faults=" << faults
+            << " alert_dispatch_faults=" << engine.dispatch_faults() << "\n";
+  if (rr.pass) {
+    rr.report << "  invariants: OK\n";
+  } else {
+    for (const std::string& f : rr.failures)
+      rr.report << "  INVARIANT VIOLATED: " << f << "\n";
+  }
+  return rr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  if (args.get_bool("help")) return usage();
+
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int rounds = args.get_int("rounds", 5);
+  const std::string scratch = args.get("scratch", "/tmp/vapro_stress");
+  const std::string plan_path = args.get("fault-plan", "");
+  const bool verbose = args.get_bool("verbose");
+
+  vapro::testing::FaultPlan plan;
+  if (!plan_path.empty()) {
+    std::string error;
+    if (!vapro::testing::FaultPlan::parse_file(plan_path, &plan, &error)) {
+      std::cerr << "bad fault plan: " << error << "\n";
+      return 2;
+    }
+#if !defined(VAPRO_FAULT_INJECTION) || !VAPRO_FAULT_INJECTION
+    std::cerr << "fault injection is compiled out of this build "
+                 "(configure with -DVAPRO_FAULT_INJECTION=ON)\n";
+    return 2;
+#endif
+    vapro::testing::FaultInjector::instance().arm(plan);
+  }
+
+  std::cout << "vapro_stress seed=" << seed << " rounds=" << rounds
+            << " fault_plan=" << (plan_path.empty() ? "none" : "armed")
+            << " fault_rules=" << plan.rules.size() << "\n";
+
+  int failed = 0;
+  for (int r = 0; r < rounds; ++r) {
+    RoundResult rr = run_round(r, seed, scratch, verbose);
+    std::cout << rr.report.str();
+    if (!rr.pass) ++failed;
+  }
+
+  auto& injector = vapro::testing::FaultInjector::instance();
+  const auto by_site = injector.injected_by_site();
+  std::cout << "faults injected: " << injector.injected_total() << "\n";
+  for (const auto& [site, count] : by_site)
+    std::cout << "  " << site << ": " << count << "\n";
+  injector.disarm();
+
+  if (failed > 0) {
+    std::cout << "RESULT: FAIL (" << failed << "/" << rounds
+              << " rounds violated invariants; rerun with --seed " << seed
+              << (plan_path.empty()
+                      ? std::string()
+                      : " --fault-plan " + plan_path)
+              << " to reproduce byte-identically)\n";
+    return 1;
+  }
+  std::cout << "RESULT: PASS (" << rounds << "/" << rounds << " rounds)\n";
+  return 0;
+}
