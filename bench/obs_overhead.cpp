@@ -69,9 +69,10 @@ double run_once(bool with_obs, ModeResult* out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Self-telemetry overhead: obs off vs on",
                       "repo acceptance: telemetry < 3% of end-to-end");
+  bench::JsonReport json("obs_overhead", argc, argv);
 
   constexpr int kRepeats = 15;
   ModeResult off, on;
@@ -107,6 +108,14 @@ int main() {
             << "% of end-to-end runtime (bar: < 3%)\n"
             << "accountant: " << util::fmt(on.tool_seconds * 1e3, 2)
             << " ms tool time inside the obs run\n";
+  auto to_ms = [](std::vector<double> walls) {
+    for (double& w : walls) w *= 1e3;
+    return walls;
+  };
+  json.record("obs_off_wall_ms", to_ms(off_walls));
+  json.record("obs_on_wall_ms", to_ms(on_walls));
+  json.record("telemetry_overhead_frac", pair_overheads);
+  if (!json.write()) return 1;
   // Negative just means the difference drowned in noise.
   if (overhead >= 0.03) {
     std::cout << "WARNING: telemetry overhead above the 3% bar\n";

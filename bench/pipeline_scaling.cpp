@@ -1,0 +1,204 @@
+// Staged-pipeline scaling: windows/sec of the analysis server across
+// analysis-thread counts (1/2/4) and pipeline depths (1/2), on a
+// clustering-dominant synthetic workload.
+//
+// Guards the concurrency PR's acceptance bar: 4 analysis threads at
+// pipeline depth 2 must reach >= 2x the windows/sec of the fully serial
+// configuration (1 thread, depth 1).  Depth 2 overlaps the producer's
+// window assembly ("drain") with the worker's analysis; extra threads
+// split the per-window clustering across STG edges/vertices.  The outputs
+// are byte-identical in every cell of the grid — only throughput moves —
+// which tool_vapro_stress_equivalence proves separately.
+//
+//   pipeline_scaling [--json PATH]    (scripts/bench.sh -> BENCH_pipeline.json)
+#include <chrono>
+#include <cstdlib>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/core/server.hpp"
+#include "src/core/stg.hpp"
+#include "src/obs/context.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace vapro;
+
+// Clustering-dominant shape: many call sites -> many STG edge/vertex work
+// items for the thread pool, many fragments per item so each is worth
+// parallelizing, diagnosis off so clustering dominates the window.
+constexpr int kRanks = 64;
+constexpr int kSites = 40;
+constexpr int kReps = 24;
+constexpr int kWindows = 10;
+constexpr double kWindowSeconds = 0.25;
+
+// One window of synthetic client data (the vapro_stress generator shape,
+// chaos-free): per rank, `kReps` loops over the site ring, an edge
+// fragment before each invocation and a vertex fragment for it.  Built on
+// the producer thread inside the timed region — this IS the drain work the
+// pipeline overlaps with analysis.
+core::FragmentBatch make_window(int window, util::Rng& rng) {
+  core::FragmentBatch batch;
+  std::vector<core::StateKey> keys(kSites);
+  for (int s = 0; s < kSites; ++s) {
+    sim::InvocationInfo info;
+    info.site = static_cast<sim::CallSiteId>(100 + s);
+    info.kind = s % 3 == 2 ? sim::OpKind::kFileWrite : sim::OpKind::kAllreduce;
+    keys[static_cast<std::size_t>(s)] =
+        core::make_state_key(core::StgMode::kContextFree, info);
+    batch.new_states.push_back(info);
+  }
+
+  const int steps = kSites * kReps;
+  const double step_seconds = kWindowSeconds / (steps + 1);
+  batch.fragments.reserve(
+      static_cast<std::size_t>(kRanks) * static_cast<std::size_t>(steps) * 2);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    core::StateKey prev = core::kStartState;
+    double t = window * kWindowSeconds;
+    for (int step = 0; step < steps; ++step) {
+      const int s = step % kSites;
+      const core::StateKey key = keys[static_cast<std::size_t>(s)];
+
+      core::Fragment comp;
+      comp.kind = core::FragmentKind::kComputation;
+      comp.rank = rank;
+      comp.from = prev;
+      comp.to = key;
+      comp.start_time = t;
+      comp.end_time = t + step_seconds * 0.7 * rng.uniform(0.98, 1.02);
+      comp.counters[pmu::Counter::kTotIns] = 1e6 * (1 + s);
+      batch.fragments.push_back(comp);
+      t = comp.end_time;
+
+      core::Fragment inv;
+      inv.op = s % 3 == 2 ? sim::OpKind::kFileWrite : sim::OpKind::kAllreduce;
+      inv.kind = s % 3 == 2 ? core::FragmentKind::kIo
+                            : core::FragmentKind::kCommunication;
+      inv.rank = rank;
+      inv.from = key;
+      inv.to = key;
+      inv.start_time = t;
+      inv.end_time = t + step_seconds * 0.3 * rng.uniform(0.98, 1.02);
+      // Per-rank workload vectors on a constant-norm circle: every rank's
+      // (bytes, peer) pair has the same magnitude but a distinct angle, so
+      // the norm-sorted sweep must distance-check the whole same-norm run
+      // for each seed — the worst case the threaded clustering speeds up.
+      const double radius = 4096.0 * (1 + s);
+      const double angle =
+          0.08 + 1.45 * std::fmod(0.61803398875 * (rank + 1), 1.0);
+      inv.args.bytes = radius * std::cos(angle);
+      inv.args.peer = static_cast<int>(radius * std::sin(angle));
+      inv.args.fd = s % 3 == 2 ? 3 : -1;
+      batch.fragments.push_back(inv);
+      t = inv.end_time;
+      prev = key;
+    }
+  }
+  return batch;
+}
+
+// One timed pass: construct the server, feed kWindows windows (assembling
+// each batch on this thread), sync.  Returns windows/sec.
+double run_config(int threads, int depth) {
+  obs::ObsContext ctx;
+  core::ServerOptions sopts;
+  sopts.analysis_threads = threads;
+  sopts.pipeline_depth = depth;
+  sopts.run_diagnosis = false;
+  sopts.bin_seconds = 0.1;
+  // A tight threshold keeps the constant-norm ranks in separate clusters
+  // (more seeds -> more sweep passes -> more parallelizable work).
+  sopts.cluster.threshold = 0.01;
+  const bool debug = std::getenv("PIPE_DEBUG") != nullptr;
+  if (debug) sopts.obs = &ctx;
+  core::AnalysisServer server(kRanks, sopts);
+  util::Rng rng(7);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int w = 0; w < kWindows; ++w) server.process_window(make_window(w, rng));
+  server.sync();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (debug) {
+    double stg = 0, cl = 0, norm = 0, dep = 0, diag = 0;
+    for (const auto& wst : ctx.windows().windows()) {
+      stg += wst.stg_seconds; cl += wst.cluster_seconds;
+      norm += wst.normalize_seconds; dep += wst.deposit_seconds;
+      diag += wst.diagnose_seconds;
+    }
+    std::cout << "t" << threads << "d" << depth << " wall=" << wall
+              << " stg=" << stg << " cluster=" << cl << " norm=" << norm
+              << " deposit=" << dep << " diag=" << diag << "\n";
+  }
+  return kWindows / wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Staged-pipeline scaling: windows/sec by threads x depth",
+      "repo acceptance: >= 2x serial at 4 threads, depth 2");
+  bench::JsonReport json("pipeline_scaling", argc, argv);
+
+  constexpr int kRepeats = 7;
+  struct Cell {
+    int threads, depth;
+    std::vector<double> wps;
+  };
+  std::vector<Cell> grid = {{1, 1, {}}, {2, 1, {}}, {4, 1, {}},
+                            {1, 2, {}}, {2, 2, {}}, {4, 2, {}}};
+  // Warm allocator/caches once, then interleave the grid inside each
+  // repeat so machine-wide drift hits every cell equally.
+  run_config(1, 1);
+  for (int r = 0; r < kRepeats; ++r)
+    for (Cell& c : grid) c.wps.push_back(run_config(c.threads, c.depth));
+
+  const double serial = bench::percentile(grid[0].wps, 0.5);
+  util::TextTable table({"threads", "depth", "windows/sec", "p95", "speedup"});
+  double best_speedup = 0.0;
+  for (Cell& c : grid) {
+    const double median = bench::percentile(c.wps, 0.5);
+    // p95 of the *time* tail is the 5th percentile of throughput.
+    const double p95 = bench::percentile(c.wps, 0.05);
+    const double speedup = median / serial;
+    best_speedup = std::max(best_speedup, speedup);
+    table.add_row({std::to_string(c.threads), std::to_string(c.depth),
+                   util::fmt(median, 2), util::fmt(p95, 2),
+                   util::fmt(speedup, 2) + "x"});
+    json.record("windows_per_sec_t" + std::to_string(c.threads) + "_d" +
+                    std::to_string(c.depth),
+                c.wps);
+  }
+  table.print(std::cout);
+
+  const double target = bench::percentile(grid.back().wps, 0.5) / serial;
+  std::cout << "\n4 threads + depth 2: " << util::fmt(target, 2)
+            << "x serial (bar: >= 2x)\n";
+  if (!json.write()) return 1;
+  // The bar measures parallel speedup, so it needs parallel hardware: the
+  // worker thread + the producer + >= 2 effective clustering threads.  On
+  // smaller hosts (CI containers are often 1-2 vCPUs) the grid and JSON
+  // are still reported — scaling there measures scheduler overhead, not
+  // the pipeline — but the bar is informational only.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::cout << "note: " << hw << " hardware thread(s) available; the 2x "
+              << "bar needs >= 4 — reporting only\n";
+    return 0;
+  }
+  if (target < 2.0) {
+    std::cout << "WARNING: pipeline scaling below the 2x bar\n";
+    return 1;
+  }
+  return 0;
+}

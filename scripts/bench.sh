@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Benchmark regression harness: builds, runs the machine-readable bench
+# binaries, and drops their JSON next to the sources so successive commits
+# can be diffed numerically:
+#
+#   scripts/bench.sh          ->  BENCH_pipeline.json  (pipeline_scaling)
+#                                 BENCH_obs.json       (obs_overhead)
+#
+# Each file holds {"bench": ..., "results": [{name, reps, median, p95}]};
+# see bench::JsonReport in bench/bench_common.hpp.  The bars the benches
+# enforce themselves (2x pipeline scaling on >= 4-thread hosts, < 3%
+# telemetry overhead) still apply: a failed bar fails this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja > /dev/null
+cmake --build build --target pipeline_scaling obs_overhead > /dev/null
+
+./build/bench/pipeline_scaling --json BENCH_pipeline.json
+./build/bench/obs_overhead --json BENCH_obs.json
+
+echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json"

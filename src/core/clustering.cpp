@@ -15,29 +15,63 @@ std::size_t ClusteringResult::rare_count() const {
   return n;
 }
 
-std::vector<Cluster> cluster_fragments(const Stg& stg,
-                                       const std::vector<std::size_t>& indices,
-                                       const ClusterOptions& opts) {
-  std::vector<Cluster> out;
-  if (indices.empty()) return out;
+std::vector<ClusterSeedCache::Entry*> ClusterSeedCache::prepare(
+    const std::vector<std::uint64_t>& keys) {
+  std::vector<Entry*> out;
+  out.reserve(keys.size());
+  for (std::uint64_t key : keys) out.push_back(&cache_[key]);
+  return out;
+}
 
-  struct Entry {
-    std::size_t frag_idx;
-    WorkloadVector vec;
-    double norm;
-  };
-  std::vector<Entry> entries;
+void ClusterSeedCache::invalidate() {
+  cache_.clear();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++invalidations_;
+}
+
+void ClusterSeedCache::record(std::uint64_t hits, std::uint64_t misses) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  seed_hits_ += hits;
+  seed_misses_ += misses;
+}
+
+namespace {
+
+struct NormEntry {
+  std::size_t frag_idx;
+  WorkloadVector vec;
+  double norm;
+};
+
+// Builds the norm-sorted entry list Algorithm 1 sweeps over.
+std::vector<NormEntry> make_entries(const Stg& stg,
+                                    const std::vector<std::size_t>& indices,
+                                    const ClusterOptions& opts) {
+  std::vector<NormEntry> entries;
   entries.reserve(indices.size());
   for (std::size_t idx : indices) {
     WorkloadVector v = make_workload_vector(stg.fragment(idx), opts.proxies);
     double n = v.norm();
-    entries.push_back(Entry{idx, std::move(v), n});
+    entries.push_back(NormEntry{idx, std::move(v), n});
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.norm < b.norm; });
+  std::sort(
+      entries.begin(), entries.end(),
+      [](const NormEntry& a, const NormEntry& b) { return a.norm < b.norm; });
+  return entries;
+}
 
-  const Fragment& first = stg.fragment(indices.front());
-  std::vector<bool> used(entries.size(), false);
+// Absolute radius: relative threshold of the seed norm, with a floor so
+// zero-norm seeds (e.g. empty transitions) still form a cluster.
+double seed_radius(double norm, const ClusterOptions& opts) {
+  return std::max(norm * opts.threshold, 1e-12);
+}
+
+// The fresh seeding sweep: every unused entry in norm order seeds a
+// cluster that absorbs later unused entries within its radius.  Appends to
+// `out`; marks consumed entries in `used`.
+void sweep_fresh(const std::vector<NormEntry>& entries, std::vector<bool>& used,
+                 const Fragment& first, const ClusterOptions& opts,
+                 std::vector<Cluster>& out) {
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (used[i]) continue;
     // Smallest-norm unprocessed fragment seeds a new cluster.
@@ -48,9 +82,7 @@ std::vector<Cluster> cluster_fragments(const Stg& stg,
     cluster.seed_norm = entries[i].norm;
     cluster.members.push_back(entries[i].frag_idx);
     used[i] = true;
-    // Absolute radius: relative threshold of the seed norm, with a floor so
-    // zero-norm seeds (e.g. empty transitions) still form a cluster.
-    const double radius = std::max(entries[i].norm * opts.threshold, 1e-12);
+    const double radius = seed_radius(entries[i].norm, opts);
     for (std::size_t j = i + 1; j < entries.size(); ++j) {
       if (entries[j].norm - entries[i].norm > radius) break;  // sorted sweep
       if (used[j]) continue;
@@ -63,27 +95,143 @@ std::vector<Cluster> cluster_fragments(const Stg& stg,
         cluster.members.size() < static_cast<std::size_t>(opts.min_cluster_size);
     out.push_back(std::move(cluster));
   }
+}
+
+}  // namespace
+
+std::vector<Cluster> cluster_fragments(const Stg& stg,
+                                       const std::vector<std::size_t>& indices,
+                                       const ClusterOptions& opts) {
+  std::vector<Cluster> out;
+  if (indices.empty()) return out;
+  std::vector<NormEntry> entries = make_entries(stg, indices, opts);
+  std::vector<bool> used(entries.size(), false);
+  sweep_fresh(entries, used, stg.fragment(indices.front()), opts, out);
+  return out;
+}
+
+std::vector<Cluster> cluster_fragments_cached(
+    const Stg& stg, const std::vector<std::size_t>& indices,
+    const ClusterOptions& opts, ClusterSeedCache::Entry* entry,
+    ClusterSeedCache* cache) {
+  std::vector<Cluster> out;
+  if (indices.empty()) return out;
+  std::vector<NormEntry> entries = make_entries(stg, indices, opts);
+  std::vector<bool> used(entries.size(), false);
+  const Fragment& first = stg.fragment(indices.front());
+
+  // Pass 1: attach fragments to cached seeds.  Seeds are visited in
+  // ascending norm order and each fragment joins the first seed that
+  // accepts it, so the assignment is deterministic.  A recurring cluster
+  // keeps the cached seed's norm, pinning its cross-window baseline key.
+  std::uint64_t hits = 0;
+  std::vector<bool> survived(entry->seeds.size(), false);
+  for (std::size_t s = 0; s < entry->seeds.size(); ++s) {
+    const ClusterSeedCache::Seed& seed = entry->seeds[s];
+    const double radius = seed_radius(seed.norm, opts);
+    // Entries are norm-sorted: only [norm - radius, norm + radius] can
+    // join (|‖a‖−‖b‖| ≤ ‖a−b‖), found by binary search.
+    auto lo = std::lower_bound(
+        entries.begin(), entries.end(), seed.norm - radius,
+        [](const NormEntry& e, double v) { return e.norm < v; });
+    Cluster cluster;
+    cluster.from = first.from;
+    cluster.to = first.to;
+    cluster.kind = first.kind;
+    cluster.seed_norm = seed.norm;
+    for (auto it = lo; it != entries.end(); ++it) {
+      if (it->norm - seed.norm > radius) break;
+      const std::size_t i = static_cast<std::size_t>(it - entries.begin());
+      if (used[i]) continue;
+      if (seed.vec.distance(it->vec) <= radius) {
+        cluster.members.push_back(it->frag_idx);
+        used[i] = true;
+        ++hits;
+      }
+    }
+    if (cluster.members.empty()) continue;  // stale seed: dies below
+    survived[s] = true;
+    cluster.rare =
+        cluster.members.size() < static_cast<std::size_t>(opts.min_cluster_size);
+    out.push_back(std::move(cluster));
+  }
+
+  // Pass 2: whatever no cached seed claimed runs the fresh sweep.
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < used.size(); ++i)
+    if (!used[i]) ++misses;
+  const std::size_t fresh_begin = out.size();
+  sweep_fresh(entries, used, first, opts, out);
+
+  // The entry becomes this window's seed set: surviving cached seeds keep
+  // their original vectors (stable identity), fresh clusters contribute
+  // their seed member's vector.  Norm-sorted, capped by evicting the
+  // largest norms (the most transient classes) first.
+  std::vector<ClusterSeedCache::Seed> next;
+  next.reserve(out.size());
+  for (std::size_t s = 0; s < entry->seeds.size(); ++s)
+    if (survived[s]) next.push_back(entry->seeds[s]);
+  for (std::size_t c = fresh_begin; c < out.size(); ++c) {
+    // The fresh cluster's seed is its first member (the sweep pushes the
+    // seed entry first); rebuild its vector for next window.
+    const std::size_t frag = out[c].members.front();
+    ClusterSeedCache::Seed seed;
+    seed.vec = make_workload_vector(stg.fragment(frag), opts.proxies);
+    seed.norm = out[c].seed_norm;
+    next.push_back(seed);
+  }
+  std::stable_sort(next.begin(), next.end(),
+                   [](const ClusterSeedCache::Seed& a,
+                      const ClusterSeedCache::Seed& b) { return a.norm < b.norm; });
+  if (next.size() > ClusterSeedCache::kMaxSeedsPerEntry)
+    next.resize(ClusterSeedCache::kMaxSeedsPerEntry);
+  entry->seeds = std::move(next);
+
+  if (cache) cache->record(hits, misses);
   return out;
 }
 
 namespace {
 
-// Work items (edge/vertex fragment lists) in deterministic key order.
-std::vector<const std::vector<std::size_t>*> gather_work(const Stg& stg) {
-  std::vector<std::pair<std::uint64_t, const std::vector<std::size_t>*>> keyed;
-  keyed.reserve(stg.edge_count() + stg.vertex_count());
+struct WorkItem {
+  std::uint64_t key = 0;  // edge_key() for edges, StateKey for vertices
+  bool vertex = false;
+  const std::vector<std::size_t>* fragments = nullptr;
+
+  // Seed-cache key: vertices are bit-flipped so an edge and a vertex with
+  // the same raw key (possible, if astronomically unlikely, since edge
+  // keys are hashes) never share a cache entry.
+  std::uint64_t cache_key() const { return vertex ? ~key : key; }
+};
+
+// Work items (edge/vertex fragment lists) in deterministic (key, kind)
+// order — a total order even if an edge hash ever collides with a vertex
+// key.
+std::vector<WorkItem> gather_work(const Stg& stg) {
+  std::vector<WorkItem> out;
+  out.reserve(stg.edge_count() + stg.vertex_count());
   for (const auto& [key, edge] : stg.edges()) {
-    if (!edge.fragments.empty()) keyed.emplace_back(key, &edge.fragments);
+    if (!edge.fragments.empty())
+      out.push_back(WorkItem{key, false, &edge.fragments});
   }
   for (const auto& [key, vertex] : stg.vertices()) {
-    if (!vertex.fragments.empty()) keyed.emplace_back(key, &vertex.fragments);
+    if (!vertex.fragments.empty())
+      out.push_back(WorkItem{key, true, &vertex.fragments});
   }
-  std::sort(keyed.begin(), keyed.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<const std::vector<std::size_t>*> out;
-  out.reserve(keyed.size());
-  for (const auto& [key, frags] : keyed) out.push_back(frags);
+  std::sort(out.begin(), out.end(), [](const WorkItem& a, const WorkItem& b) {
+    return a.key != b.key ? a.key < b.key : a.vertex < b.vertex;
+  });
   return out;
+}
+
+// Per-item dispatch: through the cache entry when a cache is attached,
+// the plain sweep otherwise.
+std::vector<Cluster> cluster_item(const Stg& stg, const WorkItem& item,
+                                  const ClusterOptions& opts,
+                                  ClusterSeedCache::Entry* entry,
+                                  ClusterSeedCache* cache) {
+  if (entry) return cluster_fragments_cached(stg, *item.fragments, opts, entry, cache);
+  return cluster_fragments(stg, *item.fragments, opts);
 }
 
 ClusteringResult merge_item_clusters(
@@ -105,20 +253,30 @@ ClusteringResult cluster_stg(const Stg& stg, const ClusterOptions& opts) {
   auto work = gather_work(stg);
   std::vector<std::vector<Cluster>> per_item(work.size());
   for (std::size_t i = 0; i < work.size(); ++i)
-    per_item[i] = cluster_fragments(stg, *work[i], opts);
+    per_item[i] = cluster_item(stg, work[i], opts, nullptr, nullptr);
   return merge_item_clusters(std::move(per_item));
 }
 
 ClusteringResult cluster_stg_parallel(const Stg& stg,
                                       const ClusterOptions& opts,
                                       int threads,
-                                      obs::TraceRecorder* trace) {
+                                      obs::TraceRecorder* trace,
+                                      ClusterSeedCache* cache) {
   VAPRO_CHECK(threads >= 1);
   auto work = gather_work(stg);
+  // Cache entries are created on this (coordinating) thread before any
+  // worker starts, so workers only ever touch their own item's entry.
+  std::vector<ClusterSeedCache::Entry*> entries(work.size(), nullptr);
+  if (cache) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(work.size());
+    for (const WorkItem& item : work) keys.push_back(item.cache_key());
+    entries = cache->prepare(keys);
+  }
   if (threads == 1 || work.size() < 2) {
     std::vector<std::vector<Cluster>> per_item(work.size());
     for (std::size_t i = 0; i < work.size(); ++i)
-      per_item[i] = cluster_fragments(stg, *work[i], opts);
+      per_item[i] = cluster_item(stg, work[i], opts, entries[i], cache);
     return merge_item_clusters(std::move(per_item));
   }
   std::vector<std::vector<Cluster>> per_item(work.size());
@@ -129,7 +287,7 @@ ClusteringResult cluster_stg_parallel(const Stg& stg,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= work.size()) break;
-      per_item[i] = cluster_fragments(stg, *work[i], opts);
+      per_item[i] = cluster_item(stg, work[i], opts, entries[i], cache);
       ++items;
     }
     if (trace)

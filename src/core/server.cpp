@@ -1,6 +1,8 @@
 #include "src/core/server.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "src/obs/exposition.hpp"
 #include "src/obs/journal.hpp"
@@ -50,13 +52,27 @@ AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
       io_map_(ranks, opts.bin_seconds),
       diagnoser_(opts.machine, with_obs(opts.diagnosis, opts.obs)) {
   VAPRO_CHECK(ranks > 0);
+  VAPRO_CHECK(opts_.pipeline_depth >= 1);
+  if (opts_.pipeline_depth > 1)
+    // depth d admits one window in flight on the worker plus d-1 queued.
+    pipeline_ = std::make_unique<util::StageExecutor>(
+        static_cast<std::size_t>(opts_.pipeline_depth - 1), opts_.clock);
   if (opts_.obs && opts_.live_detection) attach_live_routes();
 }
 
 AnalysisServer::~AnalysisServer() {
+  // Stop the worker before anything it writes is torn down; queued
+  // windows are still analyzed (StageExecutor drains on close).
+  pipeline_.reset();
   if (!opts_.obs || live_routes_.empty()) return;
   if (obs::ExpositionServer* http = opts_.obs->exposition())
     for (const std::string& path : live_routes_) http->remove_route(path);
+}
+
+void AnalysisServer::sync() const {
+  if (!pipeline_) return;
+  pipeline_->drain();
+  publish_pipeline_gauges();
 }
 
 void AnalysisServer::attach_live_routes() {
@@ -82,10 +98,52 @@ void AnalysisServer::attach_live_routes() {
 }
 
 void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
+  // A restart must interleave with window analysis exactly as it would
+  // serially: all admitted windows feed the old focus first.
+  sync();
   diagnoser_.restart(std::move(focus));
 }
 
 void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
+  if (!pipeline_) {
+    analyze_window(std::move(batch), drain_seconds);
+    return;
+  }
+  // Hand the window to the analysis worker.  submit() blocks when
+  // pipeline_depth windows are already admitted — that blocking IS the
+  // backpressure: a fast producer is throttled to analysis pace instead of
+  // queueing unbounded windows.
+  const bool degrade =
+      VAPRO_FAULT("pipeline.handoff") == testing::FaultAction::kFail;
+  auto shared = std::make_shared<FragmentBatch>(std::move(batch));
+  pipeline_->submit([this, shared, drain_seconds] {
+    analyze_window(std::move(*shared), drain_seconds);
+  });
+  if (degrade) {
+    // Injected hand-off failure: fall back to synchronous operation for
+    // this window.  The job still runs on the worker (keeping FIFO order),
+    // we just wait for it — lossless and output-identical, only the
+    // overlap is gone.
+    ++handoff_faults_;
+    pipeline_->drain();
+  }
+  publish_pipeline_gauges();
+}
+
+void AnalysisServer::publish_pipeline_gauges() const {
+  obs::ObsContext* obs = opts_.obs;
+  if (!obs || !pipeline_) return;
+  obs::MetricsRegistry& m = obs->metrics();
+  m.gauge("vapro.pipeline.queue_depth")
+      ->set(static_cast<double>(pipeline_->depth()));
+  m.gauge("vapro.pipeline.stall_seconds")->set(pipeline_->stall_seconds());
+  // Stage occupancy: cumulative busy seconds of the analysis worker; the
+  // scraper divides by wall time for utilization.
+  m.gauge("vapro.pipeline.analysis_busy_seconds")
+      ->set(pipeline_->busy_seconds());
+}
+
+void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
   obs::ObsContext* obs = opts_.obs;
   obs::TraceRecorder* trace = obs ? obs->trace() : nullptr;
   obs::Journal* journal = obs ? obs->journal() : nullptr;
@@ -131,8 +189,14 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
 
   // --- stage: clustering (Algorithm 1 workers + rare-path scan) ---
   const std::uint64_t cluster_t0 = trace ? trace->now_ns() : 0;
-  ClusteringResult clusters =
-      cluster_stg_parallel(stg_, opts_.cluster, opts_.analysis_threads, trace);
+  ClusterSeedCache* cache = opts_.cluster_seed_cache ? &seed_cache_ : nullptr;
+  if (cache && VAPRO_FAULT("pipeline.cache") == testing::FaultAction::kFail)
+    // Injected cache loss: drop every carried seed and re-cluster this
+    // window from scratch.  The site fires on the analysis path in both
+    // serial and pipelined modes, so equivalence holds under a fault plan.
+    seed_cache_.invalidate();
+  ClusteringResult clusters = cluster_stg_parallel(
+      stg_, opts_.cluster, opts_.analysis_threads, trace, cache);
   if (trace)
     trace->complete(
         "stage.cluster", "server", cluster_t0,
@@ -273,7 +337,7 @@ void AnalysisServer::publish_detection(const obs::PipelineStats& stats) {
   const Heatmap* maps[3] = {&comp_map_, &comm_map_, &io_map_};
   std::vector<VarianceRegion> regions[3];
   for (FragmentKind kind : kAllKinds)
-    regions[static_cast<int>(kind)] = locate(kind);
+    regions[static_cast<int>(kind)] = locate_locked(kind);
   const DetectionHealth health = detection_health(maps, regions, coverage_);
   publish_health_gauges(obs->metrics(), health);
 
@@ -302,11 +366,12 @@ void AnalysisServer::publish_detection(const obs::PipelineStats& stats) {
 void AnalysisServer::journal_detection_snapshot() const {
   obs::Journal* journal = opts_.obs ? opts_.obs->journal() : nullptr;
   if (!journal) return;
+  sync();  // the snapshot must cover every admitted window
   std::lock_guard<std::mutex> lock(live_mu_);
   const std::int64_t window =
       windows_ ? static_cast<std::int64_t>(windows_) - 1 : -1;
   for (FragmentKind kind : kAllKinds)
-    region_journal_.emit(*journal, kind, locate(kind), window,
+    region_journal_.emit(*journal, kind, locate_locked(kind), window,
                          last_virtual_time_, opts_.bin_seconds,
                          /*final_snapshot=*/true);
   journal->flush();
@@ -322,13 +387,22 @@ std::string AnalysisServer::render_variance_json() const {
   std::lock_guard<std::mutex> lock(live_mu_);
   std::vector<VarianceRegion> regions[3];
   for (FragmentKind kind : kAllKinds)
-    regions[static_cast<int>(kind)] = locate(kind);
+    regions[static_cast<int>(kind)] = locate_locked(kind);
   return core::render_variance_json(regions, windows_, last_virtual_time_,
                                     opts_.bin_seconds,
                                     opts_.variance_threshold);
 }
 
 std::vector<VarianceRegion> AnalysisServer::locate(FragmentKind kind) const {
+  // Sync so the regions reflect every admitted window, then lock so a
+  // concurrent scrape or (in a group) sibling publish sees whole windows.
+  sync();
+  std::lock_guard<std::mutex> lock(live_mu_);
+  return locate_locked(kind);
+}
+
+std::vector<VarianceRegion> AnalysisServer::locate_locked(
+    FragmentKind kind) const {
   switch (kind) {
     case FragmentKind::kComputation:
       return find_variance_regions(comp_map_, opts_.variance_threshold);
@@ -341,6 +415,7 @@ std::vector<VarianceRegion> AnalysisServer::locate(FragmentKind kind) const {
 }
 
 stats::VMeasure AnalysisServer::clustering_quality() const {
+  sync();
   return stats::v_measure(eval_truth_, eval_predicted_);
 }
 

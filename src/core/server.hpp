@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "src/obs/context.hpp"
 #include "src/stats/vmeasure.hpp"
 #include "src/util/clock.hpp"
+#include "src/util/pipeline.hpp"
 
 namespace vapro::core {
 
@@ -42,6 +44,19 @@ struct ServerOptions {
   // coverage, diagnosis, or evaluation pairs.
   double window_overlap_seconds = 0.0;
   int analysis_threads = 1;          // the "multiple servers" of §5
+  // Staged concurrent pipeline (§5 overlap): how many windows may be
+  // admitted past process_window() before the caller blocks.  1 = fully
+  // synchronous (the seed behavior); d > 1 hands each window to a single
+  // analysis worker thread and lets the caller drain window N+1 while
+  // window N clusters/detects/diagnoses.  One worker in strict FIFO order
+  // keeps every output byte-identical to depth 1 — only the overlap
+  // changes, never the results.  See docs/ARCHITECTURE.md.
+  int pipeline_depth = 1;
+  // Cross-window cluster-seed cache: carry each edge/vertex's norm-sorted
+  // cluster seeds forward so steady-state windows attach fragments to last
+  // window's seeds instead of re-deriving them.  Changes which fragment
+  // seeds each cluster (deterministically), so it is opt-in.
+  bool cluster_seed_cache = false;
   bool run_diagnosis = true;
   bool record_eval_pairs = false;    // Table 2 scoring
   // Rare-path reporting (Algorithm 1 line 8): clusters with too few
@@ -91,7 +106,19 @@ class AnalysisServer {
   // Ingests and analyzes one window of client data.  `drain_seconds` is
   // the wall time the caller spent draining the clients — it becomes the
   // "drain" stage of this window's PipelineStats snapshot.
+  //
+  // With pipeline_depth > 1 this only HANDS OFF the window to the analysis
+  // worker: it returns as soon as the pipeline accepts the batch (blocking
+  // for backpressure when `pipeline_depth` windows are already admitted)
+  // and the caller may immediately start draining the next window.
   void process_window(FragmentBatch batch, double drain_seconds = 0.0);
+
+  // Blocks until every admitted window has been fully analyzed.  The
+  // producer-side synchronization point of the pipelined server: after
+  // sync() every accessor below reflects all submitted windows, and the
+  // worker's writes happen-before the caller's reads (TSan-clean).  No-op
+  // at pipeline_depth 1.  All state accessors call it implicitly.
+  void sync() const;
 
   // Restarts diagnosis, optionally focused on a heat-map region the user
   // selected (§3.5): subsequent windows attribute only that region's
@@ -99,34 +126,43 @@ class AnalysisServer {
   void refocus_diagnosis(std::optional<FocusRegion> focus);
 
   // --- detection outputs ---
-  const Heatmap& computation_map() const { return comp_map_; }
-  const Heatmap& communication_map() const { return comm_map_; }
-  const Heatmap& io_map() const { return io_map_; }
+  const Heatmap& computation_map() const { sync(); return comp_map_; }
+  const Heatmap& communication_map() const { sync(); return comm_map_; }
+  const Heatmap& io_map() const { sync(); return io_map_; }
   std::vector<VarianceRegion> locate(FragmentKind kind) const;
 
   // --- diagnosis outputs ---
-  const DiagnosisReport& diagnosis() const { return diagnoser_.report(); }
-  bool diagnosis_finished() const { return diagnoser_.finished(); }
-  // Counters the clients should activate for the next window.
+  const DiagnosisReport& diagnosis() const { sync(); return diagnoser_.report(); }
+  bool diagnosis_finished() const { sync(); return diagnoser_.finished(); }
+  // Counters the clients should activate for the next window.  Deliberately
+  // does NOT sync: when diagnosis is off the demand is constant, and when
+  // it is on the session syncs explicitly before reprogramming so the
+  // PMU feedback loop sees exactly the same state as a serial run.
   std::vector<pmu::Counter> counters_needed() const {
     return diagnoser_.counters_needed();
   }
 
   // --- bookkeeping ---
-  const CoverageAccumulator& coverage() const { return coverage_; }
-  std::size_t windows_processed() const { return windows_; }
-  std::size_t fragments_processed() const { return fragments_; }
-  std::size_t rare_clusters_reported() const { return rare_clusters_; }
+  const CoverageAccumulator& coverage() const { sync(); return coverage_; }
+  std::size_t windows_processed() const { sync(); return windows_; }
+  std::size_t fragments_processed() const { sync(); return fragments_; }
+  std::size_t rare_clusters_reported() const { sync(); return rare_clusters_; }
   // Windows whose live detection publish was lost to an injected
   // "server.window" fault; journal_detection_snapshot still recovers the
   // final regions.
-  std::size_t publish_faults() const { return publish_faults_; }
+  std::size_t publish_faults() const { sync(); return publish_faults_; }
+  // Windows that fell back to synchronous hand-off because the injected
+  // "pipeline.handoff" fault fired (pipelined mode only; outputs are
+  // unaffected — the window is analyzed in-line instead of overlapped).
+  std::size_t handoff_faults() const { sync(); return handoff_faults_; }
   // Rare-but-expensive paths surfaced per Algorithm 1 line 8, sorted by
   // total time (descending), capped at rare_report_limit.
   const std::vector<RareFinding>& rare_findings() const {
+    sync();
     return rare_findings_;
   }
-  const Stg& stg() const { return stg_; }
+  const Stg& stg() const { sync(); return stg_; }
+  const ClusterSeedCache& seed_cache() const { sync(); return seed_cache_; }
 
   // V-measure of fixed-workload identification vs ground truth — valid
   // when record_eval_pairs was set and labelled fragments were seen.
@@ -145,8 +181,16 @@ class AnalysisServer {
 
  private:
   void attach_live_routes();
+  // The full analysis body (STG growth → clustering → normalization →
+  // deposit → diagnosis) for one window.  Runs on the caller at
+  // pipeline_depth 1, on the single pipeline worker otherwise.
+  void analyze_window(FragmentBatch batch, double drain_seconds);
   // Detection-health gauges + window/region journal events for one window.
   void publish_detection(const obs::PipelineStats& stats);
+  // locate() for callers already holding live_mu_.
+  std::vector<VarianceRegion> locate_locked(FragmentKind kind) const;
+  // vapro.pipeline.* gauges (queue depth, stall time, occupancy).
+  void publish_pipeline_gauges() const;
   ServerOptions opts_;
   int ranks_;
   Stg stg_;
@@ -160,7 +204,13 @@ class AnalysisServer {
   std::size_t fragments_ = 0;
   std::size_t rare_clusters_ = 0;
   std::size_t publish_faults_ = 0;
+  std::size_t handoff_faults_ = 0;
   std::vector<RareFinding> rare_findings_;
+  // The analysis pipeline (null at pipeline_depth 1).  Mutable so const
+  // accessors can sync(); destroyed first in ~AnalysisServer so the worker
+  // never outlives the state it writes.
+  mutable std::unique_ptr<util::StageExecutor> pipeline_;
+  ClusterSeedCache seed_cache_;
   std::vector<Fragment> overlap_carry_;
   // (truth label, predicted cluster label) for labelled comp fragments.
   std::vector<int> eval_truth_;

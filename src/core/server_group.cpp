@@ -20,10 +20,14 @@ ServerGroup::ServerGroup(int ranks, int servers, ServerOptions opts)
       variance_threshold_(opts.variance_threshold),
       bin_seconds_(opts.bin_seconds),
       obs_(opts.obs),
-      live_detection_(opts.live_detection) {
+      live_detection_(opts.live_detection),
+      pipelined_(opts.pipeline_depth > 1) {
   VAPRO_CHECK(servers >= 1 && ranks >= 1);
   // Each leaf runs its own analysis; intra-leaf threading stays at 1 since
-  // the leaves themselves run concurrently.
+  // the leaves themselves run concurrently.  pipeline_depth passes through:
+  // pipelined leaves each own an analysis worker, and process_window below
+  // hands shards straight to those workers instead of spawning per-window
+  // threads.
   opts.analysis_threads = 1;
   // The root owns the live detection surfaces (class comment).
   opts.live_detection = false;
@@ -75,20 +79,30 @@ void ServerGroup::process_window(FragmentBatch batch) {
     shards[static_cast<std::size_t>(f.rank % n)].fragments.push_back(
         std::move(f));
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(n));
-  for (int s = 0; s < n; ++s) {
-    pool.emplace_back([this, s, &shards, trace] {
-      // Each leaf's own "analysis.window" span lands on this worker's
-      // trace track; the extra span names the shard it belongs to.
-      obs::TraceSpan leaf_span(
-          trace, "group.leaf", "server_group",
-          {obs::TraceRecorder::arg("shard", static_cast<std::uint64_t>(s))});
+  if (pipelined_) {
+    // Pipelined leaves already own an analysis worker each: hand every
+    // shard to its leaf's pipeline (the hand-off only blocks for
+    // backpressure) and let the workers overlap with the caller's next
+    // drain.  No per-window thread spawn.
+    for (int s = 0; s < n; ++s)
       leaves_[static_cast<std::size_t>(s)]->process_window(
           std::move(shards[static_cast<std::size_t>(s)]));
-    });
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      pool.emplace_back([this, s, &shards, trace] {
+        // Each leaf's own "analysis.window" span lands on this worker's
+        // trace track; the extra span names the shard it belongs to.
+        obs::TraceSpan leaf_span(
+            trace, "group.leaf", "server_group",
+            {obs::TraceRecorder::arg("shard", static_cast<std::uint64_t>(s))});
+        leaves_[static_cast<std::size_t>(s)]->process_window(
+            std::move(shards[static_cast<std::size_t>(s)]));
+      });
+    }
+    for (auto& t : pool) t.join();
   }
-  for (auto& t : pool) t.join();
 
   last_virtual_time_ = std::max(last_virtual_time_, window_end);
   if (obs_) {
@@ -112,6 +126,10 @@ void ServerGroup::process_window(FragmentBatch batch) {
            obs::TraceRecorder::arg("fragments", total_fragments)});
   }
   ++windows_;
+}
+
+void ServerGroup::sync() const {
+  for (const auto& leaf : leaves_) leaf->sync();
 }
 
 void ServerGroup::publish_detection(std::int64_t window, double virtual_time,

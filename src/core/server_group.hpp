@@ -34,7 +34,13 @@ class ServerGroup {
   ~ServerGroup();
 
   // Splits the batch by rank shard and processes all shards concurrently.
+  // With pipeline_depth > 1 the shards are handed to the leaves' analysis
+  // workers and this returns before they finish; sync() (or any leaf
+  // accessor, which syncs implicitly) waits for them.
   void process_window(FragmentBatch batch);
+
+  // Blocks until every leaf has analyzed all its admitted shards.
+  void sync() const;
 
   int servers() const { return static_cast<int>(leaves_.size()); }
   const AnalysisServer& leaf(int i) const { return *leaves_[static_cast<std::size_t>(i)]; }
@@ -74,6 +80,7 @@ class ServerGroup {
   double bin_seconds_;
   obs::ObsContext* obs_ = nullptr;  // shared with the leaves (borrowed)
   bool live_detection_ = false;     // publish merged root views?
+  bool pipelined_ = false;          // leaves run pipeline_depth > 1?
   std::vector<std::unique_ptr<AnalysisServer>> leaves_;
   // Serializes process_window (including its leaf threads) against /v1
   // scrapes and journal_detection_snapshot.

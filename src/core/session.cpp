@@ -31,6 +31,8 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
   sopts.bin_seconds = opts.bin_seconds;
   sopts.window_overlap_seconds = opts.window_overlap_seconds;
   sopts.analysis_threads = opts.analysis_threads;
+  sopts.pipeline_depth = opts.pipeline_depth;
+  sopts.cluster_seed_cache = opts.cluster_seed_cache;
   sopts.run_diagnosis = opts.run_diagnosis;
   sopts.record_eval_pairs = opts.record_eval_pairs;
   sopts.window_observer = opts.window_observer;
@@ -79,7 +81,12 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
             opts_.obs ? clock->now_seconds() - t0 : 0.0;
         server_->process_window(std::move(batch), drain_seconds);
         // Progressive diagnosis may have moved to a finer stage; reprogram
-        // the clients' PMU sets for the next window.
+        // the clients' PMU sets for the next window.  With a pipelined
+        // server the window may still be in flight — sync first so the
+        // PMU feedback loop sees exactly the serial run's state.  Without
+        // diagnosis the counter demand is constant, so the pipeline keeps
+        // its overlap.
+        if (opts_.run_diagnosis) server_->sync();
         reprogram();
       });
 }

@@ -39,6 +39,11 @@ struct VaproOptions {
   // boundary-straddling clusters still find their twins.
   double window_overlap_seconds = 0.0;
   int analysis_threads = 1;
+  // Analysis pipeline depth (ServerOptions::pipeline_depth): windows
+  // admitted past process_window before the drain blocks.  1 = synchronous.
+  int pipeline_depth = 1;
+  // Carry cluster seeds across windows (ServerOptions::cluster_seed_cache).
+  bool cluster_seed_cache = false;
   bool run_diagnosis = true;
   SamplingPolicy sampling = SamplingPolicy::kNone;
   int sampling_warmup = 64;

@@ -29,6 +29,8 @@ OfflineSession::OfflineSession(const Trace& trace, OfflineOptions opts) {
   sopts.variance_threshold = opts.variance_threshold;
   sopts.bin_seconds = opts.bin_seconds;
   sopts.analysis_threads = opts.analysis_threads;
+  sopts.pipeline_depth = opts.pipeline_depth;
+  sopts.cluster_seed_cache = opts.cluster_seed_cache;
   sopts.run_diagnosis = opts.run_diagnosis;
   sopts.record_eval_pairs = opts.record_eval_pairs;
   sopts.obs = opts.obs;
@@ -36,10 +38,17 @@ OfflineSession::OfflineSession(const Trace& trace, OfflineOptions opts) {
 
   client_->configure_counters(server_->counters_needed());
   TraceReplayer replayer(trace);
-  replayer.replay_windowed(*client_, opts.window_seconds, [this](double) {
-    server_->process_window(client_->drain());
-    client_->configure_counters(server_->counters_needed());
-  });
+  const bool sync_for_pmu = opts.run_diagnosis;
+  replayer.replay_windowed(
+      *client_, opts.window_seconds, [this, sync_for_pmu](double) {
+        server_->process_window(client_->drain());
+        // Same PMU feedback rule as the live session: reprogramming must
+        // observe the analyzed window when diagnosis drives the counters.
+        if (sync_for_pmu) server_->sync();
+        client_->configure_counters(server_->counters_needed());
+      });
+  // Results are promised ready after construction.
+  server_->sync();
 }
 
 }  // namespace vapro::trace

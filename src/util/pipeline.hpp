@@ -1,0 +1,243 @@
+// Staged concurrent pipeline primitives (paper §5: overlap window drain
+// with window analysis so slot times stop stacking).
+//
+// Two building blocks:
+//
+//   * BoundedQueue<T> — a bounded multi-producer/single-consumer queue
+//     whose push() BLOCKS while the queue is full.  That blocking is the
+//     backpressure contract: a producer that outruns the analysis stage is
+//     throttled to the consumer's pace instead of growing an unbounded
+//     backlog.  Cumulative producer block time is accounted (via an
+//     injectable util::Clock) so the owner can export it as a stall gauge.
+//
+//   * StageExecutor — one worker thread draining a bounded job queue in
+//     strict FIFO order.  Determinism rule: because there is exactly one
+//     worker, every job observes all effects of every earlier job — a
+//     pipelined AnalysisServer produces byte-identical results to the
+//     synchronous one, the only difference being WHEN the work runs.
+//     drain() is the synchronization point: it blocks until the queue is
+//     empty and the in-flight job (if any) has finished.
+//
+// Both are TSan-clean by construction: all state is guarded by one mutex
+// per object, and drain() establishes the happens-before edge that lets
+// the producer read consumer-written state without extra locking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "src/util/clock.hpp"
+
+namespace vapro::util {
+
+// Bounded MPSC queue with blocking backpressure.  `capacity` is the
+// maximum number of queued (not yet popped) items; push() blocks while the
+// queue is at capacity and fails only after close().
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity, Clock* clock = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        clock_(clock ? clock : real_clock()) {}
+
+  // Blocks while full.  False when the queue was closed (item dropped).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      const double t0 = clock_->now_seconds();
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      stall_seconds_ += clock_->now_seconds() - t0;
+      ++stalls_;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty.  nullopt when the queue is closed AND drained —
+  // the consumer's termination signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent push() fails, pop() drains the backlog
+  // then returns nullopt.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  // Cumulative seconds producers spent blocked on a full queue.
+  double stall_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stall_seconds_;
+  }
+  std::uint64_t stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stalls_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  double stall_seconds_ = 0.0;
+  std::uint64_t stalls_ = 0;
+};
+
+// One worker thread running submitted jobs in FIFO order.  `max_pending`
+// bounds the number of submitted-but-unfinished jobs EXCLUDING the one
+// currently executing, so an AnalysisServer with pipeline_depth d uses
+// max_pending = d - 1: one window in flight on the worker plus d-1 queued
+// equals d windows admitted past the hand-off.
+class StageExecutor {
+ public:
+  explicit StageExecutor(std::size_t max_pending, Clock* clock = nullptr)
+      : max_pending_(max_pending == 0 ? 1 : max_pending),
+        clock_(clock ? clock : real_clock()),
+        worker_([this] { run(); }) {}
+
+  ~StageExecutor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      not_empty_.notify_all();
+      not_full_.notify_all();
+    }
+    worker_.join();
+  }
+
+  StageExecutor(const StageExecutor&) = delete;
+  StageExecutor& operator=(const StageExecutor&) = delete;
+
+  // Blocks while the pending queue is full (backpressure); false after
+  // close (the job is dropped — only happens during teardown).
+  bool submit(std::function<void()> job) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (jobs_.size() >= max_pending_ && !closed_) {
+      const double t0 = clock_->now_seconds();
+      not_full_.wait(lock,
+                     [this] { return jobs_.size() < max_pending_ || closed_; });
+      stall_seconds_ += clock_->now_seconds() - t0;
+      ++stalls_;
+    }
+    if (closed_) return false;
+    jobs_.push_back(std::move(job));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until every submitted job has finished.  This is the
+  // producer-side synchronization point: after drain() returns, all
+  // worker-thread writes happen-before the caller's subsequent reads.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return jobs_.empty() && !running_; });
+  }
+
+  // Queued plus in-flight jobs.
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size() + (running_ ? 1 : 0);
+  }
+  // Cumulative seconds submitters spent blocked on a full queue.
+  double stall_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stall_seconds_;
+  }
+  std::uint64_t stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stalls_;
+  }
+  // Cumulative seconds the worker spent executing jobs (stage occupancy
+  // numerator; divide by wall time for utilization).
+  double busy_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return busy_seconds_;
+  }
+  std::uint64_t jobs_run() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_run_;
+  }
+  // Jobs whose callable threw; the worker survives and keeps draining.
+  std::uint64_t jobs_failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_failed_;
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [this] { return !jobs_.empty() || closed_; });
+        if (jobs_.empty()) return;  // closed and drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+        running_ = true;
+        not_full_.notify_one();
+      }
+      const double t0 = clock_->now_seconds();
+      bool failed = false;
+      try {
+        job();
+      } catch (...) {
+        // A throwing stage must not take the whole pipeline down; the
+        // owner reads jobs_failed() to surface the degradation.
+        failed = true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        busy_seconds_ += clock_->now_seconds() - t0;
+        ++jobs_run_;
+        if (failed) ++jobs_failed_;
+        running_ = false;
+        if (jobs_.empty()) idle_.notify_all();
+      }
+    }
+  }
+
+  const std::size_t max_pending_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> jobs_;
+  bool closed_ = false;
+  bool running_ = false;
+  double stall_seconds_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t jobs_run_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::thread worker_;  // last member: starts after all state exists
+};
+
+}  // namespace vapro::util

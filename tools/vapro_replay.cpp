@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
                  "[--no-diagnosis] [--cluster-threshold=X] "
                  "[--metrics-out=FILE] [--trace-out=FILE] [--obs-table]\n"
                  "       vapro_replay --from-journal JOURNAL_FILE\n"
-                 "extra observability flags (as in vapro_run): "
+                 "analysis pipeline flags (as in vapro_run):\n"
+              << tools::PipelineCli::usage_lines()
+              << "extra observability flags (as in vapro_run): "
                  "[--journal-out=FILE] [--listen=PORT] [--listen-linger=S] "
                  "[--alert-rule=SPEC]... [--alert-file=FILE]\n";
     return 2;
@@ -70,6 +72,11 @@ int main(int argc, char** argv) {
   opts.run_diagnosis = !args.get_bool("no-diagnosis");
   if (args.get_bool("context-aware"))
     opts.stg_mode = core::StgMode::kContextAware;
+  tools::PipelineCli pipeline_cli;
+  if (!pipeline_cli.parse(args)) return 2;
+  opts.pipeline_depth = pipeline_cli.pipeline_depth;
+  opts.analysis_threads = pipeline_cli.analysis_threads;
+  opts.cluster_seed_cache = pipeline_cli.cluster_seed_cache;
 
   // ObsCli before ObsContext: the journal borrows the alert engine.
   tools::ObsCli obs_cli;

@@ -42,6 +42,7 @@ int usage() {
       "  --context-aware        use context-aware STG\n"
       "  --sampling=none|backoff|skip-short\n"
       "  --no-diagnosis         detection only\n"
+      << tools::PipelineCli::usage_lines() <<
       "  --ansi                 colored heat maps\n"
       "  --csv=DIR              also dump heat-map CSVs into DIR\n"
       "  --trace=FILE           record the interception stream for\n"
@@ -146,6 +147,11 @@ int main(int argc, char** argv) {
   if (sampling == "backoff") options.sampling = core::SamplingPolicy::kBackoff;
   else if (sampling == "skip-short")
     options.sampling = core::SamplingPolicy::kSkipShort;
+  tools::PipelineCli pipeline_cli;
+  if (!pipeline_cli.parse(args)) return 2;
+  options.pipeline_depth = pipeline_cli.pipeline_depth;
+  options.analysis_threads = pipeline_cli.analysis_threads;
+  options.cluster_seed_cache = pipeline_cli.cluster_seed_cache;
 
   // Self-telemetry: attach an ObsContext when any observability output is
   // requested; the default path keeps the library instrument-free.

@@ -41,6 +41,7 @@
 #include "src/util/cli.hpp"
 #include "src/util/clock.hpp"
 #include "src/util/rng.hpp"
+#include "tools/obs_cli.hpp"
 
 namespace {
 
@@ -57,7 +58,14 @@ int usage() {
       "  --scratch=DIR      journal scratch directory (default\n"
       "                     /tmp/vapro_stress; never printed, so two runs\n"
       "                     with different scratch dirs still compare equal)\n"
-      "  --verbose          print the per-round region tables\n";
+      "  --verbose          print the per-round region tables\n"
+      "  --equivalence      serial/parallel equivalence property mode: run\n"
+      "                     every round twice — --pipeline-depth=1\n"
+      "                     --analysis-threads=1 vs --pipeline-depth=2\n"
+      "                     --analysis-threads=4 — and byte-compare region\n"
+      "                     tables, rare-path tables, journal-replay tables\n"
+      "                     and the seq-normalized journal event stream\n"
+      << tools::PipelineCli::usage_lines();
   return 2;
 }
 
@@ -243,13 +251,51 @@ const core::FragmentKind kKinds[3] = {core::FragmentKind::kComputation,
                                       core::FragmentKind::kCommunication,
                                       core::FragmentKind::kIo};
 
+// Pipeline configuration of one stress run.  In --equivalence mode each
+// round runs once serial and once pipelined and every artifact below must
+// byte-compare equal.
+struct PipeCfg {
+  int depth = 1;
+  int threads = 1;
+  bool cache = false;
+};
+
+// Everything the equivalence property compares between two runs of the
+// same scenario.
+struct RoundArtifacts {
+  std::string region_tables[3];  // live render_region_table per kind
+  std::string replay_tables[3];  // reconstructed from the journal
+  std::string rare_table;        // rare-path findings, full precision
+  // Journal event stream with seq zeroed, sorted: concurrent leaf servers
+  // may interleave emission differently run to run, but the multiset of
+  // events must be identical.
+  std::vector<std::string> journal_lines;
+  std::uint64_t alerts = 0;
+};
+
+// Stricter than core::render_rare_table: full %.17g precision, every row —
+// so even sub-format-width divergence fails the equivalence property.
+std::string rare_findings_fingerprint(
+    const std::vector<core::RareFinding>& findings) {
+  std::ostringstream oss;
+  oss.precision(17);
+  for (const core::RareFinding& f : findings)
+    oss << f.state << '|' << core::fragment_kind_name(f.kind) << '|'
+        << f.executions << '|' << f.total_seconds << '|' << f.longest_seconds
+        << '|' << f.window_start << '\n';
+  return oss.str();
+}
+
 RoundResult run_round(int round, std::uint64_t seed,
-                      const std::string& scratch, bool verbose) {
+                      const std::string& scratch, bool verbose,
+                      const PipeCfg& cfg, const std::string& tag,
+                      RoundArtifacts* art) {
   RoundResult rr;
   util::Rng rng(seed ^ (0x5bd1e995ULL * static_cast<std::uint64_t>(round + 1)));
   const Scenario sc = make_scenario(rng);
   const double window_seconds = 0.25;
   const double bin_seconds = 0.05;
+  const bool pipelined = cfg.depth > 1;
 
   rr.report << "round " << round << ": ranks=" << sc.ranks
             << " windows=" << sc.windows << " sites=" << sc.sites
@@ -258,7 +304,9 @@ RoundResult run_round(int round, std::uint64_t seed,
             << " drop=" << (sc.drop_prob > 0 ? 1 : 0)
             << " dup=" << (sc.dup_prob > 0 ? 1 : 0)
             << " reorder=" << (sc.reorder ? 1 : 0)
-            << " slow_rank=" << sc.slow_rank << "\n";
+            << " slow_rank=" << sc.slow_rank << " depth=" << cfg.depth
+            << " threads=" << cfg.threads << " cache=" << (cfg.cache ? 1 : 0)
+            << "\n";
 
   // Virtual time: the whole round runs on a scripted clock, so stage
   // timings and window ages in the journal are deterministic too.
@@ -266,7 +314,8 @@ RoundResult run_round(int round, std::uint64_t seed,
   obs::ObsContext ctx;
   ctx.set_clock(&vclock);
   const std::string journal_path =
-      scratch + "/round" + std::to_string(round) + ".jsonl";
+      scratch + "/round" + std::to_string(round) +
+      (tag.empty() ? std::string() : "-" + tag) + ".jsonl";
   if (!ctx.attach_journal_file(journal_path)) {
     rr.check(false, "journal file unwritable");
     return rr;
@@ -287,6 +336,9 @@ RoundResult run_round(int round, std::uint64_t seed,
   opts.bin_seconds = bin_seconds;
   opts.cluster.min_cluster_size = 3;
   opts.run_diagnosis = false;  // diagnosis needs the simulator's noise model
+  opts.analysis_threads = cfg.threads;
+  opts.pipeline_depth = cfg.depth;
+  opts.cluster_seed_cache = cfg.cache;
   opts.obs = &ctx;
   opts.clock = &vclock;
 
@@ -309,7 +361,10 @@ RoundResult run_round(int round, std::uint64_t seed,
       server->process_window(std::move(batch), /*drain_seconds=*/0.0);
     vclock.advance(window_seconds);
 
-    // Per-window invariants.
+    // Per-window invariants.  Skipped while pipelined — every accessor
+    // syncs, so checking here would serialize the very overlap this mode
+    // exists to exercise; the same checks run once after the loop.
+    if (pipelined) continue;
     rr.check(!seq_check.violated, "journal seq not monotonic (live)");
     const std::size_t processed =
         group ? group->windows_processed() : server->windows_processed();
@@ -318,6 +373,30 @@ RoundResult run_round(int round, std::uint64_t seed,
     for (core::FragmentKind kind : kKinds) {
       const auto regions =
           group ? group->locate(kind) : server->locate(kind);
+      for (const core::VarianceRegion& r : regions) {
+        rr.check(r.cells > 0, "region with zero cells");
+        rr.check(r.rank_lo <= r.rank_hi && r.rank_hi < sc.ranks,
+                 "region rank range out of bounds");
+        rr.check(r.bin_lo <= r.bin_hi, "region bin range inverted");
+        rr.check(r.impact_seconds >= 0.0, "negative region impact");
+      }
+    }
+  }
+  if (pipelined) {
+    // End-of-round versions of the per-window checks.  Drain explicitly
+    // first: group->windows_processed() is a root-side counter that would
+    // not sync the leaves on its own.
+    if (group)
+      group->sync();
+    else
+      server->sync();
+    const std::size_t processed =
+        group ? group->windows_processed() : server->windows_processed();
+    rr.check(processed == static_cast<std::size_t>(sc.windows),
+             "windows_processed out of step");
+    rr.check(!seq_check.violated, "journal seq not monotonic (live)");
+    for (core::FragmentKind kind : kKinds) {
+      const auto regions = group ? group->locate(kind) : server->locate(kind);
       for (const core::VarianceRegion& r : regions) {
         rr.check(r.cells > 0, "region with zero cells");
         rr.check(r.rank_lo <= r.rank_hi && r.rank_hi < sc.ranks,
@@ -364,6 +443,20 @@ RoundResult run_round(int round, std::uint64_t seed,
       if (verbose && !live.empty())
         rr.report << core::fragment_kind_name(kKinds[k]) << " regions:\n"
                   << live_table;
+      if (art) {
+        art->region_tables[k] = live_table;
+        art->replay_tables[k] = replay_table;
+      }
+    }
+    if (art) {
+      art->rare_table = rare_findings_fingerprint(
+          group ? group->merged_rare_findings() : server->rare_findings());
+      art->alerts = engine.alerts_fired();
+      for (obs::JournalEvent ev : read.events) {
+        ev.seq = 0;  // seq normalization: compare the multiset of events
+        art->journal_lines.push_back(ev.to_json_line());
+      }
+      std::sort(art->journal_lines.begin(), art->journal_lines.end());
     }
     // The slowdown ran long enough that detection must have seen it.
     rr.check(live_regions > 0, "no variance regions despite injected slowdown");
@@ -410,6 +503,9 @@ int main(int argc, char** argv) {
   const std::string scratch = args.get("scratch", "/tmp/vapro_stress");
   const std::string plan_path = args.get("fault-plan", "");
   const bool verbose = args.get_bool("verbose");
+  const bool equivalence = args.get_bool("equivalence");
+  vapro::tools::PipelineCli pipeline_cli;
+  if (!pipeline_cli.parse(args)) return 2;
 
   vapro::testing::FaultPlan plan;
   if (!plan_path.empty()) {
@@ -428,13 +524,63 @@ int main(int argc, char** argv) {
 
   std::cout << "vapro_stress seed=" << seed << " rounds=" << rounds
             << " fault_plan=" << (plan_path.empty() ? "none" : "armed")
-            << " fault_rules=" << plan.rules.size() << "\n";
+            << " fault_rules=" << plan.rules.size()
+            << " mode=" << (equivalence ? "equivalence" : "fuzz") << "\n";
 
   int failed = 0;
-  for (int r = 0; r < rounds; ++r) {
-    RoundResult rr = run_round(r, seed, scratch, verbose);
-    std::cout << rr.report.str();
-    if (!rr.pass) ++failed;
+  if (equivalence) {
+    // The property: the same scenario at depth 1 / 1 thread and at depth 2
+    // / 4 threads produces byte-identical detection artifacts.  The seed
+    // cache flips per round so both cache states are covered.
+    for (int r = 0; r < rounds; ++r) {
+      const PipeCfg serial{1, 1, r % 2 == 1};
+      const PipeCfg pipelined{2, 4, r % 2 == 1};
+      RoundArtifacts a, b;
+      // Re-arm before each run so both see the identical per-site fault
+      // sequence (arm() resets every per-(site, rule) counter).
+      if (!plan_path.empty()) vapro::testing::FaultInjector::instance().arm(plan);
+      RoundResult ra = run_round(r, seed, scratch, verbose, serial,
+                                 "serial", &a);
+      if (!plan_path.empty()) vapro::testing::FaultInjector::instance().arm(plan);
+      RoundResult rb = run_round(r, seed, scratch, verbose, pipelined,
+                                 "pipelined", &b);
+      std::cout << ra.report.str();
+      bool equal = true;
+      auto require = [&](bool ok, const char* what) {
+        if (!ok) {
+          equal = false;
+          std::cout << "  EQUIVALENCE VIOLATED: " << what << "\n";
+        }
+      };
+      for (int k = 0; k < 3; ++k) {
+        require(a.region_tables[k] == b.region_tables[k],
+                "live region table differs");
+        require(a.replay_tables[k] == b.replay_tables[k],
+                "journal-replay region table differs");
+      }
+      require(a.rare_table == b.rare_table, "rare-path table differs");
+      require(a.journal_lines == b.journal_lines,
+              "journal event stream differs (after seq normalization)");
+      require(a.alerts == b.alerts, "alert fire count differs");
+      if (!ra.pass || !rb.pass || !equal) {
+        ++failed;
+        std::cout << rb.report.str();
+      } else {
+        std::cout << "  serial == pipelined: OK ("
+                  << a.journal_lines.size() << " journal events, "
+                  << a.alerts << " alerts)\n";
+      }
+    }
+  } else {
+    const PipeCfg cfg{pipeline_cli.pipeline_depth,
+                      pipeline_cli.analysis_threads,
+                      pipeline_cli.cluster_seed_cache};
+    for (int r = 0; r < rounds; ++r) {
+      RoundResult rr = run_round(r, seed, scratch, verbose, cfg,
+                                 /*tag=*/"", /*art=*/nullptr);
+      std::cout << rr.report.str();
+      if (!rr.pass) ++failed;
+    }
   }
 
   auto& injector = vapro::testing::FaultInjector::instance();
