@@ -5,6 +5,7 @@
 #
 #   scripts/bench.sh          ->  BENCH_pipeline.json  (pipeline_scaling)
 #                                 BENCH_obs.json       (obs_overhead)
+#                                 BENCH_quality.json   (vapro_stress --score)
 #
 # Each file holds {"bench": ..., "results": [{name, reps, median, p95}]};
 # see bench::JsonReport in bench/bench_common.hpp.  The bars the benches
@@ -14,9 +15,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja > /dev/null
-cmake --build build --target pipeline_scaling obs_overhead > /dev/null
+cmake --build build --target pipeline_scaling obs_overhead vapro_stress > /dev/null
 
 ./build/bench/pipeline_scaling --json BENCH_pipeline.json
 ./build/bench/obs_overhead --json BENCH_obs.json
+# Detection-quality scoreboard: the full app x noise matrix, scored against
+# injection ground truth.  Byte-deterministic for the fixed seed, so the
+# committed file diffs cleanly; scripts/quality_gate.py enforces
+# no-regression in CI.
+./build/tools/vapro_stress --score --json BENCH_quality.json
 
-echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json"
+echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json BENCH_quality.json"

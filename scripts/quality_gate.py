@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Detection-quality regression gate.
+
+Compares a freshly generated BENCH_quality.json (vapro_stress --score
+--json) against the committed baseline and fails when any per-cell or
+aggregate metric REGRESSES beyond a small epsilon.  Improvements pass —
+with a notice to re-run `vapro_stress --score --json BENCH_quality.json`
+and commit the new baseline so the gate ratchets upward.
+
+The scoreboard is byte-deterministic for a fixed seed, so in the common
+case the two files are identical and the gate is trivially green; the
+epsilon only matters when the matrix itself changes (new apps/noises) or
+a cell legitimately moves.
+
+Usage:
+  scripts/quality_gate.py CANDIDATE.json [--baseline BENCH_quality.json]
+                          [--epsilon 1e-9]
+
+Exit status: 0 = no regression, 1 = regression (or unreadable input).
+"""
+
+import argparse
+import json
+import sys
+
+METRICS = ("precision", "recall", "f1", "top_factor_accuracy")
+
+
+def load_cells(path):
+    """-> ({(app, noise, metric): value}, series_count).
+
+    Reads the bench::JsonReport shape: results[].name is
+    "<app>.<noise>.<metric>" (or "aggregate.<metric>"), with the value in
+    the single-sample series' median.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    cells = {}
+    for row in doc.get("results", []):
+        name = row.get("name", "")
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "aggregate":
+            key = ("aggregate", "-", parts[1])
+        elif len(parts) == 3:
+            key = tuple(parts)
+        else:
+            continue
+        if key[-1] not in METRICS:
+            continue
+        cells[key] = float(row["median"])
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="freshly generated BENCH_quality.json")
+    ap.add_argument("--baseline", default="BENCH_quality.json",
+                    help="committed baseline (default: %(default)s)")
+    ap.add_argument("--epsilon", type=float, default=1e-9,
+                    help="tolerated per-metric drop (default: %(default)s)")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_cells(args.baseline)
+        candidate = load_cells(args.candidate)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"quality_gate: cannot read inputs: {e}", file=sys.stderr)
+        return 1
+
+    if not baseline:
+        print(f"quality_gate: no scoreboard series in {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    regressions, improvements, missing = [], [], []
+    for key, base in sorted(baseline.items()):
+        label = "%s x %s %s" % key
+        if key not in candidate:
+            missing.append(label)
+            continue
+        delta = candidate[key] - base
+        if delta < -args.epsilon:
+            regressions.append((label, base, candidate[key]))
+        elif delta > args.epsilon:
+            improvements.append((label, base, candidate[key]))
+
+    for label, base, new in regressions:
+        print(f"REGRESSION  {label}: {base:.6f} -> {new:.6f}")
+    # A cell vanishing from the matrix is a silent coverage loss: gate it.
+    for label in missing:
+        print(f"MISSING     {label}: in baseline but not in candidate")
+    for label, base, new in improvements:
+        print(f"improved    {label}: {base:.6f} -> {new:.6f}")
+
+    if regressions or missing:
+        print(f"quality_gate: FAIL ({len(regressions)} regression(s), "
+              f"{len(missing)} missing cell(s))")
+        return 1
+    if improvements:
+        print("quality_gate: OK — scoreboard improved; commit the new "
+              "baseline to ratchet the gate:")
+        print("  vapro_stress --score --json BENCH_quality.json")
+    else:
+        print(f"quality_gate: OK ({len(baseline)} metrics match baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/masterworker.hpp"
 #include "src/apps/npb.hpp"
 #include "src/apps/solvers.hpp"
 #include "src/apps/threaded.hpp"

@@ -1,0 +1,69 @@
+#include "src/apps/masterworker.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace vapro::apps {
+
+using pmu::ComputeWorkload;
+using sim::RankContext;
+using sim::Request;
+using sim::Task;
+
+namespace {
+
+Task masterworker_task(RankContext& ctx, MasterWorkerParams p) {
+  const int workers = ctx.size() - 1;
+  constexpr int kClasses = 5;
+
+  if (workers <= 0) {
+    // Degenerate single-rank run: just compute the chunks locally.
+    for (int round = 0; round < p.rounds; ++round) {
+      const int cls = round % kClasses;
+      co_await ctx.compute(ComputeWorkload::memory_bound(
+          1.5e6 * p.scale * (1.0 + 0.3 * cls), /*truth=*/cls));
+    }
+    co_return;
+  }
+
+  if (ctx.rank() == 0) {
+    for (int round = 0; round < p.rounds; ++round) {
+      // Collect every worker's request for this round; the wait returns
+      // when the slowest worker of the previous round comes back — the
+      // master's wait time mirrors worker imbalance.
+      std::vector<Request> requests;
+      requests.reserve(static_cast<std::size_t>(workers));
+      for (int w = 1; w <= workers; ++w)
+        requests.push_back(co_await ctx.irecv(w, /*site=*/60, /*tag=*/round));
+      co_await ctx.wait_all(std::move(requests), /*site=*/61);
+      // Answer each request with a chunk descriptor.
+      for (int w = 1; w <= workers; ++w)
+        co_await ctx.send(w, 512.0, /*site=*/62, /*tag=*/round);
+      // Merge the partial results that rode along with the requests —
+      // fixed bookkeeping, one class per merge phase.
+      co_await ctx.compute(ComputeWorkload::balanced(
+          0.4e6 * p.scale, /*truth=*/100 + round % 4));
+    }
+  } else {
+    for (int round = 0; round < p.rounds; ++round) {
+      // Request the next chunk (the payload carries the previous result).
+      co_await ctx.send(0, 64.0, /*site=*/70, /*tag=*/round);
+      co_await ctx.recv(0, /*site=*/71, /*tag=*/round);
+      // Chunk class depends on (round, rank): no two workers see the same
+      // sequence, but every class is processed by many workers.
+      const int cls = (round * 7 + ctx.rank() * 3) % kClasses;
+      ComputeWorkload chunk = ComputeWorkload::memory_bound(
+          1.5e6 * p.scale * (1.0 + 0.3 * cls), /*truth=*/cls);
+      co_await ctx.compute(chunk);
+    }
+  }
+  co_await ctx.barrier(/*site=*/80);
+}
+
+}  // namespace
+
+sim::Simulator::RankProgram masterworker(MasterWorkerParams p) {
+  return [p](RankContext& ctx) { return masterworker_task(ctx, p); };
+}
+
+}  // namespace vapro::apps

@@ -1,0 +1,23 @@
+// MasterWorker — a dynamic-load-balancing mini app.
+//
+// Rank 0 is the scheduler: workers request a chunk, the master answers
+// with a descriptor, the worker computes it and comes back for more
+// (guided self-scheduling in rounds).  Chunk workloads cycle a small set
+// of runtime-only classes, so the fixed-workload clusters form *across*
+// workers even though no two workers process the same chunk sequence —
+// the inter-process comparison Vapro relies on.  The master itself is
+// communication-dominated (a many-request wait_all per round), which
+// exercises the communication heat map on a single hot rank.
+#pragma once
+
+#include "src/sim/runtime.hpp"
+
+namespace vapro::apps {
+
+struct MasterWorkerParams {
+  int rounds = 40;      // scheduling rounds (chunks per worker)
+  double scale = 1.0;
+};
+sim::Simulator::RankProgram masterworker(MasterWorkerParams p = {});
+
+}  // namespace vapro::apps

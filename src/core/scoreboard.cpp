@@ -1,0 +1,148 @@
+#include "src/core/scoreboard.hpp"
+
+#include <cmath>
+
+namespace vapro::core {
+
+namespace {
+
+// Heat-map categories an injection of `kind` can plausibly surface in.
+// IO and network interference span every rank for most of the run, so
+// without a constraint any unrelated region would claim them.  The
+// CPU-side kinds slow computation directly AND make everyone else wait at
+// the victims' collectives — both the computation region and its
+// communication echo are genuine manifestations of the injection.  An IO
+// injection must be found in the IO map itself: crediting its wait-time
+// echo would make cells for apps that never touch the filesystem look
+// detected.
+std::vector<std::string> allowed_categories(sim::NoiseKind kind) {
+  switch (kind) {
+    case sim::NoiseKind::kIoInterference: return {"io"};
+    case sim::NoiseKind::kNetworkCongestion: return {"communication"};
+    default: return {"computation", "communication"};
+  }
+}
+
+obs::QualityTruth to_truth(const sim::GroundTruthEvent& gt) {
+  obs::QualityTruth t;
+  t.t_lo = gt.t_begin;
+  t.t_hi = gt.t_end;
+  t.rank_lo = gt.rank_lo;
+  t.rank_hi = gt.rank_hi;
+  t.expected_factors = expected_factor_classes(gt.kind);
+  t.allowed_categories = allowed_categories(gt.kind);
+  return t;
+}
+
+obs::QualityDetection to_detection(const VarianceRegion& r,
+                                   double bin_seconds,
+                                   const std::string& category) {
+  obs::QualityDetection d;
+  d.t_lo = r.time_lo(bin_seconds);
+  d.t_hi = r.time_hi(bin_seconds);
+  d.rank_lo = r.rank_lo;
+  d.rank_hi = r.rank_hi;
+  d.impact_seconds = r.impact_seconds;
+  d.category = category;
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::string> expected_factor_classes(sim::NoiseKind kind) {
+  // Names must match factor_name() exactly; several tree levels are
+  // accepted because the progressive diagnoser stops descending once a
+  // stage's major factor is unambiguous.
+  switch (kind) {
+    case sim::NoiseKind::kCpuContention:
+      return {"involuntary context switch", "context switch", "suspension"};
+    case sim::NoiseKind::kMemoryBandwidth:
+    case sim::NoiseKind::kSlowDram:
+      return {"DRAM bound", "memory bound", "backend bound"};
+    case sim::NoiseKind::kL2CacheBug:
+      // The erratum evicts to DRAM, so either cache level is a fair call.
+      return {"L2 bound", "DRAM bound", "memory bound", "backend bound"};
+    case sim::NoiseKind::kPageFaultStorm:
+      return {"soft page fault", "hard page fault", "page fault",
+              "suspension"};
+    case sim::NoiseKind::kIoInterference:
+      return {"category:io"};
+    case sim::NoiseKind::kNetworkCongestion:
+      return {"category:communication"};
+  }
+  return {};
+}
+
+void journal_ground_truth(obs::Journal& journal,
+                          const std::vector<sim::GroundTruthEvent>& truths,
+                          double virtual_time) {
+  for (const sim::GroundTruthEvent& gt : truths)
+    journal.emit(
+        "ground_truth", /*window=*/-1, virtual_time,
+        {obs::JournalField::str("kind", sim::noise_kind_name(gt.kind)),
+         obs::JournalField::num("t_begin", gt.t_begin),
+         obs::JournalField::num("t_end", gt.t_end),
+         obs::JournalField::num("rank_lo",
+                                static_cast<std::int64_t>(gt.rank_lo)),
+         obs::JournalField::num("rank_hi",
+                                static_cast<std::int64_t>(gt.rank_hi)),
+         obs::JournalField::num("magnitude", gt.magnitude)});
+}
+
+std::vector<sim::GroundTruthEvent> ground_truth_from_journal(
+    const std::vector<obs::JournalEvent>& events) {
+  std::vector<sim::GroundTruthEvent> out;
+  for (const obs::JournalEvent& ev : events) {
+    if (ev.type != "ground_truth") continue;
+    sim::GroundTruthEvent gt;
+    if (!sim::noise_kind_from_name(ev.str("kind"), &gt.kind)) continue;
+    gt.t_begin = ev.number("t_begin");
+    gt.t_end = ev.number("t_end");
+    gt.rank_lo = static_cast<int>(std::llround(ev.number("rank_lo")));
+    gt.rank_hi = static_cast<int>(std::llround(ev.number("rank_hi")));
+    gt.magnitude = ev.number("magnitude", 1.0);
+    out.push_back(gt);
+  }
+  return out;
+}
+
+obs::QualityScore score_run_quality(
+    const std::vector<sim::GroundTruthEvent>& truths,
+    const RunConclusions& run, const obs::QualityMatchOptions& opts) {
+  std::vector<obs::QualityTruth> qtruths;
+  qtruths.reserve(truths.size());
+  for (const sim::GroundTruthEvent& gt : truths)
+    qtruths.push_back(to_truth(gt));
+
+  std::vector<obs::QualityDetection> detections;
+  std::vector<std::string> top_factors;
+  for (FactorId id : run.culprits)
+    top_factors.emplace_back(factor_name(id));
+
+  struct Category {
+    const std::vector<VarianceRegion>* regions;
+    const char* name;
+  };
+  const Category categories[] = {
+      {&run.computation, "computation"},
+      {&run.communication, "communication"},
+      {&run.io, "io"},
+  };
+  for (const Category& cat : categories) {
+    bool matched = false;
+    for (const VarianceRegion& r : *cat.regions) {
+      const obs::QualityDetection d =
+          to_detection(r, run.bin_seconds, cat.name);
+      for (const obs::QualityTruth& t : qtruths)
+        if (obs::quality_match(t, d, opts)) {
+          matched = true;
+          break;
+        }
+      detections.push_back(d);
+    }
+    if (matched) top_factors.emplace_back(std::string("category:") + cat.name);
+  }
+  return obs::score_quality(qtruths, detections, top_factors, opts);
+}
+
+}  // namespace vapro::core

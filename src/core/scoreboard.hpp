@@ -1,0 +1,65 @@
+// Glue between the sim's injection ground truth, one run's Vapro
+// conclusions, and the obs-layer quality scoreboard (src/obs/quality.hpp).
+//
+// The obs library sits below core in the link order, so the scoreboard
+// itself speaks only strings and plain window/rank ranges; this adapter is
+// where sim::GroundTruthEvent and core types (VarianceRegion, FactorId)
+// get translated:
+//
+//   * journal_ground_truth — one "ground_truth" event per injection
+//     (journal schema v2), so a journal alone suffices to re-score a run;
+//   * ground_truth_from_journal — the inverse, for replay and tests;
+//   * expected_factor_classes — which diagnosis conclusions count as
+//     correct for each noise kind (CPU contention should surface as
+//     involuntary context switches, a slow DIMM as DRAM bound, ...);
+//   * score_run_quality — overlap-match a run's variance regions against
+//     the injections and check the diagnosed culprits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/breakdown.hpp"
+#include "src/core/heatmap.hpp"
+#include "src/obs/journal.hpp"
+#include "src/obs/quality.hpp"
+#include "src/sim/noise.hpp"
+
+namespace vapro::core {
+
+// Factor classes that count as a correct diagnosis for `kind`.  Diagnosis
+// culprits score under factor_name() ("DRAM bound", ...); IO and network
+// interference never reach the computation breakdown tree, so they score
+// under the category of the heat map that located them ("category:io",
+// "category:communication").
+std::vector<std::string> expected_factor_classes(sim::NoiseKind kind);
+
+// Emits one "ground_truth" event per injection: kind tag, clamped window,
+// inclusive rank range, magnitude.
+void journal_ground_truth(obs::Journal& journal,
+                          const std::vector<sim::GroundTruthEvent>& truths,
+                          double virtual_time);
+
+// Recovers injections from parsed journal events ("ground_truth" type);
+// events of any other type are ignored, so a whole-run journal works.
+std::vector<sim::GroundTruthEvent> ground_truth_from_journal(
+    const std::vector<obs::JournalEvent>& events);
+
+// One run's conclusions, in scoreboard terms.
+struct RunConclusions {
+  double bin_seconds = 0.25;  // VaproOptions::bin_seconds of the run
+  std::vector<VarianceRegion> computation;
+  std::vector<VarianceRegion> communication;
+  std::vector<VarianceRegion> io;
+  std::vector<FactorId> culprits;  // DiagnosisReport::culprits
+};
+
+// Scores `run` against `truths`: regions (all three categories) are the
+// detections; the observed top factors are the culprits' names plus a
+// "category:<name>" tag for each category whose regions matched at least
+// one injection.
+obs::QualityScore score_run_quality(
+    const std::vector<sim::GroundTruthEvent>& truths,
+    const RunConclusions& run, const obs::QualityMatchOptions& opts = {});
+
+}  // namespace vapro::core

@@ -143,6 +143,17 @@ void AnalysisServer::publish_pipeline_gauges() const {
       ->set(pipeline_->busy_seconds());
 }
 
+PipelineBreakdown AnalysisServer::pipeline_breakdown() const {
+  sync();
+  PipelineBreakdown b;
+  b.analysis_busy_seconds = analysis_busy_seconds_;
+  if (pipeline_) {
+    b.queue_stall_seconds = pipeline_->stall_seconds();
+    b.queue_stalls = pipeline_->stalls();
+  }
+  return b;
+}
+
 void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
   obs::ObsContext* obs = opts_.obs;
   obs::TraceRecorder* trace = obs ? obs->trace() : nullptr;
@@ -289,6 +300,8 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
   ++windows_;
   stats.diagnosis_stage = diagnoser_.stage();
   stats.diagnose_seconds = clock.lap();
+  // Everything but the producer-side drain is analysis-stage occupancy.
+  analysis_busy_seconds_ += stats.total_seconds() - stats.drain_seconds;
 
   if (obs) {
     obs::MetricsRegistry& m = obs->metrics();

@@ -98,6 +98,17 @@ struct RareFinding {
   double window_start = 0.0;  // virtual time of the window that saw it
 };
 
+// Cumulative stage occupancy of the staged pipeline, for throughput
+// benches and capacity planning: where did the wall time go?  Analysis
+// busy counts the window body (STG growth through diagnosis) whether it
+// ran inline (depth 1) or on the worker; queue stall counts producer
+// seconds blocked on a full hand-off queue (backpressure engaged).
+struct PipelineBreakdown {
+  double analysis_busy_seconds = 0.0;
+  double queue_stall_seconds = 0.0;
+  std::uint64_t queue_stalls = 0;
+};
+
 class AnalysisServer {
  public:
   AnalysisServer(int ranks, ServerOptions opts);
@@ -155,6 +166,9 @@ class AnalysisServer {
   // "pipeline.handoff" fault fired (pipelined mode only; outputs are
   // unaffected — the window is analyzed in-line instead of overlapped).
   std::size_t handoff_faults() const { sync(); return handoff_faults_; }
+  // Per-stage occupancy since construction (syncs first, so it reflects
+  // every admitted window).
+  PipelineBreakdown pipeline_breakdown() const;
   // Rare-but-expensive paths surfaced per Algorithm 1 line 8, sorted by
   // total time (descending), capped at rare_report_limit.
   const std::vector<RareFinding>& rare_findings() const {
@@ -205,6 +219,9 @@ class AnalysisServer {
   std::size_t rare_clusters_ = 0;
   std::size_t publish_faults_ = 0;
   std::size_t handoff_faults_ = 0;
+  // Written by analyze_window (worker thread at depth > 1); read only
+  // after sync(), which establishes the happens-before edge.
+  double analysis_busy_seconds_ = 0.0;
   std::vector<RareFinding> rare_findings_;
   // The analysis pipeline (null at pipeline_depth 1).  Mutable so const
   // accessors can sync(); destroyed first in ~AnalysisServer so the worker

@@ -18,6 +18,15 @@ bool is_window_metric(const std::string& m) {
          m == "coverage";
 }
 
+// Scoreboard metrics, carried by "quality" events (src/obs/quality.hpp).
+// Kept apart from window metrics so a quality rule never evaluates against
+// a window event (where the missing field would read as 0.0 and a rule
+// like `quality_recall < 0.8` would always hold).
+bool is_quality_metric(const std::string& m) {
+  return m == "quality_precision" || m == "quality_recall" ||
+         m == "quality_f1" || m == "quality_top_factor_accuracy";
+}
+
 std::vector<std::string> tokenize(const std::string& spec) {
   // Split on whitespace, but also break the comparison operator out of a
   // compact spec like "variance_ratio>1.2".
@@ -80,12 +89,13 @@ bool parse_alert_rule(const std::string& spec, AlertRule* out,
     rule.factor = head.substr(7);
     if (rule.factor.empty()) return fail("missing factor name");
     if (i < tokens.size() && tokens[i] == "contribution") ++i;
-  } else if (is_window_metric(head)) {
+  } else if (is_window_metric(head) || is_quality_metric(head)) {
     rule.metric = head;
   } else {
     return fail("unknown metric '" + head +
                 "' (want variance_ratio, worst_cell, region_count, "
-                "coverage, or factor=NAME)");
+                "coverage, quality_precision, quality_recall, quality_f1, "
+                "quality_top_factor_accuracy, or factor=NAME)");
   }
 
   if (i >= tokens.size()) return fail("missing comparison operator");
@@ -178,8 +188,16 @@ void AlertEngine::on_event(const JournalEvent& event) {
     }
     return;
   }
+  if (event.type == "quality") {
+    // Quality rules tick once per scoreboard publication, so `for N`
+    // means N consecutive publications below/above threshold.
+    for (RuleState& st : states_)
+      if (is_quality_metric(st.rule.metric)) evaluate_window(st, event);
+    return;
+  }
   if (event.type != "window") return;
-  for (RuleState& st : states_) evaluate_window(st, event);
+  for (RuleState& st : states_)
+    if (!is_quality_metric(st.rule.metric)) evaluate_window(st, event);
 }
 
 void AlertEngine::evaluate_window(RuleState& st,

@@ -1,9 +1,11 @@
 #include "src/obs/context.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "src/testing/fault.hpp"
 #include "src/util/fs.hpp"
 
 namespace vapro::obs {
@@ -79,7 +81,17 @@ ExpositionServer* ObsContext::start_exposition(int port, std::string* error) {
       body << buf;
     }
     body << ",\"journal_events\":"
-         << (journal_ ? journal_->events_emitted() : 0) << "}";
+         << (journal_ ? journal_->events_emitted() : 0);
+    // Staged-pipeline queue depth, when an AnalysisServer is pipelining
+    // through this context (find, don't create: a non-pipelined process
+    // should not grow a zero gauge just because somebody probed /healthz).
+    body << ",\"pipeline_depth\":";
+    if (const Gauge* depth = metrics_.find_gauge("vapro.pipeline.queue_depth"))
+      body << static_cast<std::int64_t>(depth->value());
+    else
+      body << "null";
+    body << ",\"fault_injection\":"
+         << (testing::fault_injection_compiled() ? "true" : "false") << "}";
     resp.body = body.str();
     return resp;
   });

@@ -502,10 +502,12 @@ JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts) {
         return fail_result("schema name mismatch: '" + h.str("schema") +
                            "' (want " + kJournalSchemaName + ")");
       result.schema_version = static_cast<int>(h.number("schema_version", -1));
-      if (result.schema_version != kJournalSchemaVersion)
+      if (result.schema_version < kJournalMinReaderVersion ||
+          result.schema_version > kJournalSchemaVersion)
         return fail_result(
             "schema version mismatch: journal is v" +
-            std::to_string(result.schema_version) + ", reader expects v" +
+            std::to_string(result.schema_version) + ", reader accepts v" +
+            std::to_string(kJournalMinReaderVersion) + "..v" +
             std::to_string(kJournalSchemaVersion));
       saw_header = true;
       continue;

@@ -32,7 +32,14 @@
 namespace vapro::obs {
 
 inline constexpr const char* kJournalSchemaName = "vapro.journal";
-inline constexpr int kJournalSchemaVersion = 1;
+// v1: detection/diagnosis conclusion events.  v2 adds the "ground_truth"
+// event type (injected noise windows/ranks/factor classes — see
+// src/obs/quality.hpp) and the "quality" / "quality_cell" scoreboard
+// events.  Writers stamp the current version; the reader accepts any
+// version in [kJournalMinReaderVersion, kJournalSchemaVersion] — v1 files
+// simply contain none of the newer event types.
+inline constexpr int kJournalSchemaVersion = 2;
+inline constexpr int kJournalMinReaderVersion = 1;
 
 // One "key":value pair; `json` is already valid JSON text.  Build with the
 // typed factories so numbers are formatted consistently (%.17g).

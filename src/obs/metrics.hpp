@@ -89,6 +89,11 @@ class MetricsRegistry {
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
 
+  // Lookup without registering: nullptr when no such gauge exists yet.
+  // Readers (health endpoints) use this so probing for an optional gauge
+  // does not create a zero-valued instrument in /metrics.
+  const Gauge* find_gauge(const std::string& name) const;
+
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
   // {"count":..,"sum_seconds":..,"mean_seconds":..,"p50":..,"p95":..,
   //  "p99":..}}}.

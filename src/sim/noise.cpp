@@ -1,6 +1,33 @@
 #include "src/sim/noise.hpp"
 
+#include <algorithm>
+
 namespace vapro::sim {
+
+const char* noise_kind_name(NoiseKind kind) {
+  switch (kind) {
+    case NoiseKind::kCpuContention: return "cpu";
+    case NoiseKind::kMemoryBandwidth: return "mem";
+    case NoiseKind::kL2CacheBug: return "l2bug";
+    case NoiseKind::kSlowDram: return "dram";
+    case NoiseKind::kPageFaultStorm: return "pf";
+    case NoiseKind::kIoInterference: return "io";
+    case NoiseKind::kNetworkCongestion: return "net";
+  }
+  return "unknown";
+}
+
+bool noise_kind_from_name(const std::string& name, NoiseKind* out) {
+  if (name == "cpu") *out = NoiseKind::kCpuContention;
+  else if (name == "mem") *out = NoiseKind::kMemoryBandwidth;
+  else if (name == "l2bug") *out = NoiseKind::kL2CacheBug;
+  else if (name == "dram") *out = NoiseKind::kSlowDram;
+  else if (name == "pf") *out = NoiseKind::kPageFaultStorm;
+  else if (name == "io") *out = NoiseKind::kIoInterference;
+  else if (name == "net") *out = NoiseKind::kNetworkCongestion;
+  else return false;
+  return true;
+}
 
 NoiseSchedule::NoiseSchedule(std::vector<NoiseSpec> specs)
     : specs_(std::move(specs)) {}
@@ -69,6 +96,39 @@ double NoiseSchedule::io_factor(double t) const {
     f *= s.magnitude;
   }
   return f;
+}
+
+std::vector<GroundTruthEvent> NoiseSchedule::ground_truth(
+    const Topology& topo, double t_clamp) const {
+  std::vector<GroundTruthEvent> events;
+  for (const NoiseSpec& s : specs_) {
+    GroundTruthEvent gt;
+    gt.kind = s.kind;
+    gt.t_begin = std::max(s.t_begin, 0.0);
+    gt.t_end = std::min(s.t_end, t_clamp);
+    if (gt.t_end <= gt.t_begin) continue;  // never active during the run
+    gt.magnitude = s.magnitude;
+
+    const bool shared_resource = s.kind == NoiseKind::kIoInterference ||
+                                 s.kind == NoiseKind::kNetworkCongestion;
+    if (shared_resource || s.node < 0) {
+      gt.rank_lo = 0;
+      gt.rank_hi = topo.ranks - 1;
+    } else {
+      if (s.node >= topo.nodes()) continue;  // no rank lives there
+      if (s.core >= 0) {
+        const int rank = s.node * topo.cores_per_node + s.core;
+        if (rank >= topo.ranks) continue;
+        gt.rank_lo = gt.rank_hi = rank;
+      } else {
+        gt.rank_lo = topo.first_rank_on(s.node);
+        gt.rank_hi =
+            std::min(topo.first_rank_on(s.node + 1) - 1, topo.ranks - 1);
+      }
+    }
+    events.push_back(gt);
+  }
+  return events;
 }
 
 }  // namespace vapro::sim

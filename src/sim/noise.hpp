@@ -20,12 +20,20 @@
 //
 // A NoiseSchedule composes any number of specs and implements the
 // pmu::Environment interface plus network/filesystem factors.
+//
+// Every injector knows exactly what it perturbed: ground_truth() turns the
+// schedule into structured GroundTruthEvent records (affected rank range,
+// time window, factor class, magnitude) so a detection-quality scoreboard
+// can score what Vapro found against what was actually injected
+// (src/obs/quality, `vapro_stress --score`).
 #pragma once
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "src/pmu/core_model.hpp"
+#include "src/sim/topology.hpp"
 
 namespace vapro::sim {
 
@@ -56,6 +64,28 @@ struct NoiseSpec {
   }
 };
 
+// Stable lowercase tag for a noise kind ("cpu", "mem", "dram", "l2bug",
+// "pf", "io", "net") — the vapro_run --noise spelling, also the noise axis
+// of the quality scoreboard and the `ground_truth` journal events.
+const char* noise_kind_name(NoiseKind kind);
+// Reverse of noise_kind_name; false when `name` is not a known tag.
+bool noise_kind_from_name(const std::string& name, NoiseKind* out);
+
+// What one injector actually perturbed, resolved to scoreboard terms: the
+// inclusive rank range the (node, core) scope maps to under `topo` and the
+// injection window clamped to the run.  IO and network interference act on
+// shared resources (filesystem, links), so their scope is every rank
+// regardless of the spec's node field — exactly how NoiseSchedule applies
+// them.
+struct GroundTruthEvent {
+  NoiseKind kind = NoiseKind::kCpuContention;
+  double t_begin = 0.0;
+  double t_end = 0.0;      // clamped; never infinity
+  int rank_lo = 0;         // inclusive
+  int rank_hi = 0;         // inclusive
+  double magnitude = 1.0;
+};
+
 class NoiseSchedule final : public pmu::Environment {
  public:
   NoiseSchedule() = default;
@@ -74,6 +104,13 @@ class NoiseSchedule final : public pmu::Environment {
   // Extra dimensions beyond the CPU:
   double network_factor(double t) const;
   double io_factor(double t) const;
+
+  // Ground truth of every injector, resolved against `topo` and clamped to
+  // [0, t_clamp).  Specs whose window or scope is empty after clamping
+  // (e.g. noise on a node no rank lives on) are dropped — they perturbed
+  // nothing, so a detector must not be rewarded for "finding" them.
+  std::vector<GroundTruthEvent> ground_truth(const Topology& topo,
+                                             double t_clamp) const;
 
  private:
   std::vector<NoiseSpec> specs_;

@@ -222,6 +222,14 @@ class Simulator {
   const NoiseSchedule& noise() const { return noise_; }
   double now() const { return engine_.now(); }
 
+  // Ground truth of every configured injector, resolved to rank ranges and
+  // clamped to [0, t_clamp) — typically the makespan of the run just
+  // finished.  Drivers journal these (core::journal_ground_truth) so the
+  // detection-quality scoreboard can score conclusions against them.
+  std::vector<GroundTruthEvent> ground_truth(double t_clamp) const {
+    return noise_.ground_truth(topo_, t_clamp);
+  }
+
  private:
   friend class RankContext;
   friend struct detail::ComputeAwaiter;

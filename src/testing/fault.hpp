@@ -159,6 +159,17 @@ inline FaultAction fault_hit(const char* site) {
   return inj.hit(site);
 }
 
+// Whether the hooks are compiled in at all (a build-time capability, not
+// whether a plan is currently armed).  Health endpoints report it so an
+// operator can tell a hardened production binary from a test build.
+constexpr bool fault_injection_compiled() {
+#if defined(VAPRO_FAULT_INJECTION) && VAPRO_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
 }  // namespace vapro::testing
 
 // The hook macro.  Hazard sites switch on its value; with the hooks

@@ -151,6 +151,33 @@ TEST(Exposition, HealthzReportsLiveness) {
             std::string::npos);
 }
 
+TEST(Exposition, HealthzReportsPipelineDepthAndBuildCapabilities) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  HttpReply before = http_get(ctx.exposition()->port(), "/healthz");
+  ASSERT_TRUE(before.ok);
+  EXPECT_NE(before.body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(before.body.find("\"journal_events\":"), std::string::npos);
+  // No pipelined server has published a depth gauge yet: the field reads
+  // null, and the probe must not have registered a zero gauge either.
+  EXPECT_NE(before.body.find("\"pipeline_depth\":null"), std::string::npos);
+  HttpReply metrics = http_get(ctx.exposition()->port(), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.body.find("vapro_pipeline_queue_depth"),
+            std::string::npos);
+  // The build-capability flag matches how this binary was compiled.
+  const std::string flag = std::string("\"fault_injection\":") +
+      (testing::fault_injection_compiled() ? "true" : "false");
+  EXPECT_NE(before.body.find(flag), std::string::npos);
+
+  // Once a pipelined AnalysisServer publishes its queue-depth gauge, the
+  // health body reports the number.
+  ctx.metrics().gauge("vapro.pipeline.queue_depth")->set(2.0);
+  HttpReply after = http_get(ctx.exposition()->port(), "/healthz");
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(after.body.find("\"pipeline_depth\":2"), std::string::npos);
+}
+
 TEST(Exposition, UnknownRouteIs404) {
   obs::ObsContext ctx;
   ASSERT_NE(ctx.start_exposition(0), nullptr);

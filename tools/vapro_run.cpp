@@ -15,6 +15,7 @@
 #include "src/apps/apps.hpp"
 #include "src/core/report.hpp"
 #include "src/core/report_json.hpp"
+#include "src/core/scoreboard.hpp"
 #include "src/core/vapro.hpp"
 #include "src/obs/context.hpp"
 #include "src/sim/runtime.hpp"
@@ -104,6 +105,8 @@ int main(int argc, char** argv) {
   suite.push_back({"Nekbone", apps::nekbone(nek_p), true, false});
   apps::RaxmlParams rax_p;
   suite.push_back({"RAxML", apps::raxml(rax_p), true, false});
+  apps::MasterWorkerParams mw_p;
+  suite.push_back({"MasterWorker", apps::masterworker(mw_p), true, false});
 
   if (args.get_bool("list")) {
     std::cout << "available applications:\n";
@@ -214,6 +217,12 @@ int main(int argc, char** argv) {
   if (want_obs) {
     obs_ctx.overhead().set_run_wall_seconds(run_wall_seconds);
     obs_ctx.overhead().set_app_virtual_seconds(result.makespan);
+    // Injection ground truth (journal schema v2): what the noise schedule
+    // actually perturbed, so the journal alone suffices to score this
+    // run's conclusions (src/core/scoreboard.hpp).
+    if (obs::Journal* journal = obs_ctx.journal())
+      core::journal_ground_truth(
+          *journal, simulator.ground_truth(result.makespan), result.makespan);
     // Final full-precision region snapshot so a journal replay reproduces
     // the end-of-run detection report exactly.
     session.server().journal_detection_snapshot();

@@ -31,16 +31,22 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
+#include "src/apps/apps.hpp"
 #include "src/core/journal_replay.hpp"
 #include "src/core/report.hpp"
+#include "src/core/scoreboard.hpp"
 #include "src/core/server.hpp"
 #include "src/core/server_group.hpp"
+#include "src/core/vapro.hpp"
 #include "src/obs/alerts.hpp"
 #include "src/obs/context.hpp"
+#include "src/obs/quality.hpp"
 #include "src/testing/fault.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/clock.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/table.hpp"
 #include "tools/obs_cli.hpp"
 
 namespace {
@@ -65,6 +71,22 @@ int usage() {
       "                     --analysis-threads=4 — and byte-compare region\n"
       "                     tables, rare-path tables, journal-replay tables\n"
       "                     and the seq-normalized journal event stream\n"
+      "  --score            detection-quality scoreboard mode: run the\n"
+      "                     app x noise matrix deterministically, score\n"
+      "                     detections and diagnoses against the injected\n"
+      "                     ground truth, print the per-cell table\n"
+      "  --score-apps=A,B   matrix rows (default\n"
+      "                     CG,MG,Nekbone,RAxML,MasterWorker)\n"
+      "  --score-noises=K,... matrix columns; K in\n"
+      "                     none|cpu|mem|dram|l2bug|pf|io|net (default\n"
+      "                     none,cpu,dram,pf,io,net)\n"
+      "  --ranks=N          score mode: ranks per run (default 16)\n"
+      "  --json PATH        score mode: write BENCH_quality.json\n"
+      "                     (byte-deterministic for a fixed --seed)\n"
+      "  --journal-out/--listen/--alert-rule also apply in score mode:\n"
+      "                     the journal gets quality/quality_cell events,\n"
+      "                     /v1/quality serves the scoreboard live, and\n"
+      "                     rules like 'quality_recall < 0.8' can fire\n"
       << tools::PipelineCli::usage_lines();
   return 2;
 }
@@ -491,11 +513,203 @@ RoundResult run_round(int round, std::uint64_t seed,
   return rr;
 }
 
+// --- detection-quality scoreboard (--score) -------------------------------
+//
+// Runs a fixed app x noise matrix: every cell is one deterministic
+// simulated run with Vapro attached and exactly one injected perturbation
+// (or none), scored against the injector's own ground truth
+// (core::score_run_quality).  Everything derives from virtual time and the
+// --seed, so the table, the journal events, and the --json file are
+// byte-identical run to run — BENCH_quality.json is diffable across
+// commits and scripts/quality_gate.py gates CI on it.
+
+sim::Simulator::RankProgram make_score_app(const std::string& name) {
+  if (name == "CG") {
+    apps::NpbParams p;
+    p.iters = 60;
+    return apps::cg(p);
+  }
+  if (name == "MG") {
+    apps::NpbParams p;
+    p.iters = 120;
+    return apps::mg(p);
+  }
+  if (name == "Nekbone") {
+    apps::NekboneParams p;
+    p.iters = 150;
+    return apps::nekbone(p);
+  }
+  if (name == "RAxML") {
+    apps::RaxmlParams p;
+    p.io_rounds = 300;
+    p.compute_iters = 60;
+    return apps::raxml(p);
+  }
+  if (name == "MasterWorker") {
+    apps::MasterWorkerParams p;
+    p.rounds = 80;
+    return apps::masterworker(p);
+  }
+  return nullptr;
+}
+
+// One representative injection per noise kind, magnitudes matching the
+// integration tests (strong enough that detection *should* see them).
+// Node-scoped kinds hit node 1 inside [0.1, 0.35) — within even the
+// shortest app's makespan; the slow DIMM is persistent; IO/network
+// interference is global by nature.
+bool make_score_noise(const std::string& tag,
+                      std::vector<sim::NoiseSpec>* out) {
+  if (tag == "none") return true;
+  sim::NoiseSpec s;
+  if (!sim::noise_kind_from_name(tag, &s.kind)) return false;
+  s.node = 1;
+  s.t_begin = 0.1;
+  s.t_end = 0.35;
+  switch (s.kind) {
+    case sim::NoiseKind::kCpuContention: s.magnitude = 1.2; break;
+    case sim::NoiseKind::kMemoryBandwidth: s.magnitude = 3.5; break;
+    case sim::NoiseKind::kL2CacheBug: s.magnitude = 4.0; break;
+    case sim::NoiseKind::kSlowDram:
+      s.magnitude = 3.0;
+      s.t_begin = 0.0;
+      s.t_end = std::numeric_limits<double>::infinity();
+      break;
+    case sim::NoiseKind::kPageFaultStorm: s.magnitude = 2e5; break;
+    case sim::NoiseKind::kIoInterference:
+      s.magnitude = 20.0;
+      s.node = -1;
+      s.t_begin = 0.05;
+      s.t_end = std::numeric_limits<double>::infinity();
+      break;
+    case sim::NoiseKind::kNetworkCongestion:
+      s.magnitude = 8.0;
+      s.node = -1;
+      break;
+  }
+  out->push_back(s);
+  return true;
+}
+
+int run_score_mode(const util::CliArgs& args, int argc, char** argv) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 21));
+  const int ranks = args.get_int("ranks", 16);
+  const int cores_per_node = args.get_int("cores-per-node", 8);
+  const std::vector<std::string> app_names =
+      util::split(args.get("score-apps", "CG,MG,Nekbone,RAxML,MasterWorker"),
+                  ',');
+  const std::vector<std::string> noise_tags =
+      util::split(args.get("score-noises", "none,cpu,dram,pf,io,net"), ',');
+
+  for (const std::string& name : app_names)
+    if (!make_score_app(name)) {
+      std::cerr << "unknown --score-apps entry '" << name << "'\n";
+      return 2;
+    }
+  for (const std::string& tag : noise_tags) {
+    std::vector<sim::NoiseSpec> probe;
+    if (!make_score_noise(tag, &probe)) {
+      std::cerr << "unknown --score-noises entry '" << tag << "'\n";
+      return 2;
+    }
+  }
+
+  tools::ObsCli obs_cli;
+  obs_cli.parse(args);
+  // Scoreboard before the context: the exposition server (owned by the
+  // context) borrows it through /v1/quality until the context dies.
+  obs::QualityScoreboard scoreboard;
+  obs::ObsContext obs_ctx;
+  if (obs_cli.want_obs()) {
+    std::string error;
+    if (!obs_cli.activate(obs_ctx, &error)) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    if (obs_ctx.exposition()) scoreboard.attach_route(*obs_ctx.exposition());
+  }
+
+  bench::JsonReport json("quality", argc, argv);
+  std::cout << "vapro_stress --score seed=" << seed << " ranks=" << ranks
+            << " matrix=" << app_names.size() << "x" << noise_tags.size()
+            << "\n";
+
+  util::TextTable table({"app", "noise", "truths", "detected", "precision",
+                         "recall", "f1", "top_factor"});
+  double last_makespan = 0.0;
+  for (const std::string& app_name : app_names) {
+    for (const std::string& tag : noise_tags) {
+      sim::SimConfig config;
+      config.ranks = ranks;
+      config.cores_per_node = cores_per_node;
+      config.seed = seed;
+      make_score_noise(tag, &config.noises);
+      sim::Simulator simulator(config);
+
+      core::VaproOptions vopts;
+      vopts.window_seconds = 0.1;
+      vopts.bin_seconds = 0.05;
+      core::VaproSession session(simulator, vopts);
+      const sim::RunResult result = simulator.run(make_score_app(app_name));
+      last_makespan = result.makespan;
+
+      core::RunConclusions rc;
+      rc.bin_seconds = vopts.bin_seconds;
+      rc.computation = session.locate(core::FragmentKind::kComputation);
+      rc.communication = session.locate(core::FragmentKind::kCommunication);
+      rc.io = session.locate(core::FragmentKind::kIo);
+      rc.culprits = session.diagnosis().culprits;
+
+      const std::vector<sim::GroundTruthEvent> truths =
+          simulator.ground_truth(result.makespan);
+      const obs::QualityScore score = core::score_run_quality(truths, rc);
+      scoreboard.add({app_name, tag, score});
+      scoreboard.publish_gauges(obs_ctx.metrics());
+
+      table.add_row({app_name, tag, std::to_string(score.truths),
+                     std::to_string(score.detections),
+                     util::fmt(score.precision(), 3),
+                     util::fmt(score.recall(), 3), util::fmt(score.f1(), 3),
+                     util::fmt(score.top_factor_accuracy(), 3)});
+      const std::string base = app_name + "." + tag + ".";
+      json.record(base + "precision", {score.precision()});
+      json.record(base + "recall", {score.recall()});
+      json.record(base + "f1", {score.f1()});
+      json.record(base + "top_factor_accuracy",
+                  {score.top_factor_accuracy()});
+    }
+  }
+
+  const obs::QualityScore total = scoreboard.aggregate();
+  table.add_row({"aggregate", "-", std::to_string(total.truths),
+                 std::to_string(total.detections),
+                 util::fmt(total.precision(), 3), util::fmt(total.recall(), 3),
+                 util::fmt(total.f1(), 3),
+                 util::fmt(total.top_factor_accuracy(), 3)});
+  table.print(std::cout);
+  json.record("aggregate.precision", {total.precision()});
+  json.record("aggregate.recall", {total.recall()});
+  json.record("aggregate.f1", {total.f1()});
+  json.record("aggregate.top_factor_accuracy", {total.top_factor_accuracy()});
+  if (!json.write()) return 1;
+
+  if (obs::Journal* journal = obs_ctx.journal())
+    scoreboard.journal(*journal, last_makespan);
+  if (obs_cli.want_obs()) {
+    const bool ok = obs_cli.finish(obs_ctx);
+    obs_cli.linger(obs_ctx);
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   if (args.get_bool("help")) return usage();
+  if (args.get_bool("score")) return run_score_mode(args, argc, argv);
 
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1));
