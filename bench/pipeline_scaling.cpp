@@ -113,7 +113,9 @@ struct ConfigRun {
   double windows_per_sec = 0.0;
   double drain_busy_seconds = 0.0;
   double analysis_busy_seconds = 0.0;
-  double queue_stall_seconds = 0.0;
+  double producer_block_seconds = 0.0;  // push blocked on a full queue
+  double consumer_idle_seconds = 0.0;   // worker waited on an empty queue
+  double handoff_wait_seconds = 0.0;    // enqueue -> dequeue latency sum
 };
 
 // One timed pass: construct the server, feed kWindows windows (assembling
@@ -150,7 +152,9 @@ ConfigRun run_config(int threads, int depth) {
           .count();
   const core::PipelineBreakdown breakdown = server.pipeline_breakdown();
   run.analysis_busy_seconds = breakdown.analysis_busy_seconds;
-  run.queue_stall_seconds = breakdown.queue_stall_seconds;
+  run.producer_block_seconds = breakdown.queue_stall_seconds;
+  run.consumer_idle_seconds = breakdown.consumer_idle_seconds;
+  run.handoff_wait_seconds = breakdown.handoff_wait_seconds;
   run.windows_per_sec = kWindows / wall;
   if (debug) {
     double stg = 0, cl = 0, norm = 0, dep = 0, diag = 0;
@@ -177,11 +181,9 @@ int main(int argc, char** argv) {
   constexpr int kRepeats = 7;
   struct Cell {
     int threads, depth;
-    std::vector<double> wps, drain, busy, stall;
+    std::vector<double> wps, drain, busy, block, idle, handoff;
   };
-  std::vector<Cell> grid = {{1, 1, {}, {}, {}, {}}, {2, 1, {}, {}, {}, {}},
-                            {4, 1, {}, {}, {}, {}}, {1, 2, {}, {}, {}, {}},
-                            {2, 2, {}, {}, {}, {}}, {4, 2, {}, {}, {}, {}}};
+  std::vector<Cell> grid = {{1, 1}, {2, 1}, {4, 1}, {1, 2}, {2, 2}, {4, 2}};
   // Warm allocator/caches once, then interleave the grid inside each
   // repeat so machine-wide drift hits every cell equally.
   run_config(1, 1);
@@ -191,12 +193,14 @@ int main(int argc, char** argv) {
       c.wps.push_back(run.windows_per_sec);
       c.drain.push_back(run.drain_busy_seconds);
       c.busy.push_back(run.analysis_busy_seconds);
-      c.stall.push_back(run.queue_stall_seconds);
+      c.block.push_back(run.producer_block_seconds);
+      c.idle.push_back(run.consumer_idle_seconds);
+      c.handoff.push_back(run.handoff_wait_seconds);
     }
 
   const double serial = bench::percentile(grid[0].wps, 0.5);
   util::TextTable table({"threads", "depth", "windows/sec", "p95", "speedup",
-                         "drain_s", "analysis_s", "stall_s"});
+                         "drain_s", "analysis_s", "block_s", "idle_s"});
   double best_speedup = 0.0;
   for (Cell& c : grid) {
     const double median = bench::percentile(c.wps, 0.5);
@@ -209,17 +213,23 @@ int main(int argc, char** argv) {
                    util::fmt(speedup, 2) + "x",
                    util::fmt(bench::percentile(c.drain, 0.5), 4),
                    util::fmt(bench::percentile(c.busy, 0.5), 4),
-                   util::fmt(bench::percentile(c.stall, 0.5), 4)});
+                   util::fmt(bench::percentile(c.block, 0.5), 4),
+                   util::fmt(bench::percentile(c.idle, 0.5), 4)});
     const std::string cell =
         "_t" + std::to_string(c.threads) + "_d" + std::to_string(c.depth);
     json.record("windows_per_sec" + cell, c.wps);
     // Per-stage wall-time breakdown: producer batch assembly (drain),
-    // analysis-stage occupancy, and producer backpressure stalls.  At
-    // depth 2 drain + analysis overlap, so their sum exceeding the pass
-    // wall time is the pipelining working as intended.
+    // analysis-stage occupancy, and the stall split — producer blocked on
+    // a full hand-off queue (backpressure: analysis is the bottleneck) vs
+    // consumer idle on an empty one (starvation: the drain is), plus the
+    // enqueue->dequeue hand-off latency.  At depth 2 drain + analysis
+    // overlap, so their sum exceeding the pass wall time is the pipelining
+    // working as intended.
     json.record("drain_busy_seconds" + cell, c.drain);
     json.record("analysis_busy_seconds" + cell, c.busy);
-    json.record("queue_stall_seconds" + cell, c.stall);
+    json.record("producer_block_seconds" + cell, c.block);
+    json.record("consumer_idle_seconds" + cell, c.idle);
+    json.record("handoff_wait_seconds" + cell, c.handoff);
   }
   table.print(std::cout);
 

@@ -6,6 +6,7 @@
 #   scripts/bench.sh          ->  BENCH_pipeline.json  (pipeline_scaling)
 #                                 BENCH_obs.json       (obs_overhead)
 #                                 BENCH_quality.json   (vapro_stress --score)
+#                                 BENCH_latency.json   (latency_profile)
 #
 # Each file holds {"bench": ..., "results": [{name, reps, median, p95}]};
 # see bench::JsonReport in bench/bench_common.hpp.  The bars the benches
@@ -15,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja > /dev/null
-cmake --build build --target pipeline_scaling obs_overhead vapro_stress > /dev/null
+cmake --build build --target pipeline_scaling obs_overhead latency_profile vapro_stress > /dev/null
 
 ./build/bench/pipeline_scaling --json BENCH_pipeline.json
 ./build/bench/obs_overhead --json BENCH_obs.json
@@ -24,5 +25,8 @@ cmake --build build --target pipeline_scaling obs_overhead vapro_stress > /dev/n
 # committed file diffs cleanly; scripts/quality_gate.py enforces
 # no-regression in CI.
 ./build/tools/vapro_stress --score --json BENCH_quality.json
+# Per-stage latency profile on the deterministic TickClock: also
+# byte-identical per commit; scripts/latency_schema.py validates it in CI.
+./build/bench/latency_profile --json BENCH_latency.json
 
-echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json BENCH_quality.json"
+echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json BENCH_quality.json BENCH_latency.json"

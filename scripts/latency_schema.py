@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""BENCH_latency.json schema validator.
+
+Checks the latency_profile bench output (bench::JsonReport shape) for the
+series the self-diagnosis surfaces promise: one ``stage_<name>_seconds``
+and one ``bound_windows_<name>`` series per pipeline stage (the canonical
+eight — queue_wait, drain, stg, cluster, normalize, deposit, diagnose,
+publish), plus ``window_total_seconds`` and ``dominant_stage_index``.
+Values must be finite and non-negative, every per-window series must have
+the same rep count, and the bound-window counts must sum to that count
+(each window is bound by exactly one stage).
+
+Usage:
+  scripts/latency_schema.py BENCH_latency.json
+
+Exit status: 0 = schema OK, 1 = violation (or unreadable input).
+"""
+
+import json
+import math
+import sys
+
+STAGES = ("queue_wait", "drain", "stg", "cluster", "normalize", "deposit",
+          "diagnose", "publish")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"latency_schema: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    if doc.get("bench") != "latency_profile":
+        errors.append(f'bench is {doc.get("bench")!r}, want "latency_profile"')
+
+    rows = {}
+    for row in doc.get("results", []):
+        name = row.get("name")
+        if not isinstance(name, str):
+            errors.append(f"result without a string name: {row!r}")
+            continue
+        for field in ("reps", "median", "p95"):
+            v = row.get(field)
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                errors.append(f"{name}.{field} is not a finite number: {v!r}")
+            elif v < 0:
+                errors.append(f"{name}.{field} is negative: {v!r}")
+        rows[name] = row
+
+    windows = None
+    for stage in STAGES:
+        series = f"stage_{stage}_seconds"
+        if series not in rows:
+            errors.append(f"missing series {series}")
+            continue
+        reps = rows[series].get("reps")
+        if windows is None:
+            windows = reps
+        elif reps != windows:
+            errors.append(f"{series}.reps = {reps}, other stages have "
+                          f"{windows}")
+    if "window_total_seconds" not in rows:
+        errors.append("missing series window_total_seconds")
+    elif windows is not None and rows["window_total_seconds"]["reps"] != windows:
+        errors.append("window_total_seconds.reps does not match the stages")
+
+    bound_total = 0
+    for stage in STAGES:
+        series = f"bound_windows_{stage}"
+        if series not in rows:
+            errors.append(f"missing series {series}")
+            continue
+        bound_total += rows[series].get("median", 0)
+    if windows and not errors and bound_total != windows:
+        errors.append(f"bound_windows sum to {bound_total}, want {windows} "
+                      "(each window bound by exactly one stage)")
+
+    dom = rows.get("dominant_stage_index")
+    if dom is None:
+        errors.append("missing series dominant_stage_index")
+    elif not 0 <= dom.get("median", -1) < len(STAGES):
+        errors.append(f'dominant_stage_index {dom.get("median")!r} out of '
+                      f"range [0, {len(STAGES)})")
+
+    for e in errors:
+        print(f"SCHEMA  {e}")
+    if errors:
+        print(f"latency_schema: FAIL ({len(errors)} violation(s))")
+        return 1
+    print(f"latency_schema: OK ({len(rows)} series, {windows} windows, "
+          f"dominant stage {STAGES[int(dom['median'])]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,10 @@ JournalSummary summarize_journal(
       ++s.pmu_reprograms;
     } else if (ev.type == "alert") {
       ++s.alerts;
+    } else if (ev.type == "window_latency") {
+      s.window_latency.push_back(obs::window_latency_from_event(ev));
+    } else if (ev.type == "critical_path") {
+      ++s.critical_path_events;
     }
     // Unknown event types are skipped: newer minor producers may add
     // types, and the schema version gates incompatible changes.
@@ -140,6 +144,17 @@ std::string render_journal_summary(const JournalSummary& s) {
                        return a.total_seconds > b.total_seconds;
                      });
     oss << render_rare_table(sorted);
+  }
+
+  if (!s.window_latency.empty()) {
+    // Re-fold the journaled per-window timings through a tracker with the
+    // live defaults (same keep), so this table matches the producer's
+    // render_critical_path_table output character-for-character.
+    obs::CriticalPathTracker tracker;
+    for (const obs::WindowLatencyRecord& r : s.window_latency)
+      tracker.record(r);
+    oss << "\n## critical path\n"
+        << obs::render_critical_path_table(tracker.recent(), tracker.summary());
   }
 
   oss << "\n## diagnosis\n" << s.diagnosis.summary() << '\n';

@@ -18,6 +18,7 @@
 #include "src/core/diagnosis.hpp"
 #include "src/core/server.hpp"
 #include "src/obs/journal.hpp"
+#include "src/obs/latency.hpp"
 
 namespace vapro::core {
 
@@ -37,6 +38,13 @@ struct JournalSummary {
   bool diagnosis_finished = false;
   std::size_t pmu_reprograms = 0;
   std::size_t alerts = 0;
+
+  // Self-diagnosis timing: window_latency events in journal order, plus
+  // whether a terminal critical_path event was seen.  render_journal_summary
+  // re-folds these through a CriticalPathTracker with the live defaults, so
+  // the replayed table is byte-identical to the producer's live view.
+  std::vector<obs::WindowLatencyRecord> window_latency;
+  std::size_t critical_path_events = 0;
 };
 
 // Folds a parsed event stream into a summary; `ok` is false only on

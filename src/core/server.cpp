@@ -6,6 +6,7 @@
 
 #include "src/obs/exposition.hpp"
 #include "src/obs/journal.hpp"
+#include "src/obs/span.hpp"
 #include "src/testing/fault.hpp"
 #include "src/util/check.hpp"
 
@@ -94,7 +95,20 @@ void AnalysisServer::attach_live_routes() {
     r.body = render_variance_json();
     return r;
   });
-  live_routes_ = {"/v1/heatmap", "/v1/variance"};
+  http->add_route("/v1/latency", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_latency_json();
+    return r;
+  });
+  http->add_route("/v1/critical_path", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_critical_path_json();
+    return r;
+  });
+  live_routes_ = {"/v1/heatmap", "/v1/variance", "/v1/latency",
+                  "/v1/critical_path"};
 }
 
 void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
@@ -105,8 +119,23 @@ void AnalysisServer::refocus_diagnosis(std::optional<FocusRegion> focus) {
 }
 
 void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
+  obs::TraceRecorder* trace = opts_.obs ? opts_.obs->trace() : nullptr;
+  util::Clock* clk = opts_.clock ? opts_.clock : util::real_clock();
+  const double submit_seconds = clk->now_seconds();
+  std::uint64_t flow_id = 0;
+  if (trace) {
+    // Producer-side drain slice ending at the hand-off, plus the flow
+    // arrow the window span on the worker will consume — in Perfetto the
+    // arrow's length IS the queue wait.
+    const std::uint64_t now_ns = trace->now_ns();
+    const auto drain_ns = static_cast<std::uint64_t>(drain_seconds * 1e9);
+    trace->complete_span("stage.drain", "pipeline",
+                         now_ns > drain_ns ? now_ns - drain_ns : 0, drain_ns);
+    flow_id = trace->next_flow_id();
+    trace->flow_start("window.handoff", "pipeline", flow_id, now_ns);
+  }
   if (!pipeline_) {
-    analyze_window(std::move(batch), drain_seconds);
+    analyze_window(std::move(batch), drain_seconds, submit_seconds, flow_id);
     return;
   }
   // Hand the window to the analysis worker.  submit() blocks when
@@ -116,8 +145,8 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
   const bool degrade =
       VAPRO_FAULT("pipeline.handoff") == testing::FaultAction::kFail;
   auto shared = std::make_shared<FragmentBatch>(std::move(batch));
-  pipeline_->submit([this, shared, drain_seconds] {
-    analyze_window(std::move(*shared), drain_seconds);
+  pipeline_->submit([this, shared, drain_seconds, submit_seconds, flow_id] {
+    analyze_window(std::move(*shared), drain_seconds, submit_seconds, flow_id);
   });
   if (degrade) {
     // Injected hand-off failure: fall back to synchronous operation for
@@ -137,6 +166,13 @@ void AnalysisServer::publish_pipeline_gauges() const {
   m.gauge("vapro.pipeline.queue_depth")
       ->set(static_cast<double>(pipeline_->depth()));
   m.gauge("vapro.pipeline.stall_seconds")->set(pipeline_->stall_seconds());
+  // Wait-time attribution: producer-block vs consumer-idle vs queued time.
+  m.gauge("vapro.pipeline.producer_block_seconds")
+      ->set(pipeline_->stall_seconds());
+  m.gauge("vapro.pipeline.consumer_idle_seconds")
+      ->set(pipeline_->idle_seconds());
+  m.gauge("vapro.pipeline.handoff_wait_seconds")
+      ->set(pipeline_->handoff_seconds());
   // Stage occupancy: cumulative busy seconds of the analysis worker; the
   // scraper divides by wall time for utilization.
   m.gauge("vapro.pipeline.analysis_busy_seconds")
@@ -150,28 +186,45 @@ PipelineBreakdown AnalysisServer::pipeline_breakdown() const {
   if (pipeline_) {
     b.queue_stall_seconds = pipeline_->stall_seconds();
     b.queue_stalls = pipeline_->stalls();
+    b.consumer_idle_seconds = pipeline_->idle_seconds();
+    b.consumer_idle_waits = pipeline_->idle_waits();
+    b.handoff_wait_seconds = pipeline_->handoff_seconds();
   }
   return b;
 }
 
-void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
+void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
+                                    double submit_seconds,
+                                    std::uint64_t flow_id) {
   obs::ObsContext* obs = opts_.obs;
   obs::TraceRecorder* trace = obs ? obs->trace() : nullptr;
   obs::Journal* journal = obs ? obs->journal() : nullptr;
+  obs::Counter* spans_dropped =
+      trace && obs ? obs->metrics().counter("vapro.obs.spans_dropped_total")
+                   : nullptr;
   obs::ToolTimeScope tool_time(obs ? &obs->overhead() : nullptr);
   // Exposition handlers read the maps/regions from the serve thread; the
   // whole window body runs under the live mutex.
   std::lock_guard<std::mutex> live_lock(live_mu_);
-  const std::uint64_t window_t0 = trace ? trace->now_ns() : 0;
+  // The window span consumes the producer's handoff flow arrow, so the
+  // queue hop is visible in the timeline; stage spans nest inside it.
+  obs::SpanScope window_span({trace, nullptr, spans_dropped, flow_id},
+                             "analysis.window", "server");
   StageClock clock(opts_.clock);
+  const double queue_wait =
+      (opts_.clock ? opts_.clock : util::real_clock())->now_seconds() -
+      submit_seconds;
 
   obs::PipelineStats stats;
   stats.window = windows_;
   stats.fragments_drained = batch.fragments.size();
   stats.new_states = batch.new_states.size();
   stats.drain_seconds = drain_seconds;
+  stats.queue_wait_seconds = queue_wait > 0.0 ? queue_wait : 0.0;
 
   // --- stage: STG growth (vertex/edge ingestion + carry management) ---
+  obs::SpanScope stg_span({trace, nullptr, spans_dropped}, "stage.stg",
+                          "server");
   for (const sim::InvocationInfo& info : batch.new_states)
     stg_.touch_vertex(info);
   // Carry-ins from the previous window's tail enter the STG first so
@@ -197,9 +250,11 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
   stats.virtual_time = window_end;
   last_virtual_time_ = std::max(last_virtual_time_, window_end);
   stats.stg_seconds = clock.lap();
+  stg_span.finish();
 
   // --- stage: clustering (Algorithm 1 workers + rare-path scan) ---
-  const std::uint64_t cluster_t0 = trace ? trace->now_ns() : 0;
+  obs::SpanScope cluster_span({trace, nullptr, spans_dropped}, "stage.cluster",
+                              "server");
   ClusterSeedCache* cache = opts_.cluster_seed_cache ? &seed_cache_ : nullptr;
   if (cache && VAPRO_FAULT("pipeline.cache") == testing::FaultAction::kFail)
     // Injected cache loss: drop every carried seed and re-cluster this
@@ -208,11 +263,8 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
     seed_cache_.invalidate();
   ClusteringResult clusters = cluster_stg_parallel(
       stg_, opts_.cluster, opts_.analysis_threads, trace, cache);
-  if (trace)
-    trace->complete(
-        "stage.cluster", "server", cluster_t0,
-        {obs::TraceRecorder::arg(
-            "clusters", static_cast<std::uint64_t>(clusters.clusters.size()))});
+  cluster_span.add_arg(obs::TraceRecorder::arg(
+      "clusters", static_cast<std::uint64_t>(clusters.clusters.size())));
   rare_clusters_ += clusters.rare_count();
 
   // Algorithm 1 line 8: surface rare-but-expensive execution paths
@@ -264,8 +316,11 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
   stats.clusters_formed = clusters.clusters.size();
   stats.rare_clusters = clusters.rare_count();
   stats.cluster_seconds = clock.lap();
+  cluster_span.finish();
 
   // --- stage: normalization against the cross-window baseline ---
+  obs::SpanScope normalize_span({trace, nullptr, spans_dropped},
+                                "stage.normalize", "server");
   ClusterBaseline* baseline =
       opts_.shared_baseline ? opts_.shared_baseline : &baseline_;
   std::vector<NormalizedFragment> normalized =
@@ -286,22 +341,58 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
     }
   }
   stats.normalize_seconds = clock.lap();
+  normalize_span.finish();
 
   // --- stage: heat-map deposit + coverage accounting ---
-  deposit_fragments(normalized, comp_map_, comm_map_, io_map_);
-  coverage_.add(stg_, clusters, live_begin);
-  stats.deposit_seconds = clock.lap();
+  {
+    obs::SpanScope deposit_span({trace, nullptr, spans_dropped},
+                                "stage.deposit", "server");
+    deposit_fragments(normalized, comp_map_, comm_map_, io_map_);
+    coverage_.add(stg_, clusters, live_begin);
+    stats.deposit_seconds = clock.lap();
+  }
 
   // --- stage: progressive diagnosis + observer hooks ---
-  if (opts_.run_diagnosis) diagnoser_.feed(stg_, clusters, live_begin);
-  if (opts_.window_observer) opts_.window_observer(stg_, clusters);
+  {
+    obs::SpanScope diagnose_span({trace, nullptr, spans_dropped},
+                                 "stage.diagnose", "server");
+    if (opts_.run_diagnosis) diagnoser_.feed(stg_, clusters, live_begin);
+    if (opts_.window_observer) opts_.window_observer(stg_, clusters);
 
-  stg_.clear_fragments();
-  ++windows_;
-  stats.diagnosis_stage = diagnoser_.stage();
-  stats.diagnose_seconds = clock.lap();
+    stg_.clear_fragments();
+    ++windows_;
+    stats.diagnosis_stage = diagnoser_.stage();
+    stats.diagnose_seconds = clock.lap();
+  }
+
+  // --- stage: publish (region growing, health gauges, journal events) ---
+  if (obs && opts_.live_detection) {
+    obs::SpanScope publish_span({trace, nullptr, spans_dropped},
+                                "stage.publish", "server");
+    if (VAPRO_FAULT("server.window") == testing::FaultAction::kFail)
+      // Live publish lost for this window (journal/gauges skip a beat);
+      // the final journal_detection_snapshot still recovers every region.
+      ++publish_faults_;
+    else
+      publish_detection(stats);
+  }
+  stats.publish_seconds = clock.lap();
   // Everything but the producer-side drain is analysis-stage occupancy.
   analysis_busy_seconds_ += stats.total_seconds() - stats.drain_seconds;
+
+  // Fold this window into the critical-path reducer: "window N was bound
+  // by stage X for Y ms".  Tracked always; journaled (as a measurement
+  // event, distinct from detection conclusions) when live detection is on.
+  obs::WindowLatencyRecord latency_record;
+  latency_record.window = static_cast<std::int64_t>(stats.window);
+  latency_record.virtual_time = stats.virtual_time;
+  latency_record.stage_seconds = {
+      stats.queue_wait_seconds, stats.drain_seconds,    stats.stg_seconds,
+      stats.cluster_seconds,    stats.normalize_seconds, stats.deposit_seconds,
+      stats.diagnose_seconds,   stats.publish_seconds};
+  latency_.record(latency_record);
+  if (journal && opts_.live_detection)
+    obs::journal_window_latency(*journal, latency_record);
 
   if (obs) {
     obs::MetricsRegistry& m = obs->metrics();
@@ -313,6 +404,10 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
     m.gauge("vapro.server.diagnosis_stage")
         ->set(static_cast<double>(stats.diagnosis_stage));
     m.histogram("vapro.server.window_seconds")->record(stats.total_seconds());
+    m.histogram("vapro.server.queue_wait_seconds")
+        ->record(stats.queue_wait_seconds);
+    m.histogram("vapro.server.stage.drain_seconds")
+        ->record(stats.drain_seconds);
     m.histogram("vapro.server.stage.stg_seconds")->record(stats.stg_seconds);
     m.histogram("vapro.server.stage.cluster_seconds")
         ->record(stats.cluster_seconds);
@@ -322,26 +417,17 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds) {
         ->record(stats.deposit_seconds);
     m.histogram("vapro.server.stage.diagnose_seconds")
         ->record(stats.diagnose_seconds);
-    if (opts_.live_detection) {
-      if (VAPRO_FAULT("server.window") == testing::FaultAction::kFail)
-        // Live publish lost for this window (journal/gauges skip a beat);
-        // the final journal_detection_snapshot still recovers every region.
-        ++publish_faults_;
-      else
-        publish_detection(stats);
-    }
+    m.histogram("vapro.server.stage.publish_seconds")
+        ->record(stats.publish_seconds);
     obs->emit_window(stats);
-    if (trace)
-      trace->complete(
-          "analysis.window", "server", window_t0,
-          {obs::TraceRecorder::arg("window",
-                                   static_cast<std::uint64_t>(stats.window)),
-           obs::TraceRecorder::arg(
-               "fragments",
-               static_cast<std::uint64_t>(stats.fragments_drained)),
-           obs::TraceRecorder::arg(
-               "clusters",
-               static_cast<std::uint64_t>(stats.clusters_formed))});
+    window_span.add_arg(obs::TraceRecorder::arg(
+        "window", static_cast<std::uint64_t>(stats.window)));
+    window_span.add_arg(obs::TraceRecorder::arg(
+        "fragments", static_cast<std::uint64_t>(stats.fragments_drained)));
+    window_span.add_arg(obs::TraceRecorder::arg(
+        "clusters", static_cast<std::uint64_t>(stats.clusters_formed)));
+    window_span.add_arg(
+        obs::TraceRecorder::arg("bound_by", latency_record.bound_by()));
   }
 }
 
@@ -387,7 +473,24 @@ void AnalysisServer::journal_detection_snapshot() const {
     region_journal_.emit(*journal, kind, locate_locked(kind), window,
                          last_virtual_time_, opts_.bin_seconds,
                          /*final_snapshot=*/true);
+  // Terminal critical-path verdict: one event carrying the per-stage
+  // totals, so the replay can cross-check its fold of the per-window
+  // window_latency events.  Measurement events follow the same
+  // live_detection gate as the per-window ones.
+  if (opts_.live_detection)
+    obs::journal_critical_path(*journal, window, last_virtual_time_,
+                               latency_.summary());
   journal->flush();
+}
+
+std::string AnalysisServer::render_latency_json() const {
+  // The tracker has its own mutex; no sync() — a mid-run scrape just sees
+  // the windows analyzed so far, like the other /v1 views.
+  return obs::render_latency_json(latency_.recent(), latency_.summary());
+}
+
+std::string AnalysisServer::render_critical_path_json() const {
+  return obs::render_critical_path_json(latency_.recent(), latency_.summary());
 }
 
 std::string AnalysisServer::render_heatmap_json() const {

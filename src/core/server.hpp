@@ -24,6 +24,7 @@
 #include "src/core/live_export.hpp"
 #include "src/core/stg.hpp"
 #include "src/obs/context.hpp"
+#include "src/obs/latency.hpp"
 #include "src/stats/vmeasure.hpp"
 #include "src/util/clock.hpp"
 #include "src/util/pipeline.hpp"
@@ -101,12 +102,18 @@ struct RareFinding {
 // Cumulative stage occupancy of the staged pipeline, for throughput
 // benches and capacity planning: where did the wall time go?  Analysis
 // busy counts the window body (STG growth through diagnosis) whether it
-// ran inline (depth 1) or on the worker; queue stall counts producer
-// seconds blocked on a full hand-off queue (backpressure engaged).
+// ran inline (depth 1) or on the worker.  Wait time is split by side so a
+// flat throughput curve is attributable: producer-block (queue_stall_*)
+// means the analysis worker is the bottleneck, consumer-idle means the
+// producer/drain side is, and handoff_wait is how long admitted windows
+// sat queued before the worker started them.
 struct PipelineBreakdown {
   double analysis_busy_seconds = 0.0;
-  double queue_stall_seconds = 0.0;
+  double queue_stall_seconds = 0.0;   // producer blocked on a full queue
   std::uint64_t queue_stalls = 0;
+  double consumer_idle_seconds = 0.0;  // worker waiting for work
+  std::uint64_t consumer_idle_waits = 0;
+  double handoff_wait_seconds = 0.0;   // submit→start latency, summed
 };
 
 class AnalysisServer {
@@ -193,12 +200,27 @@ class AnalysisServer {
   std::string render_heatmap_json() const;
   std::string render_variance_json() const;
 
+  // Self-diagnosis views served at /v1/latency and /v1/critical_path:
+  // per-window stage latency records and their "window N was bound by
+  // stage X" critical-path attribution.  Tracked for every server (cheap),
+  // journaled as window_latency/critical_path events when live_detection.
+  const obs::CriticalPathTracker& latency_tracker() const {
+    sync();
+    return latency_;
+  }
+  std::string render_latency_json() const;
+  std::string render_critical_path_json() const;
+
  private:
   void attach_live_routes();
   // The full analysis body (STG growth → clustering → normalization →
   // deposit → diagnosis) for one window.  Runs on the caller at
   // pipeline_depth 1, on the single pipeline worker otherwise.
-  void analyze_window(FragmentBatch batch, double drain_seconds);
+  // `submit_seconds` is the producer clock at hand-off (queue-wait
+  // attribution); `flow_id` links the producer's handoff flow arrow to the
+  // window span (0 = no trace).
+  void analyze_window(FragmentBatch batch, double drain_seconds,
+                      double submit_seconds, std::uint64_t flow_id);
   // Detection-health gauges + window/region journal events for one window.
   void publish_detection(const obs::PipelineStats& stats);
   // locate() for callers already holding live_mu_.
@@ -222,6 +244,9 @@ class AnalysisServer {
   // Written by analyze_window (worker thread at depth > 1); read only
   // after sync(), which establishes the happens-before edge.
   double analysis_busy_seconds_ = 0.0;
+  // Per-window critical-path records (own mutex; safe from worker + serve
+  // threads).
+  obs::CriticalPathTracker latency_;
   std::vector<RareFinding> rare_findings_;
   // The analysis pipeline (null at pipeline_depth 1).  Mutable so const
   // accessors can sync(); destroyed first in ~AnalysisServer so the worker

@@ -1,6 +1,7 @@
 #include "src/core/server_group.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <thread>
 
 #include "src/obs/exposition.hpp"
@@ -58,7 +59,20 @@ void ServerGroup::attach_live_routes() {
     r.body = render_variance_json();
     return r;
   });
-  live_routes_ = {"/v1/heatmap", "/v1/variance"};
+  http->add_route("/v1/latency", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_latency_json();
+    return r;
+  });
+  http->add_route("/v1/critical_path", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = render_critical_path_json();
+    return r;
+  });
+  live_routes_ = {"/v1/heatmap", "/v1/variance", "/v1/latency",
+                  "/v1/critical_path"};
 }
 
 void ServerGroup::process_window(FragmentBatch batch) {
@@ -187,6 +201,32 @@ std::string ServerGroup::render_variance_json() const {
     regions[static_cast<int>(kind)] = locate(kind);
   return core::render_variance_json(regions, windows_, last_virtual_time_,
                                     bin_seconds_, variance_threshold_);
+}
+
+std::string ServerGroup::render_latency_json() const {
+  // Leaf trackers carry their own locks; no group lock needed, and a
+  // mid-window scrape simply sees each shard's progress so far.
+  std::ostringstream oss;
+  oss << "{\"servers\":[";
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (i) oss << ',';
+    oss << "{\"server\":" << i
+        << ",\"latency\":" << leaves_[i]->render_latency_json() << '}';
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+std::string ServerGroup::render_critical_path_json() const {
+  std::ostringstream oss;
+  oss << "{\"servers\":[";
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    if (i) oss << ',';
+    oss << "{\"server\":" << i << ",\"critical_path\":"
+        << leaves_[i]->render_critical_path_json() << '}';
+  }
+  oss << "]}";
+  return oss.str();
 }
 
 Heatmap ServerGroup::merged_map(FragmentKind kind) const {

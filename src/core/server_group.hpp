@@ -70,6 +70,12 @@ class ServerGroup {
   std::string render_heatmap_json() const;
   std::string render_variance_json() const;
 
+  // Self-diagnosis JSON served at /v1/latency and /v1/critical_path: one
+  // per-leaf section each (stage timing is per shard server; summing
+  // overlapping shards would fabricate a serial critical path).
+  std::string render_latency_json() const;
+  std::string render_critical_path_json() const;
+
  private:
   void attach_live_routes();
   void publish_detection(std::int64_t window, double virtual_time,

@@ -43,6 +43,27 @@ ExpositionServer* ObsContext::start_exposition(int port, std::string* error) {
   if (exposition_ && exposition_->running()) return exposition_.get();
   auto server = std::make_unique<ExpositionServer>();
   if (!server->start(port, error)) return nullptr;
+  // Raw pointer for handler captures: they can fire between add_route and
+  // the exposition_ assignment below, when exposition_ is still null.
+  ExpositionServer* raw = server.get();
+
+  // Endpoint index so a bare curl of the port discovers the surface
+  // (including /v1 routes registered later by servers) instead of a 404.
+  server->add_route("/", [raw] {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    std::ostringstream body;
+    body << "{\"service\":\"vapro\",\"endpoints\":[";
+    bool first = true;
+    for (const std::string& p : raw->route_paths()) {
+      if (!first) body << ',';
+      first = false;
+      body << '"' << p << '"';
+    }
+    body << "]}";
+    resp.body = body.str();
+    return resp;
+  });
 
   server->add_route("/metrics", [this] {
     HttpResponse resp;
@@ -64,7 +85,7 @@ ExpositionServer* ObsContext::start_exposition(int port, std::string* error) {
     return resp;
   });
 
-  server->add_route("/healthz", [this] {
+  server->add_route("/healthz", [this, raw] {
     HttpResponse resp;
     resp.content_type = "application/json";
     std::ostringstream body;
@@ -91,7 +112,15 @@ ExpositionServer* ObsContext::start_exposition(int port, std::string* error) {
     else
       body << "null";
     body << ",\"fault_injection\":"
-         << (testing::fault_injection_compiled() ? "true" : "false") << "}";
+         << (testing::fault_injection_compiled() ? "true" : "false");
+    body << ",\"endpoints\":[";
+    bool first = true;
+    for (const std::string& p : raw->route_paths()) {
+      if (!first) body << ',';
+      first = false;
+      body << '"' << p << '"';
+    }
+    body << "]}";
     resp.body = body.str();
     return resp;
   });

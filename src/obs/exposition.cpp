@@ -70,14 +70,35 @@ std::string render_prometheus(const MetricsRegistry& registry) {
   }
   for (const auto& [name, hist] : registry.histogram_entries()) {
     const std::string n = sanitize_metric_name(name);
-    oss << "# TYPE " << n << " summary\n";
-    for (double q : {0.5, 0.95, 0.99}) {
-      char label[64];
-      std::snprintf(label, sizeof(label), "%s{quantile=\"%g\"}", n.c_str(), q);
-      append_sample(oss, label, hist->quantile(q));
+    const HistogramSnapshot snap = hist->snapshot();
+    oss << "# TYPE " << n << " histogram\n";
+    // Cumulative le-labelled buckets.  Trailing empty buckets collapse into
+    // the mandatory +Inf sample (still a valid cumulative series) so an
+    // idle histogram costs one line, not thirty.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i)
+      if (snap.buckets[i] != 0) last = i + 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < last; ++i) {
+      cum += snap.buckets[i];
+      char label[96], le[32];
+      std::snprintf(le, sizeof(le), "%.17g", Histogram::bucket_hi(i));
+      std::snprintf(label, sizeof(label), "%s_bucket{le=\"%s\"}", n.c_str(),
+                    le);
+      oss << label << ' ' << cum << '\n';
     }
-    append_sample(oss, n + "_sum", hist->sum_seconds());
-    oss << n << "_count " << hist->count() << '\n';
+    oss << n << "_bucket{le=\"+Inf\"} " << snap.count << '\n';
+    append_sample(oss, n + "_sum", snap.sum_seconds);
+    oss << n << "_count " << snap.count << '\n';
+    // Pre-computed quantile gauges: the self-diagnosis endpoints (and any
+    // scraper without recording rules) read latency percentiles directly.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p95", 0.95},
+          {"_p99", 0.99}}) {
+      oss << "# TYPE " << n << suffix << " gauge\n";
+      append_sample(oss, n + suffix, snap.quantile(q));
+    }
   }
   return oss.str();
 }
@@ -131,13 +152,21 @@ void ExpositionServer::stop() {
 }
 
 void ExpositionServer::add_route(const std::string& path, Handler handler) {
-  std::lock_guard<std::mutex> lock(routes_mu_);
+  std::lock_guard<std::recursive_mutex> lock(routes_mu_);
   routes_[path] = std::move(handler);
 }
 
 void ExpositionServer::remove_route(const std::string& path) {
-  std::lock_guard<std::mutex> lock(routes_mu_);
+  std::lock_guard<std::recursive_mutex> lock(routes_mu_);
   routes_.erase(path);
+}
+
+std::vector<std::string> ExpositionServer::route_paths() const {
+  std::lock_guard<std::recursive_mutex> lock(routes_mu_);
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& [p, h] : routes_) out.push_back(p);
+  return out;
 }
 
 void ExpositionServer::serve_loop() {
@@ -217,7 +246,7 @@ void ExpositionServer::handle_connection(int fd) {
 HttpResponse ExpositionServer::dispatch(const std::string& path) {
   // Handlers are invoked under the routes mutex so remove_route (called
   // from a destructing AnalysisServer) cannot race an in-flight call.
-  std::lock_guard<std::mutex> lock(routes_mu_);
+  std::lock_guard<std::recursive_mutex> lock(routes_mu_);
   auto it = routes_.find(path);
   if (it == routes_.end()) {
     HttpResponse resp;

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/obs/metrics.hpp"
 
@@ -66,6 +67,11 @@ class ExpositionServer {
   void add_route(const std::string& path, Handler handler);
   void remove_route(const std::string& path);
 
+  // Sorted list of registered paths.  Safe to call from inside a handler
+  // (the routes mutex is recursive precisely so the "/" index and /healthz
+  // can enumerate their own server's routes).
+  std::vector<std::string> route_paths() const;
+
  private:
   void serve_loop();
   void handle_connection(int fd);
@@ -77,14 +83,19 @@ class ExpositionServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> accept_faults_{0};
-  std::mutex routes_mu_;
+  // Recursive: dispatch() holds it across the handler call (so
+  // remove_route cannot race an in-flight handler), and handlers may call
+  // route_paths() back into the server.
+  mutable std::recursive_mutex routes_mu_;
   std::map<std::string, Handler> routes_;
 };
 
 // Prometheus text exposition format (version 0.0.4) for every instrument
-// in the registry: counters and gauges verbatim, histograms as summaries
-// (quantile-labelled samples plus _sum/_count).  Metric names are
-// sanitized ('.' → '_').
+// in the registry: counters and gauges verbatim, histograms in native
+// histogram format (cumulative `_bucket{le="..."}` samples ending at
+// `le="+Inf"`, plus `_sum`/`_count`) followed by `<name>_p50/_p95/_p99`
+// gauges so dashboards get quantiles without PromQL histogram_quantile.
+// Metric names are sanitized ('.' → '_').
 std::string render_prometheus(const MetricsRegistry& registry);
 
 // The scrape Content-Type Prometheus expects.

@@ -6,6 +6,9 @@
 
 namespace vapro::obs {
 
+static_assert(HistogramSnapshot::kBuckets == Histogram::kBuckets,
+              "snapshot bucket layout must mirror the live histogram");
+
 namespace {
 
 std::size_t bucket_index(double seconds) {
@@ -34,6 +37,28 @@ void append_double(std::ostringstream& oss, double v) {
   }
 }
 
+// Shared by Histogram::quantile (atomic loads) and HistogramSnapshot
+// (plain values): nearest-rank walk, linear interpolation in the owning
+// bucket.
+double quantile_over(const std::uint64_t* buckets, std::uint64_t n, double q) {
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      const double frac = (rank - seen) / in_bucket;
+      return Histogram::bucket_lo(i) +
+             frac * (Histogram::bucket_hi(i) - Histogram::bucket_lo(i));
+    }
+    seen += in_bucket;
+  }
+  return Histogram::bucket_hi(Histogram::kBuckets - 1);
+}
+
 }  // namespace
 
 double Histogram::bucket_lo(std::size_t i) {
@@ -55,25 +80,26 @@ void Histogram::record(double seconds) {
 }
 
 double Histogram::quantile(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Rank of the target observation (1-based, nearest-rank then interpolate
-  // inside the bucket that holds it).
-  const double rank = q * static_cast<double>(n);
-  double seen = 0.0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    const auto in_bucket =
-        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
-    if (in_bucket == 0.0) continue;
-    if (seen + in_bucket >= rank) {
-      const double frac = (rank - seen) / in_bucket;
-      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
-    }
-    seen += in_bucket;
-  }
-  return bucket_hi(kBuckets - 1);
+  return snapshot().quantile(q);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_seconds = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_seconds += other.sum_seconds;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  return quantile_over(buckets.data(), count, q);
 }
 
 double ScopedTimer::stop() {

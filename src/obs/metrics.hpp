@@ -16,6 +16,7 @@
 // ScopedTimer measures a wall-clock span and records it into a Histogram.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -51,6 +52,26 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+class Histogram;
+
+// Value-type copy of a Histogram at one instant.  Snapshots from histograms
+// with the same (fixed) bucket layout merge by plain addition, which is what
+// makes per-shard histograms foldable into one fleet view without ever
+// locking the hot path.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 30;  // mirrors Histogram::kBuckets
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+
+  void merge(const HistogramSnapshot& other);
+  double mean_seconds() const {
+    return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+  }
+  // q in (0,1); returns 0 when empty (same semantics as Histogram).
+  double quantile(double q) const;
+};
+
 class Histogram {
  public:
   // Buckets double from kMinSeconds; values outside clamp to the ends.
@@ -58,6 +79,11 @@ class Histogram {
   static constexpr std::size_t kBuckets = 30;  // 100 ns · 2^29 ≈ 53.7 s
 
   void record(double seconds);
+
+  // Coherent-enough copy for rendering/merging.  Individual loads are
+  // relaxed-atomic; a snapshot taken concurrently with record() may be one
+  // observation ahead/behind in count vs buckets, never torn per-field.
+  HistogramSnapshot snapshot() const;
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_seconds() const { return sum_.load(std::memory_order_relaxed); }

@@ -38,6 +38,8 @@ PipelineStats CollectingSink::totals() const {
     t.normalize_seconds += w.normalize_seconds;
     t.deposit_seconds += w.deposit_seconds;
     t.diagnose_seconds += w.diagnose_seconds;
+    t.publish_seconds += w.publish_seconds;
+    t.queue_wait_seconds += w.queue_wait_seconds;
   }
   return t;
 }
@@ -61,6 +63,7 @@ std::string CollectingSink::to_json() const {
         {"drain", w.drain_seconds},       {"stg", w.stg_seconds},
         {"cluster", w.cluster_seconds},   {"normalize", w.normalize_seconds},
         {"deposit", w.deposit_seconds},   {"diagnose", w.diagnose_seconds},
+        {"publish", w.publish_seconds},   {"queue_wait", w.queue_wait_seconds},
     };
     bool sfirst = true;
     for (const auto& [name, secs] : stages) {

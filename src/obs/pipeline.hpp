@@ -35,12 +35,16 @@ struct PipelineStats {
   double normalize_seconds = 0.0;    // baseline normalization + eval pairs
   double deposit_seconds = 0.0;      // heat-map deposit + coverage
   double diagnose_seconds = 0.0;     // progressive diagnoser + observer
+  double publish_seconds = 0.0;      // metrics/gauges + journal/export
+  // Hand-off queue wait (enqueue → worker start); 0 in synchronous mode.
+  // NOT part of total_seconds(): it is overlap, not tool work.
+  double queue_wait_seconds = 0.0;
 
   // Total tool time of the window — by definition the per-stage sum, so
   // sinks and tests can rely on the invariant without re-deriving it.
   double total_seconds() const {
     return drain_seconds + stg_seconds + cluster_seconds + normalize_seconds +
-           deposit_seconds + diagnose_seconds;
+           deposit_seconds + diagnose_seconds + publish_seconds;
   }
 };
 

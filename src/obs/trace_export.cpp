@@ -106,6 +106,32 @@ void TraceRecorder::instant(const std::string& name,
   push_locked(std::move(ev));
 }
 
+void TraceRecorder::flow_start(const std::string& name,
+                               const std::string& category,
+                               std::uint64_t flow_id, std::uint64_t ts_ns) {
+  ChromeEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 's';
+  ev.ts_us = static_cast<double>(ts_ns) * 1e-3;
+  ev.flow_id = flow_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  push_locked(std::move(ev));
+}
+
+void TraceRecorder::flow_end(const std::string& name,
+                             const std::string& category,
+                             std::uint64_t flow_id, std::uint64_t ts_ns) {
+  ChromeEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'f';
+  ev.ts_us = static_cast<double>(ts_ns) * 1e-3;
+  ev.flow_id = flow_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  push_locked(std::move(ev));
+}
+
 std::size_t TraceRecorder::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -129,6 +155,12 @@ std::string TraceRecorder::to_json() const {
         << "\",\"ts\":" << number(ev.ts_us) << ",\"pid\":1,\"tid\":" << ev.tid;
     if (ev.phase == 'X') oss << ",\"dur\":" << number(ev.dur_us);
     if (ev.phase == 'i') oss << ",\"s\":\"t\"";  // thread-scoped instant
+    if (ev.phase == 's' || ev.phase == 'f') {
+      oss << ",\"id\":" << ev.flow_id;
+      // bp:e makes the arrow land at the enclosing slice's end, the
+      // rendering Perfetto expects for stage-handoff flows.
+      if (ev.phase == 'f') oss << ",\"bp\":\"e\"";
+    }
     if (!ev.args.empty()) {
       oss << ",\"args\":{";
       bool afirst = true;

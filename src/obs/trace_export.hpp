@@ -12,6 +12,7 @@
 // stay cheap (the disabled path) is a null-pointer check at the call site.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -32,10 +33,11 @@ struct TraceArg {
 struct ChromeEvent {
   std::string name;
   std::string category;
-  char phase = 'X';       // 'X' complete, 'i' instant
+  char phase = 'X';       // 'X' complete, 'i' instant, 's'/'f' flow
   double ts_us = 0.0;     // microseconds since recorder epoch
   double dur_us = 0.0;    // 'X' only
   int tid = 0;
+  std::uint64_t flow_id = 0;  // 's'/'f' only: binds the two flow endpoints
   std::vector<TraceArg> args;
 };
 
@@ -60,6 +62,18 @@ class TraceRecorder {
   void instant(const std::string& name, const std::string& category,
                std::vector<TraceArg> args = {});
 
+  // Flow (causality) arrows: a flow_start at the producer plus a flow_end
+  // with the same id at the consumer draws an arrow across threads in
+  // Perfetto — the handoff edge between pipeline stages.  Ids come from
+  // next_flow_id() (never 0).
+  std::uint64_t next_flow_id() {
+    return flow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void flow_start(const std::string& name, const std::string& category,
+                  std::uint64_t flow_id, std::uint64_t ts_ns);
+  void flow_end(const std::string& name, const std::string& category,
+                std::uint64_t flow_id, std::uint64_t ts_ns);
+
   std::size_t size() const;
   std::vector<ChromeEvent> snapshot() const;
 
@@ -74,6 +88,7 @@ class TraceRecorder {
 
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> flow_seq_{0};
   std::vector<ChromeEvent> events_;
   std::unordered_map<std::thread::id, int> tids_;
 };

@@ -33,6 +33,8 @@
 //   client.ingest   drop                    fragment lost before buffering
 //   server.window   fail                    window publication skipped
 //   group.merge     fail                    merged-root publication skipped
+//   obs.span        drop | fail | short_write  trace span lost / torn; the
+//                                           histogram sample still lands
 #pragma once
 
 #include <atomic>

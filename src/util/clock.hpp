@@ -54,4 +54,33 @@ class VirtualClock final : public Clock {
   double now_;
 };
 
+// Deterministic self-advancing clock: every now_seconds() read moves time
+// forward by a fixed tick.  Where VirtualClock models "time moves only when
+// the test says so", TickClock models "every timestamp read costs the same"
+// — which makes single-threaded benchmarks that lap a clock around each
+// stage produce byte-identical timing output on every run
+// (bench/latency_profile uses this for BENCH_latency.json).  Thread-safe,
+// but only single-threaded use is deterministic.
+class TickClock final : public Clock {
+ public:
+  explicit TickClock(double tick_seconds = 1e-3, double start_seconds = 0.0)
+      : tick_(tick_seconds), now_(start_seconds) {}
+
+  double now_seconds() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += tick_;
+    return now_;
+  }
+  // Sleeps advance virtual time like VirtualClock (no real blocking).
+  void sleep_for(double seconds) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seconds > 0.0) now_ += seconds;
+  }
+
+ private:
+  double tick_;
+  mutable std::mutex mu_;
+  mutable double now_;
+};
+
 }  // namespace vapro::util

@@ -7,8 +7,12 @@
 //     whose push() BLOCKS while the queue is full.  That blocking is the
 //     backpressure contract: a producer that outruns the analysis stage is
 //     throttled to the consumer's pace instead of growing an unbounded
-//     backlog.  Cumulative producer block time is accounted (via an
-//     injectable util::Clock) so the owner can export it as a stall gauge.
+//     backlog.  Wait time is accounted per side (via an injectable
+//     util::Clock) so a stall is attributed to a STAGE, not just summed:
+//     producer-block (push on a full queue — the consumer is the
+//     bottleneck), consumer-idle (pop on an empty queue — the producer is
+//     the bottleneck), and per-item handoff latency (enqueue → dequeue —
+//     how long work sat in the queue).
 //
 //   * StageExecutor — one worker thread draining a bounded job queue in
 //     strict FIFO order.  Determinism rule: because there is exactly one
@@ -57,7 +61,7 @@ class BoundedQueue {
       ++stalls_;
     }
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    items_.emplace_back(clock_->now_seconds(), std::move(item));
     not_empty_.notify_one();
     return true;
   }
@@ -66,12 +70,19 @@ class BoundedQueue {
   // the consumer's termination signal.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty() && !closed_) {
+      const double t0 = clock_->now_seconds();
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      idle_seconds_ += clock_->now_seconds() - t0;
+      ++idle_waits_;
+    }
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
+    auto [enqueued_at, item] = std::move(items_.front());
     items_.pop_front();
+    handoff_seconds_ += clock_->now_seconds() - enqueued_at;
+    ++handoffs_;
     not_full_.notify_one();
-    return item;
+    return std::optional<T>(std::move(item));
   }
 
   // Wakes all waiters; subsequent push() fails, pop() drains the backlog
@@ -88,7 +99,8 @@ class BoundedQueue {
     return items_.size();
   }
   std::size_t capacity() const { return capacity_; }
-  // Cumulative seconds producers spent blocked on a full queue.
+  // Cumulative seconds producers spent blocked on a full queue
+  // (producer-block: the consumer is the bottleneck).
   double stall_seconds() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stall_seconds_;
@@ -97,6 +109,26 @@ class BoundedQueue {
     std::lock_guard<std::mutex> lock(mu_);
     return stalls_;
   }
+  // Cumulative seconds the consumer spent waiting on an empty queue
+  // (consumer-idle: the producer is the bottleneck).
+  double idle_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_seconds_;
+  }
+  std::uint64_t idle_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_waits_;
+  }
+  // Cumulative enqueue→dequeue latency across all popped items, and the
+  // number of items it covers (divide for the mean handoff latency).
+  double handoff_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return handoff_seconds_;
+  }
+  std::uint64_t handoffs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return handoffs_;
+  }
 
  private:
   const std::size_t capacity_;
@@ -104,10 +136,14 @@ class BoundedQueue {
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::deque<std::pair<double, T>> items_;  // (enqueue time, item)
   bool closed_ = false;
   double stall_seconds_ = 0.0;
+  double idle_seconds_ = 0.0;
+  double handoff_seconds_ = 0.0;
   std::uint64_t stalls_ = 0;
+  std::uint64_t idle_waits_ = 0;
+  std::uint64_t handoffs_ = 0;
 };
 
 // One worker thread running submitted jobs in FIFO order.  `max_pending`
@@ -147,7 +183,7 @@ class StageExecutor {
       ++stalls_;
     }
     if (closed_) return false;
-    jobs_.push_back(std::move(job));
+    jobs_.emplace_back(clock_->now_seconds(), std::move(job));
     not_empty_.notify_one();
     return true;
   }
@@ -165,7 +201,8 @@ class StageExecutor {
     std::lock_guard<std::mutex> lock(mu_);
     return jobs_.size() + (running_ ? 1 : 0);
   }
-  // Cumulative seconds submitters spent blocked on a full queue.
+  // Cumulative seconds submitters spent blocked on a full queue
+  // (producer-block).
   double stall_seconds() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stall_seconds_;
@@ -173,6 +210,21 @@ class StageExecutor {
   std::uint64_t stalls() const {
     std::lock_guard<std::mutex> lock(mu_);
     return stalls_;
+  }
+  // Cumulative seconds the worker spent waiting for a job (consumer-idle).
+  double idle_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_seconds_;
+  }
+  std::uint64_t idle_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_waits_;
+  }
+  // Cumulative submit→start latency across all executed jobs (how long
+  // work sat queued before the worker picked it up).
+  double handoff_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return handoff_seconds_;
   }
   // Cumulative seconds the worker spent executing jobs (stage occupancy
   // numerator; divide by wall time for utilization).
@@ -196,10 +248,17 @@ class StageExecutor {
       std::function<void()> job;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        not_empty_.wait(lock, [this] { return !jobs_.empty() || closed_; });
+        if (jobs_.empty() && !closed_) {
+          const double w0 = clock_->now_seconds();
+          not_empty_.wait(lock, [this] { return !jobs_.empty() || closed_; });
+          idle_seconds_ += clock_->now_seconds() - w0;
+          ++idle_waits_;
+        }
         if (jobs_.empty()) return;  // closed and drained
-        job = std::move(jobs_.front());
+        auto [submitted_at, j] = std::move(jobs_.front());
         jobs_.pop_front();
+        handoff_seconds_ += clock_->now_seconds() - submitted_at;
+        job = std::move(j);
         running_ = true;
         not_full_.notify_one();
       }
@@ -229,12 +288,16 @@ class StageExecutor {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> jobs_;
+  // (submit time, job) so dequeue can account the handoff latency.
+  std::deque<std::pair<double, std::function<void()>>> jobs_;
   bool closed_ = false;
   bool running_ = false;
   double stall_seconds_ = 0.0;
+  double idle_seconds_ = 0.0;
+  double handoff_seconds_ = 0.0;
   double busy_seconds_ = 0.0;
   std::uint64_t stalls_ = 0;
+  std::uint64_t idle_waits_ = 0;
   std::uint64_t jobs_run_ = 0;
   std::uint64_t jobs_failed_ = 0;
   std::thread worker_;  // last member: starts after all state exists

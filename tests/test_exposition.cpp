@@ -138,6 +138,78 @@ TEST(Exposition, MetricsRouteServesPrometheusTextFormat) {
   EXPECT_NE(reply.body.find("vapro_test_latency_count"), std::string::npos);
 }
 
+TEST(Exposition, HistogramRendersNativePrometheusHistogramFormat) {
+  obs::ObsContext ctx;
+  obs::Histogram* h = ctx.metrics().histogram("vapro.test.latency");
+  for (int i = 0; i < 3; ++i) h->record(1e-3);
+  h->record(0.5);
+  std::string error;
+  ASSERT_NE(ctx.start_exposition(0, &error), nullptr) << error;
+  HttpReply reply = http_get(ctx.exposition()->port(), "/metrics");
+  ASSERT_TRUE(reply.ok);
+  expect_valid_prometheus(reply.body);
+
+  EXPECT_NE(reply.body.find("# TYPE vapro_test_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(reply.body.find("vapro_test_latency_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << reply.body;
+  EXPECT_NE(reply.body.find("vapro_test_latency_count 4"), std::string::npos);
+  EXPECT_NE(reply.body.find("vapro_test_latency_sum"), std::string::npos);
+  // Buckets are CUMULATIVE and non-decreasing, ending at the +Inf count.
+  std::istringstream is(reply.body);
+  std::string line;
+  double prev = -1.0, last = -1.0;
+  std::size_t bucket_lines = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("vapro_test_latency_bucket{", 0) != 0) continue;
+    const double v = std::strtod(line.substr(line.rfind(' ') + 1).c_str(),
+                                 nullptr);
+    EXPECT_GE(v, prev) << "non-cumulative bucket: " << line;
+    prev = last = v;
+    ++bucket_lines;
+  }
+  EXPECT_GE(bucket_lines, 2u);
+  EXPECT_DOUBLE_EQ(last, 4.0);
+  // Quantile summary gauges ride alongside the histogram.
+  for (const char* q : {"_p50", "_p95", "_p99"}) {
+    EXPECT_NE(reply.body.find(std::string("# TYPE vapro_test_latency") + q +
+                              " gauge"),
+              std::string::npos)
+        << q;
+    EXPECT_NE(reply.body.find(std::string("vapro_test_latency") + q + " "),
+              std::string::npos)
+        << q;
+  }
+}
+
+TEST(Exposition, RootServesTheEndpointIndex) {
+  obs::ObsContext ctx;
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  HttpReply reply = http_get(ctx.exposition()->port(), "/");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.content_type, "application/json");
+  EXPECT_NE(reply.body.find("\"service\":\"vapro\""), std::string::npos);
+  for (const char* path : {"\"/\"", "\"/metrics\"", "\"/healthz\""})
+    EXPECT_NE(reply.body.find(path), std::string::npos)
+        << path << " missing from " << reply.body;
+
+  // Routes added later appear in the live index (and in /healthz).
+  ctx.exposition()->add_route("/v1/latency", [] {
+    obs::HttpResponse r;
+    r.body = "{}";
+    return r;
+  });
+  HttpReply after = http_get(ctx.exposition()->port(), "/");
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(after.body.find("\"/v1/latency\""), std::string::npos);
+  HttpReply healthz = http_get(ctx.exposition()->port(), "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_NE(healthz.body.find("\"endpoints\""), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"/v1/latency\""), std::string::npos);
+}
+
 TEST(Exposition, HealthzReportsLiveness) {
   obs::ObsContext ctx;
   ASSERT_NE(ctx.start_exposition(0), nullptr);
@@ -296,8 +368,9 @@ TEST(Exposition, ConcurrentScrapeDuringAnalysis) {
   std::atomic<bool> done{false};
   std::atomic<int> scrapes{0};
   std::vector<std::thread> scrapers;
-  const char* kPaths[] = {"/metrics", "/healthz", "/v1/heatmap",
-                          "/v1/variance"};
+  const char* kPaths[] = {"/",           "/metrics",    "/healthz",
+                          "/v1/heatmap", "/v1/variance", "/v1/latency",
+                          "/v1/critical_path"};
   for (const char* path : kPaths) {
     scrapers.emplace_back([&, path] {
       while (!done.load(std::memory_order_relaxed)) {
@@ -325,6 +398,18 @@ TEST(Exposition, ConcurrentScrapeDuringAnalysis) {
   want_windows << "\"windows\":" << session.server().windows_processed();
   EXPECT_NE(variance.body.find(want_windows.str()), std::string::npos)
       << variance.body;
+
+  // So must the self-diagnosis routes: every processed window has a
+  // latency record, and the critical path names a dominant stage.
+  HttpReply latency = http_get(port, "/v1/latency");
+  ASSERT_TRUE(latency.ok);
+  EXPECT_EQ(latency.content_type, "application/json");
+  EXPECT_NE(latency.body.find(want_windows.str()), std::string::npos)
+      << latency.body;
+  HttpReply critical = http_get(port, "/v1/critical_path");
+  ASSERT_TRUE(critical.ok);
+  EXPECT_NE(critical.body.find("\"dominant\":\""), std::string::npos)
+      << critical.body;
 }
 
 }  // namespace

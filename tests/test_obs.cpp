@@ -4,6 +4,7 @@
 // VaproSession run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -194,6 +195,97 @@ TEST(Metrics, ConcurrentIncrementsAreLossless) {
   EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(Metrics, ZeroAndNegativeRecordsClampToTheFirstBucket) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-3.5);                       // negative durations clamp to 0
+  h.record(Histogram::kMinSeconds / 2); // sub-resolution stays in bucket 0
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), Histogram::kMinSeconds / 2);
+  // Everything lives in bucket 0, so every quantile is within it.
+  EXPECT_LE(h.quantile(0.99), Histogram::bucket_hi(0));
+}
+
+TEST(Metrics, OversizedRecordsLandInTheOverflowBucket) {
+  Histogram h;
+  h.record(1e6);   // ~11 days, far past the ~54 s top bound
+  h.record(1e9);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 2u);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 1e6 + 1e9);  // sum keeps the true value
+  // Quantiles interpolate within the overflow bucket and never
+  // extrapolate past its top bound.
+  EXPECT_GE(h.quantile(0.5), Histogram::bucket_lo(Histogram::kBuckets - 1));
+  EXPECT_LE(h.quantile(0.99), Histogram::bucket_hi(Histogram::kBuckets - 1));
+}
+
+TEST(Metrics, EmptySnapshotQuantilesAreZeroAndMergeIsAdditive) {
+  Histogram h;
+  const HistogramSnapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_seconds(), 0.0);
+
+  // Merging an empty snapshot is the identity; merging two shards is the
+  // same distribution as one histogram that saw both streams.
+  Histogram a, b, both;
+  for (int i = 0; i < 40; ++i) {
+    a.record(1e-3);
+    both.record(1e-3);
+  }
+  for (int i = 0; i < 10; ++i) {
+    b.record(64e-3);
+    both.record(64e-3);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(empty);
+  merged.merge(b.snapshot());
+  const HistogramSnapshot expect = both.snapshot();
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_DOUBLE_EQ(merged.sum_seconds, expect.sum_seconds);
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i)
+    EXPECT_EQ(merged.buckets[i], expect.buckets[i]) << "bucket " << i;
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), expect.quantile(0.5));
+  EXPECT_DOUBLE_EQ(merged.quantile(0.99), expect.quantile(0.99));
+}
+
+TEST(Metrics, ConcurrentRecordAndMergeNeverTearASnapshot) {
+  // Recorders hammer one histogram while a reader repeatedly snapshots and
+  // merges into an accumulator.  Run under TSan this doubles as a data-race
+  // check; the invariants below hold in any interleaving: bucket sums never
+  // exceed the final count, and the final snapshot is exact.
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> writers;
+  std::atomic<bool> done{false};
+  std::uint64_t snapshots_taken = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot snap = h.snapshot();
+      std::uint64_t in_buckets = 0;
+      for (std::uint64_t b : snap.buckets) in_buckets += b;
+      ASSERT_LE(in_buckets,
+                static_cast<std::uint64_t>(kThreads) * kPerThread);
+      ++snapshots_taken;
+    }
+  });
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(2e-3);
+    });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_GT(snapshots_taken, 0u);
+  const HistogramSnapshot final_snap = h.snapshot();
+  EXPECT_EQ(final_snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t in_buckets = 0;
+  for (std::uint64_t b : final_snap.buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, final_snap.count);
+}
+
 TEST(Metrics, RegistryJsonIsValid) {
   MetricsRegistry reg;
   reg.counter("c")->inc(7);
@@ -325,7 +417,7 @@ TEST(ObsSession, PipelineStatsMatchSessionAndStagesSumToTotals) {
     EXPECT_DOUBLE_EQ(w.total_seconds(),
                      w.drain_seconds + w.stg_seconds + w.cluster_seconds +
                          w.normalize_seconds + w.deposit_seconds +
-                         w.diagnose_seconds);
+                         w.diagnose_seconds + w.publish_seconds);
     EXPECT_GT(w.total_seconds(), 0.0);
   }
 
@@ -355,9 +447,11 @@ TEST(ObsSession, PipelineStatsMatchSessionAndStagesSumToTotals) {
 
   // The trace captured analysis windows and parallel cluster workers, and
   // the full export is valid JSON.
+  // The handoff flow arrow ends with an 'f' event carrying the consuming
+  // span's name, so filter on the 'X' phase to count spans exactly once.
   std::size_t window_events = 0, worker_events = 0;
   for (const ChromeEvent& ev : ctx.trace()->snapshot()) {
-    if (ev.name == "analysis.window") ++window_events;
+    if (ev.name == "analysis.window" && ev.phase == 'X') ++window_events;
     if (ev.name == "cluster.worker") ++worker_events;
   }
   EXPECT_EQ(window_events, windows.size());

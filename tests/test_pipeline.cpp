@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -132,6 +134,140 @@ TEST(StageExecutor, DestructorRunsRemainingJobs) {
     for (int i = 0; i < 5; ++i) exec.submit([&ran] { ++ran; });
   }  // dtor closes, worker drains the backlog, then joins
   EXPECT_EQ(ran.load(), 5);
+}
+
+// --- wait-time accounting -------------------------------------------------
+//
+// A manually advanced clock that also counts now_seconds() reads.  A test
+// can wait until another thread has taken its wait-entry timestamp (one
+// clock read) before advancing time, which makes every producer-block /
+// consumer-idle / handoff assertion an exact equality instead of a
+// sleep-based lower bound.
+
+class CountingClock final : public util::Clock {
+ public:
+  double now_seconds() const override {
+    ++reads_;
+    return now_.load();
+  }
+  void sleep_for(double) override {}
+  void advance(double seconds) { now_ = now_.load() + seconds; }
+  std::uint64_t reads() const { return reads_.load(); }
+  void wait_for_reads(std::uint64_t n) const {
+    while (reads_.load() < n) std::this_thread::yield();
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> reads_{0};
+  std::atomic<double> now_{0.0};
+};
+
+TEST(BoundedQueue, AccountsHandoffLatencyFromEnqueueToDequeue) {
+  CountingClock clock;
+  util::BoundedQueue<int> q(4, &clock);
+  EXPECT_TRUE(q.push(1));  // enqueued at t=0
+  clock.advance(2.0);
+  EXPECT_TRUE(q.push(2));  // enqueued at t=2
+  clock.advance(1.0);      // both popped at t=3
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_DOUBLE_EQ(q.handoff_seconds(), 4.0);  // (3-0) + (3-2)
+  EXPECT_EQ(q.handoffs(), 2u);
+  // Nothing ever blocked: no producer-block, no consumer-idle.
+  EXPECT_DOUBLE_EQ(q.stall_seconds(), 0.0);
+  EXPECT_EQ(q.stalls(), 0u);
+  EXPECT_DOUBLE_EQ(q.idle_seconds(), 0.0);
+  EXPECT_EQ(q.idle_waits(), 0u);
+}
+
+TEST(BoundedQueue, AccountsConsumerIdleWhileTheQueueIsEmpty) {
+  CountingClock clock;
+  util::BoundedQueue<int> q(2, &clock);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), 7); });
+  // pop() on an empty queue reads the clock once (its wait-entry
+  // timestamp) before blocking; only then advance the clock.
+  clock.wait_for_reads(1);
+  clock.advance(1.5);
+  EXPECT_TRUE(q.push(7));  // enqueued at t=1.5, wakes the consumer
+  consumer.join();
+  EXPECT_DOUBLE_EQ(q.idle_seconds(), 1.5);  // wait entry 0 → wake 1.5
+  EXPECT_EQ(q.idle_waits(), 1u);
+  EXPECT_DOUBLE_EQ(q.handoff_seconds(), 0.0);  // dequeued the same instant
+  EXPECT_EQ(q.handoffs(), 1u);
+  EXPECT_DOUBLE_EQ(q.stall_seconds(), 0.0);
+}
+
+TEST(BoundedQueue, AccountsProducerBlockWhileTheQueueIsFull) {
+  CountingClock clock;
+  util::BoundedQueue<int> q(1, &clock);
+  EXPECT_TRUE(q.push(1));  // read #1: enqueued at t=0
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  // The blocked push takes its wait-entry timestamp (read #2) at t=0.
+  clock.wait_for_reads(2);
+  clock.advance(3.0);
+  EXPECT_EQ(q.pop(), 1);  // frees the slot; item 1 handoff = 3.0
+  producer.join();        // stall accounted: wait entry 0 → wake 3.0
+  EXPECT_DOUBLE_EQ(q.stall_seconds(), 3.0);
+  EXPECT_EQ(q.stalls(), 1u);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_DOUBLE_EQ(q.handoff_seconds(), 3.0);  // 3.0 (item 1) + 0.0 (item 2)
+  EXPECT_DOUBLE_EQ(q.idle_seconds(), 0.0);
+}
+
+TEST(StageExecutor, AccountsIdleHandoffAndBusySeconds) {
+  CountingClock clock;
+  util::StageExecutor exec(2, &clock);
+  // The freshly started worker reads the clock once on idle-wait entry.
+  clock.wait_for_reads(1);
+  clock.advance(1.5);  // the worker idles across this
+
+  std::promise<void> gate;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(exec.submit([&] {  // submitted at t=1.5, starts immediately
+    started = true;
+    gate.get_future().wait();
+  }));
+  ASSERT_TRUE(exec.submit([] {}));  // submitted at t=1.5, queued behind it
+  while (!started.load()) std::this_thread::yield();
+  clock.advance(2.5);  // t=4.0: the first job is executing across this
+  gate.set_value();
+  exec.drain();
+
+  EXPECT_EQ(exec.jobs_run(), 2u);
+  EXPECT_EQ(exec.jobs_failed(), 0u);
+  EXPECT_DOUBLE_EQ(exec.idle_seconds(), 1.5);  // before the first submit
+  EXPECT_EQ(exec.idle_waits(), 1u);
+  EXPECT_DOUBLE_EQ(exec.busy_seconds(), 2.5);  // job 1: 1.5→4.0; job 2: 0
+  // Job 1 started the instant it was submitted; job 2 sat queued from
+  // t=1.5 until the worker freed up at t=4.0.
+  EXPECT_DOUBLE_EQ(exec.handoff_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(exec.stall_seconds(), 0.0);
+  EXPECT_EQ(exec.stalls(), 0u);
+}
+
+TEST(StageExecutor, AccountsSubmitStallUnderBackpressure) {
+  CountingClock clock;
+  util::StageExecutor exec(1, &clock);
+  std::promise<void> gate;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(exec.submit([&] {  // occupies the worker
+    started = true;
+    gate.get_future().wait();
+  }));
+  while (!started.load()) std::this_thread::yield();
+  ASSERT_TRUE(exec.submit([] {}));  // fills the single pending slot
+  // With the worker wedged inside the gate the next clock read can only
+  // be the third submit's wait-entry timestamp.
+  const std::uint64_t reads_before = clock.reads();
+  std::thread submitter([&] { EXPECT_TRUE(exec.submit([] {})); });
+  clock.wait_for_reads(reads_before + 1);
+  clock.advance(4.0);
+  gate.set_value();  // worker dequeues the backlog, freeing the slot
+  submitter.join();
+  exec.drain();
+  EXPECT_DOUBLE_EQ(exec.stall_seconds(), 4.0);  // wait entry 0 → wake 4.0
+  EXPECT_EQ(exec.stalls(), 1u);
+  EXPECT_EQ(exec.jobs_run(), 3u);
 }
 
 // --- ClusterSeedCache -----------------------------------------------------

@@ -4,7 +4,8 @@
 //   --trace-out=FILE     Chrome trace-event JSON of the pipeline
 //   --journal-out=FILE   schema-versioned JSONL event journal
 //   --listen=PORT        embedded HTTP endpoint (0 = ephemeral port):
-//                        /metrics /healthz /v1/heatmap /v1/variance
+//                        / (endpoint index) /metrics /healthz /v1/heatmap
+//                        /v1/variance /v1/latency /v1/critical_path
 //   --listen-linger=S    keep serving S seconds after the run finishes
 //   --alert-rule=SPEC    alert rule (repeatable; see src/obs/alerts.hpp)
 //   --alert-file=FILE    also append fired alerts to FILE (webhook stub)
@@ -141,9 +142,12 @@ struct ObsCli {
         return false;
       }
       // Printed (and flushed) before the run so scrapers can attach early.
+      // "/" serves the live endpoint index, so only the discovery root is
+      // spelled out here.
       std::cout << "listening on http://127.0.0.1:"
                 << ctx.exposition()->port()
-                << "  (/metrics /healthz /v1/heatmap /v1/variance)\n"
+                << "  (/ lists endpoints: /metrics /healthz /v1/heatmap "
+                   "/v1/variance /v1/latency /v1/critical_path)\n"
                 << std::flush;
     }
     return true;

@@ -41,6 +41,7 @@
 #include "src/core/vapro.hpp"
 #include "src/obs/alerts.hpp"
 #include "src/obs/context.hpp"
+#include "src/obs/latency.hpp"
 #include "src/obs/quality.hpp"
 #include "src/testing/fault.hpp"
 #include "src/util/cli.hpp"
@@ -290,8 +291,13 @@ struct RoundArtifacts {
   std::string rare_table;        // rare-path findings, full precision
   // Journal event stream with seq zeroed, sorted: concurrent leaf servers
   // may interleave emission differently run to run, but the multiset of
-  // events must be identical.
+  // events must be identical.  Self-timing events (window_latency /
+  // critical_path) are excluded: their stage laps depend on how the
+  // VirtualClock advances relative to the worker, which is exactly the
+  // schedule freedom the equivalence property permits — only their COUNT
+  // must match (compared via timing_events).
   std::vector<std::string> journal_lines;
+  std::size_t timing_events = 0;
   std::uint64_t alerts = 0;
 };
 
@@ -335,6 +341,9 @@ RoundResult run_round(int round, std::uint64_t seed,
   util::VirtualClock vclock;
   obs::ObsContext ctx;
   ctx.set_clock(&vclock);
+  // Span tracing on: every round exercises the SpanScope/flow-event path
+  // (and its obs.span fault site) alongside the invariants.
+  ctx.enable_trace();
   const std::string journal_path =
       scratch + "/round" + std::to_string(round) +
       (tag.empty() ? std::string() : "-" + tag) + ".jsonl";
@@ -475,6 +484,10 @@ RoundResult run_round(int round, std::uint64_t seed,
           group ? group->merged_rare_findings() : server->rare_findings());
       art->alerts = engine.alerts_fired();
       for (obs::JournalEvent ev : read.events) {
+        if (ev.type == "window_latency" || ev.type == "critical_path") {
+          ++art->timing_events;  // schedule-dependent payload; count only
+          continue;
+        }
         ev.seq = 0;  // seq normalization: compare the multiset of events
         art->journal_lines.push_back(ev.to_json_line());
       }
@@ -482,6 +495,24 @@ RoundResult run_round(int round, std::uint64_t seed,
     }
     // The slowdown ran long enough that detection must have seen it.
     rr.check(live_regions > 0, "no variance regions despite injected slowdown");
+
+    // Critical-path replay: re-folding the journaled window_latency events
+    // must render the exact table the live tracker renders.  Single-server
+    // rounds only — group leaves run live_detection=false and emit no
+    // timing events (the root serves per-leaf views instead).
+    if (!group) {
+      const obs::CriticalPathTracker& live_tracker = server->latency_tracker();
+      obs::CriticalPathTracker replay_tracker;
+      for (const obs::WindowLatencyRecord& r : summary.window_latency)
+        replay_tracker.record(r);
+      rr.check(obs::render_critical_path_table(replay_tracker.recent(),
+                                               replay_tracker.summary()) ==
+                   obs::render_critical_path_table(live_tracker.recent(),
+                                                   live_tracker.summary()),
+               "critical-path replay-vs-live mismatch");
+      rr.check(summary.critical_path_events == 1,
+               "terminal critical_path event missing from journal");
+    }
 
     // No alert double-fire: a fresh engine replaying the journal fires
     // exactly as often as the live one did.
@@ -775,6 +806,8 @@ int main(int argc, char** argv) {
       require(a.rare_table == b.rare_table, "rare-path table differs");
       require(a.journal_lines == b.journal_lines,
               "journal event stream differs (after seq normalization)");
+      require(a.timing_events == b.timing_events,
+              "self-timing journal event count differs");
       require(a.alerts == b.alerts, "alert fire count differs");
       if (!ra.pass || !rb.pass || !equal) {
         ++failed;
