@@ -10,13 +10,26 @@
 // are byte-identical in every cell of the grid — only throughput moves —
 // which tool_vapro_stress_equivalence proves separately.
 //
+// Beyond throughput, each cell reports where the shard pool's time went:
+// per-lane busy-seconds series, their total/max, and the imbalance ratio
+// (max lane busy / mean lane busy — 1.0 is a perfect split), so a scaling
+// regression is attributable to skewed sharding vs hand-off stalls from
+// the same JSON.  The 2x bar is enforced only on hosts with >= 4
+// *physical* cores (SMT siblings share execution units and cannot honor
+// it); elsewhere the grid and JSON are informational.
+//
 //   pipeline_scaling [--json PATH]    (scripts/bench.sh -> BENCH_pipeline.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <set>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -116,7 +129,33 @@ struct ConfigRun {
   double producer_block_seconds = 0.0;  // push blocked on a full queue
   double consumer_idle_seconds = 0.0;   // worker waited on an empty queue
   double handoff_wait_seconds = 0.0;    // enqueue -> dequeue latency sum
+  // Shard-pool occupancy (empty / zero when analysis is serial).
+  std::vector<double> shard_lane_busy;  // busy seconds per pool lane
+  double shard_busy_seconds = 0.0;      // sum over lanes
+  double shard_imbalance = 1.0;         // max lane busy / mean lane busy
+  double shard_idle_seconds = 0.0;      // lanes waiting for a fan-out
 };
+
+// Physical cores, not SMT siblings: unique (physical id, core id) pairs
+// from /proc/cpuinfo.  A hyperthread pair shares execution units, so two
+// SMT siblings cannot deliver the 2x the bar demands.  Falls back to
+// hardware_concurrency() when the file is absent or lists no core ids.
+unsigned physical_cores() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::set<std::pair<int, int>> cores;
+  int package = 0;
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 11, "physical id") == 0)
+      package = std::atoi(line.c_str() + colon + 1);
+    else if (line.compare(0, 7, "core id") == 0)
+      cores.emplace(package, std::atoi(line.c_str() + colon + 1));
+  }
+  if (!cores.empty()) return static_cast<unsigned>(cores.size());
+  return std::thread::hardware_concurrency();
+}
 
 // One timed pass: construct the server, feed kWindows windows (assembling
 // each batch on this thread), sync.
@@ -155,6 +194,18 @@ ConfigRun run_config(int threads, int depth) {
   run.producer_block_seconds = breakdown.queue_stall_seconds;
   run.consumer_idle_seconds = breakdown.consumer_idle_seconds;
   run.handoff_wait_seconds = breakdown.handoff_wait_seconds;
+  run.shard_lane_busy = breakdown.shard_busy_seconds;
+  double max_lane = 0.0;
+  for (double b : run.shard_lane_busy) {
+    run.shard_busy_seconds += b;
+    max_lane = std::max(max_lane, b);
+  }
+  const double mean_lane =
+      run.shard_lane_busy.empty()
+          ? 0.0
+          : run.shard_busy_seconds / static_cast<double>(run.shard_lane_busy.size());
+  run.shard_imbalance = mean_lane > 0.0 ? max_lane / mean_lane : 1.0;
+  run.shard_idle_seconds = breakdown.shard_idle_seconds;
   run.windows_per_sec = kWindows / wall;
   if (debug) {
     double stg = 0, cl = 0, norm = 0, dep = 0, diag = 0;
@@ -182,6 +233,9 @@ int main(int argc, char** argv) {
   struct Cell {
     int threads, depth;
     std::vector<double> wps, drain, busy, block, idle, handoff;
+    std::vector<double> shard_busy, shard_imbal, shard_idle;
+    // lane_busy[k] is lane k's busy-seconds series across repeats.
+    std::vector<std::vector<double>> lane_busy;
   };
   std::vector<Cell> grid = {{1, 1}, {2, 1}, {4, 1}, {1, 2}, {2, 2}, {4, 2}};
   // Warm allocator/caches once, then interleave the grid inside each
@@ -196,11 +250,19 @@ int main(int argc, char** argv) {
       c.block.push_back(run.producer_block_seconds);
       c.idle.push_back(run.consumer_idle_seconds);
       c.handoff.push_back(run.handoff_wait_seconds);
+      c.shard_busy.push_back(run.shard_busy_seconds);
+      c.shard_imbal.push_back(run.shard_imbalance);
+      c.shard_idle.push_back(run.shard_idle_seconds);
+      if (c.lane_busy.size() < run.shard_lane_busy.size())
+        c.lane_busy.resize(run.shard_lane_busy.size());
+      for (std::size_t k = 0; k < run.shard_lane_busy.size(); ++k)
+        c.lane_busy[k].push_back(run.shard_lane_busy[k]);
     }
 
   const double serial = bench::percentile(grid[0].wps, 0.5);
   util::TextTable table({"threads", "depth", "windows/sec", "p95", "speedup",
-                         "drain_s", "analysis_s", "block_s", "idle_s"});
+                         "drain_s", "analysis_s", "block_s", "idle_s",
+                         "shard_s", "imbal"});
   double best_speedup = 0.0;
   for (Cell& c : grid) {
     const double median = bench::percentile(c.wps, 0.5);
@@ -214,7 +276,9 @@ int main(int argc, char** argv) {
                    util::fmt(bench::percentile(c.drain, 0.5), 4),
                    util::fmt(bench::percentile(c.busy, 0.5), 4),
                    util::fmt(bench::percentile(c.block, 0.5), 4),
-                   util::fmt(bench::percentile(c.idle, 0.5), 4)});
+                   util::fmt(bench::percentile(c.idle, 0.5), 4),
+                   util::fmt(bench::percentile(c.shard_busy, 0.5), 4),
+                   util::fmt(bench::percentile(c.shard_imbal, 0.5), 2)});
     const std::string cell =
         "_t" + std::to_string(c.threads) + "_d" + std::to_string(c.depth);
     json.record("windows_per_sec" + cell, c.wps);
@@ -230,6 +294,18 @@ int main(int argc, char** argv) {
     json.record("producer_block_seconds" + cell, c.block);
     json.record("consumer_idle_seconds" + cell, c.idle);
     json.record("handoff_wait_seconds" + cell, c.handoff);
+    // Shard-pool occupancy: total busy across lanes, the max/mean lane
+    // imbalance, lane idle time, and each lane's own busy series — a bad
+    // speedup with imbal near 1.0 points at hand-off stalls, imbal well
+    // above 1.0 at skewed edge partitioning.
+    if (c.threads > 1) {
+      json.record("shard_busy_seconds" + cell, c.shard_busy);
+      json.record("shard_imbalance" + cell, c.shard_imbal);
+      json.record("shard_idle_seconds" + cell, c.shard_idle);
+      for (std::size_t k = 0; k < c.lane_busy.size(); ++k)
+        json.record("shard_lane" + std::to_string(k) + "_busy_seconds" + cell,
+                    c.lane_busy[k]);
+    }
   }
   table.print(std::cout);
 
@@ -238,13 +314,15 @@ int main(int argc, char** argv) {
             << "x serial (bar: >= 2x)\n";
   if (!json.write()) return 1;
   // The bar measures parallel speedup, so it needs parallel hardware: the
-  // worker thread + the producer + >= 2 effective clustering threads.  On
-  // smaller hosts (CI containers are often 1-2 vCPUs) the grid and JSON
-  // are still reported — scaling there measures scheduler overhead, not
-  // the pipeline — but the bar is informational only.
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw < 4) {
-    std::cout << "note: " << hw << " hardware thread(s) available; the 2x "
+  // worker thread + the producer + >= 2 effective clustering threads — and
+  // PHYSICAL cores at that, since SMT siblings share execution units and
+  // a 2-core/4-thread host cannot honor 2x.  On smaller hosts (CI
+  // containers are often 1-2 vCPUs) the grid and JSON are still reported —
+  // scaling there measures scheduler overhead, not the pipeline — but the
+  // bar is informational only.
+  const unsigned cores = physical_cores();
+  if (cores < 4) {
+    std::cout << "note: " << cores << " physical core(s) available; the 2x "
               << "bar needs >= 4 — reporting only\n";
     return 0;
   }

@@ -1,10 +1,9 @@
 #include "src/core/clustering.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "src/util/check.hpp"
+#include "src/util/pipeline.hpp"
 
 namespace vapro::core {
 
@@ -259,10 +258,9 @@ ClusteringResult cluster_stg(const Stg& stg, const ClusterOptions& opts) {
 
 ClusteringResult cluster_stg_parallel(const Stg& stg,
                                       const ClusterOptions& opts,
-                                      int threads,
+                                      util::WorkerPool* pool,
                                       obs::TraceRecorder* trace,
                                       ClusterSeedCache* cache) {
-  VAPRO_CHECK(threads >= 1);
   auto work = gather_work(stg);
   // Cache entries are created on this (coordinating) thread before any
   // worker starts, so workers only ever touch their own item's entry.
@@ -273,33 +271,58 @@ ClusteringResult cluster_stg_parallel(const Stg& stg,
     for (const WorkItem& item : work) keys.push_back(item.cache_key());
     entries = cache->prepare(keys);
   }
-  if (threads == 1 || work.size() < 2) {
-    std::vector<std::vector<Cluster>> per_item(work.size());
+  std::vector<std::vector<Cluster>> per_item(work.size());
+  if (!pool || pool->lanes() == 1 || work.size() < 2) {
     for (std::size_t i = 0; i < work.size(); ++i)
       per_item[i] = cluster_item(stg, work[i], opts, entries[i], cache);
     return merge_item_clusters(std::move(per_item));
   }
-  std::vector<std::vector<Cluster>> per_item(work.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    const std::uint64_t t0 = trace ? trace->now_ns() : 0;
-    std::uint64_t items = 0;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= work.size()) break;
-      per_item[i] = cluster_item(stg, work[i], opts, entries[i], cache);
-      ++items;
-    }
-    if (trace)
-      trace->complete("cluster.worker", "obs", t0,
-                      {obs::TraceRecorder::arg("items", items)});
-  };
-  std::vector<std::thread> pool;
-  const int n = std::min<int>(threads, static_cast<int>(work.size()));
-  pool.reserve(static_cast<std::size_t>(n));
-  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  // Each lane writes only its own slots below (lane-indexed, and the hook
+  // runs on the lane's own thread), so no locking is needed.
+  std::vector<std::uint64_t> lane_t0(pool->lanes(), 0);
+  std::vector<std::uint8_t> lane_started(pool->lanes(), 0);
+  const std::size_t failed = pool->run(
+      work.size(),
+      [&](std::size_t i, std::size_t lane) {
+        if (trace && !lane_started[lane]) {
+          lane_started[lane] = 1;
+          lane_t0[lane] = trace->now_ns();
+        }
+        per_item[i] = cluster_item(stg, work[i], opts, entries[i], cache);
+      },
+      [&](const util::WorkerPool::LaneReport& report) {
+        if (trace)
+          trace->complete(
+              "cluster.shard", "obs", lane_t0[report.lane],
+              {obs::TraceRecorder::arg("lane",
+                                       static_cast<std::uint64_t>(report.lane)),
+               obs::TraceRecorder::arg("items", report.tasks)});
+      });
+  if (failed > 0) {
+    // A task that threw left its slot empty (an item always yields at
+    // least one cluster) and — for the cached path — its entry untouched
+    // (cluster_fragments_cached installs the new seed set only at the
+    // end), so a serial retry of just those items is byte-equivalent to a
+    // clean run.
+    for (std::size_t i = 0; i < work.size(); ++i)
+      if (per_item[i].empty())
+        per_item[i] = cluster_item(stg, work[i], opts, entries[i], cache);
+  }
   return merge_item_clusters(std::move(per_item));
+}
+
+ClusteringResult cluster_stg_parallel(const Stg& stg,
+                                      const ClusterOptions& opts,
+                                      int threads,
+                                      obs::TraceRecorder* trace,
+                                      ClusterSeedCache* cache) {
+  VAPRO_CHECK(threads >= 1);
+  if (threads == 1)
+    return cluster_stg_parallel(stg, opts,
+                                static_cast<util::WorkerPool*>(nullptr), trace,
+                                cache);
+  util::WorkerPool pool(static_cast<std::size_t>(threads));
+  return cluster_stg_parallel(stg, opts, &pool, trace, cache);
 }
 
 }  // namespace vapro::core

@@ -23,6 +23,10 @@
 #include "src/obs/trace_export.hpp"
 #include "src/pmu/counters.hpp"
 
+namespace vapro::util {
+class WorkerPool;
+}
+
 namespace vapro::core {
 
 struct ClusterOptions {
@@ -133,14 +137,29 @@ std::vector<Cluster> cluster_fragments_cached(
 // Runs Algorithm 1 over every edge and vertex of the STG.
 ClusteringResult cluster_stg(const Stg& stg, const ClusterOptions& opts);
 
-// Same result, but edges/vertices are clustered by `threads` worker
-// threads — the multi-threaded analysis server of §5.  Output is
-// deterministic (work items are processed in sorted key order and merged
-// in that order regardless of thread interleaving).  When `trace` is set,
-// each worker thread records a "cluster.worker" span with the number of
-// edges/vertices it processed.  When `cache` is set, each item clusters
-// through its seed-cache entry (cluster_fragments_cached); the entries are
-// prepared up front so workers never mutate the shared map.
+// Same result, but edge/vertex work items are sharded across `pool`'s
+// lanes — the multi-threaded analysis server of §5.  Output is
+// deterministic: items are gathered in sorted (key, kind) order, each
+// lane writes only its own item-indexed slots, and the merge walks the
+// slots in item order — so the result is byte-identical to cluster_stg
+// for any lane count (a null pool or one lane IS the serial loop).  When
+// `trace` is set, each lane that ran at least one item records a
+// "cluster.shard" span with its lane index and item count.  When `cache`
+// is set, each item clusters through its seed-cache entry
+// (cluster_fragments_cached); entries are prepared up front on the
+// coordinating thread so lanes never mutate the shared map.  A task that
+// throws is contained by the pool and its items are re-clustered
+// serially, keeping the output equivalent.
+ClusteringResult cluster_stg_parallel(const Stg& stg,
+                                      const ClusterOptions& opts,
+                                      util::WorkerPool* pool,
+                                      obs::TraceRecorder* trace = nullptr,
+                                      ClusterSeedCache* cache = nullptr);
+
+// Convenience overload owning a transient pool of `threads` lanes for the
+// duration of the call (threads == 1 skips the pool entirely).  Prefer the
+// pool overload on the hot path — the AnalysisServer keeps one persistent
+// pool per server instead of spawning threads per window.
 ClusteringResult cluster_stg_parallel(const Stg& stg,
                                       const ClusterOptions& opts,
                                       int threads,

@@ -1,12 +1,14 @@
 #include "src/core/heatmap.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <sstream>
 
 #include "src/util/check.hpp"
 #include "src/util/csv.hpp"
+#include "src/util/pipeline.hpp"
 #include "src/util/table.hpp"
 
 namespace vapro::core {
@@ -151,63 +153,215 @@ void Heatmap::write_csv(const std::string& path) const {
   }
 }
 
-std::vector<VarianceRegion> find_variance_regions(const Heatmap& map,
-                                                  double threshold) {
-  const int ranks = map.ranks();
-  const int bins = map.bins();
-  std::vector<int> visited(static_cast<std::size_t>(ranks) * bins, 0);
+namespace {
+
+// First row of stripe `s` when `ranks` rows split into `stripes` stripes
+// (balanced: sizes differ by at most one, empty only when stripes > ranks).
+int stripe_begin(int ranks, int stripes, int s) {
+  return static_cast<int>((static_cast<long long>(ranks) * s) / stripes);
+}
+
+// Per-stripe connected-component labeling: BFS with 4-connectivity over
+// low cells, CONFINED to the stripe's rows [row_lo, row_hi).  Writes only
+// this stripe's rows of `label` (labels are stripe-local, starting at 0)
+// and returns the number of local components — so concurrent stripes never
+// touch the same memory.
+std::size_t label_stripe(const std::vector<std::uint8_t>& low, int bins,
+                         int row_lo, int row_hi,
+                         std::vector<std::int64_t>& label) {
   auto idx = [bins](int r, int b) {
     return static_cast<std::size_t>(r) * bins + b;
   };
-  auto is_low = [&](int r, int b) {
-    if (r < 0 || r >= ranks || b < 0 || b >= bins) return false;
-    double v = map.cell(r, b);
-    return !std::isnan(v) && v < threshold;
-  };
-
-  std::vector<VarianceRegion> regions;
-  for (int r = 0; r < ranks; ++r) {
+  std::size_t next_label = 0;
+  std::deque<std::pair<int, int>> frontier;
+  for (int r = row_lo; r < row_hi; ++r) {
     for (int b = 0; b < bins; ++b) {
-      if (visited[idx(r, b)] || !is_low(r, b)) continue;
-      // BFS region growing with 4-connectivity.
-      VarianceRegion region;
-      region.rank_lo = region.rank_hi = r;
-      region.bin_lo = region.bin_hi = b;
-      double perf_weighted = 0.0, weight_total = 0.0;
-      std::deque<std::pair<int, int>> frontier{{r, b}};
-      visited[idx(r, b)] = 1;
+      if (!low[idx(r, b)] || label[idx(r, b)] >= 0) continue;
+      const std::int64_t id = static_cast<std::int64_t>(next_label++);
+      label[idx(r, b)] = id;
+      frontier.assign(1, {r, b});
       while (!frontier.empty()) {
         auto [cr, cb] = frontier.front();
         frontier.pop_front();
-        ++region.cells;
-        region.rank_lo = std::min(region.rank_lo, cr);
-        region.rank_hi = std::max(region.rank_hi, cr);
-        region.bin_lo = std::min(region.bin_lo, cb);
-        region.bin_hi = std::max(region.bin_hi, cb);
-        const double perf = map.cell(cr, cb);
-        const double w = map.weight(cr, cb);
-        perf_weighted += perf * w;
-        weight_total += w;
-        region.impact_seconds += (1.0 - perf) * w;
         constexpr int dr[] = {1, -1, 0, 0};
         constexpr int db[] = {0, 0, 1, -1};
         for (int k = 0; k < 4; ++k) {
-          int nr = cr + dr[k], nb = cb + db[k];
-          if (is_low(nr, nb) && !visited[idx(nr, nb)]) {
-            visited[idx(nr, nb)] = 1;
-            frontier.emplace_back(nr, nb);
-          }
+          const int nr = cr + dr[k], nb = cb + db[k];
+          if (nr < row_lo || nr >= row_hi || nb < 0 || nb >= bins) continue;
+          if (!low[idx(nr, nb)] || label[idx(nr, nb)] >= 0) continue;
+          label[idx(nr, nb)] = id;
+          frontier.emplace_back(nr, nb);
         }
       }
-      region.mean_perf = weight_total > 0.0 ? perf_weighted / weight_total : 1.0;
-      regions.push_back(region);
     }
   }
-  std::sort(regions.begin(), regions.end(),
-            [](const VarianceRegion& a, const VarianceRegion& b) {
-              return a.impact_seconds > b.impact_seconds;
-            });
-  return regions;
+  return next_label;
+}
+
+// Path-halving find on the boundary-merge union-find.
+std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<VarianceRegion> find_variance_regions(const Heatmap& map,
+                                                  double threshold,
+                                                  util::WorkerPool* pool) {
+  const int ranks = map.ranks();
+  const int bins = map.bins();
+  const std::size_t cells = static_cast<std::size_t>(ranks) * bins;
+  std::vector<VarianceRegion> regions;
+  if (cells == 0) return regions;
+  auto idx = [bins](int r, int b) {
+    return static_cast<std::size_t>(r) * bins + b;
+  };
+
+  // The sharded pass splits rows into contiguous rank stripes, one task
+  // per stripe; one stripe IS the serial path (same code, no special
+  // case).  Determinism argument: stripe labeling writes only stripe-local
+  // state, the boundary merge and everything after run serially in fixed
+  // row-major order, and components are renumbered by first row-major
+  // cell — so the output is a pure function of the map, independent of
+  // the stripe count and of scheduling.
+  const int stripes =
+      pool && pool->lanes() > 1
+          ? static_cast<int>(
+                std::min<std::size_t>(pool->lanes(),
+                                      static_cast<std::size_t>(ranks)))
+          : 1;
+
+  // Pass 1 (sharded): low-cell mask + stripe-confined component labeling.
+  std::vector<std::uint8_t> low(cells, 0);
+  std::vector<std::int64_t> label(cells, -1);
+  std::vector<std::size_t> stripe_labels(static_cast<std::size_t>(stripes), 0);
+  auto run_stripe = [&](std::size_t s) {
+    const int row_lo = stripe_begin(ranks, stripes, static_cast<int>(s));
+    const int row_hi = stripe_begin(ranks, stripes, static_cast<int>(s) + 1);
+    for (int r = row_lo; r < row_hi; ++r) {
+      for (int b = 0; b < bins; ++b) {
+        const double v = map.cell(r, b);
+        low[idx(r, b)] = !std::isnan(v) && v < threshold ? 1 : 0;
+      }
+    }
+    stripe_labels[s] = label_stripe(low, bins, row_lo, row_hi, label);
+  };
+  if (stripes == 1) {
+    run_stripe(0);
+  } else {
+    const std::size_t failed = pool->run(
+        static_cast<std::size_t>(stripes),
+        [&](std::size_t s, std::size_t) { run_stripe(s); });
+    if (failed > 0) {
+      // Contained task failure: redo the whole pass serially (nothing
+      // outside the scratch vectors was touched, so this is equivalent).
+      std::fill(low.begin(), low.end(), 0);
+      std::fill(label.begin(), label.end(), -1);
+      for (int s = 0; s < stripes; ++s)
+        run_stripe(static_cast<std::size_t>(s));
+    }
+  }
+
+  // Pass 2 (serial): globalize stripe-local labels by prefix offsets.
+  std::vector<std::size_t> offset(static_cast<std::size_t>(stripes) + 1, 0);
+  for (int s = 0; s < stripes; ++s)
+    offset[s + 1] = offset[s] + stripe_labels[s];
+  const std::size_t total_labels = offset[stripes];
+  if (total_labels == 0) return regions;
+  for (int s = 1; s < stripes; ++s) {
+    const int row_lo = stripe_begin(ranks, stripes, s);
+    const int row_hi = stripe_begin(ranks, stripes, s + 1);
+    if (offset[s] == 0) continue;
+    for (int r = row_lo; r < row_hi; ++r)
+      for (int b = 0; b < bins; ++b)
+        if (label[idx(r, b)] >= 0)
+          label[idx(r, b)] += static_cast<std::int64_t>(offset[s]);
+  }
+
+  // Pass 3 (serial): stitch components across stripe boundaries — a low
+  // cell vertically adjacent to a low cell in the stripe above joins its
+  // component.  Visited in ascending (stripe, bin) order, but union-find
+  // connectivity is order-independent anyway.
+  std::vector<std::size_t> parent(total_labels);
+  for (std::size_t i = 0; i < total_labels; ++i) parent[i] = i;
+  for (int s = 1; s < stripes; ++s) {
+    const int r = stripe_begin(ranks, stripes, s);
+    if (r == 0 || r >= ranks) continue;  // empty stripe: no boundary
+    for (int b = 0; b < bins; ++b) {
+      if (!low[idx(r, b)] || !low[idx(r - 1, b)]) continue;
+      const std::size_t a =
+          uf_find(parent, static_cast<std::size_t>(label[idx(r - 1, b)]));
+      const std::size_t c =
+          uf_find(parent, static_cast<std::size_t>(label[idx(r, b)]));
+      if (a != c) parent[c] = a;
+    }
+  }
+
+  // Pass 4 (serial): canonical component ids in order of each component's
+  // first row-major cell — the id a single-stripe run would have assigned.
+  std::vector<std::int64_t> comp_of_root(total_labels, -1);
+  std::size_t components = 0;
+  std::vector<std::int64_t> comp(cells, -1);
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (label[i] < 0) continue;
+    const std::size_t root = uf_find(parent, static_cast<std::size_t>(label[i]));
+    if (comp_of_root[root] < 0)
+      comp_of_root[root] = static_cast<std::int64_t>(components++);
+    comp[i] = comp_of_root[root];
+  }
+
+  // Pass 5 (serial): accumulate region stats in flat row-major order.
+  // This order is the SAME for every stripe count — per-stripe partial
+  // sums would differ between thread counts in the last bit of a double,
+  // which the %.17g equivalence fingerprint would catch.
+  regions.resize(components);
+  std::vector<double> perf_weighted(components, 0.0);
+  std::vector<double> weight_total(components, 0.0);
+  std::vector<std::uint8_t> seen(components, 0);
+  for (int r = 0; r < ranks; ++r) {
+    for (int b = 0; b < bins; ++b) {
+      const std::int64_t c = comp[idx(r, b)];
+      if (c < 0) continue;
+      VarianceRegion& region = regions[static_cast<std::size_t>(c)];
+      if (!seen[static_cast<std::size_t>(c)]) {
+        seen[static_cast<std::size_t>(c)] = 1;
+        region.rank_lo = region.rank_hi = r;
+        region.bin_lo = region.bin_hi = b;
+      } else {
+        region.rank_lo = std::min(region.rank_lo, r);
+        region.rank_hi = std::max(region.rank_hi, r);
+        region.bin_lo = std::min(region.bin_lo, b);
+        region.bin_hi = std::max(region.bin_hi, b);
+      }
+      ++region.cells;
+      const double perf = map.cell(r, b);
+      const double w = map.weight(r, b);
+      perf_weighted[static_cast<std::size_t>(c)] += perf * w;
+      weight_total[static_cast<std::size_t>(c)] += w;
+      region.impact_seconds += (1.0 - perf) * w;
+    }
+  }
+  for (std::size_t c = 0; c < components; ++c)
+    regions[c].mean_perf =
+        weight_total[c] > 0.0 ? perf_weighted[c] / weight_total[c] : 1.0;
+
+  // Impact order, with the canonical id (== row-major discovery order) as
+  // an explicit tiebreak so equal-impact regions sort deterministically.
+  std::vector<std::size_t> order(components);
+  for (std::size_t c = 0; c < components; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (regions[a].impact_seconds != regions[b].impact_seconds)
+      return regions[a].impact_seconds > regions[b].impact_seconds;
+    return a < b;
+  });
+  std::vector<VarianceRegion> sorted;
+  sorted.reserve(components);
+  for (std::size_t c : order) sorted.push_back(regions[c]);
+  return sorted;
 }
 
 }  // namespace vapro::core

@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+namespace vapro::util {
+class WorkerPool;
+}
+
 namespace vapro::core {
 
 class Heatmap {
@@ -71,8 +75,14 @@ struct VarianceRegion {
 };
 
 // Finds all variance regions below `threshold`, sorted by impact
-// (descending) as the paper reports them.
-std::vector<VarianceRegion> find_variance_regions(const Heatmap& map,
-                                                  double threshold = 0.85);
+// (descending, ties broken by row-major discovery order) as the paper
+// reports them.  With a multi-lane `pool`, the map is split into
+// contiguous rank stripes labeled in parallel and stitched by a
+// deterministic boundary merge; the result is byte-identical for every
+// lane count (stats always accumulate in one row-major sweep, and
+// components are renumbered by first row-major cell).
+std::vector<VarianceRegion> find_variance_regions(
+    const Heatmap& map, double threshold = 0.85,
+    util::WorkerPool* pool = nullptr);
 
 }  // namespace vapro::core

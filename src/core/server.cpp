@@ -54,6 +54,13 @@ AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
       diagnoser_(opts.machine, with_obs(opts.diagnosis, opts.obs)) {
   VAPRO_CHECK(ranks > 0);
   VAPRO_CHECK(opts_.pipeline_depth >= 1);
+  VAPRO_CHECK(opts_.analysis_threads >= 1);
+  if (opts_.analysis_threads > 1)
+    // One persistent intra-window pool for the whole server: clustering
+    // and region growing fan out across its lanes instead of spawning
+    // threads per window.
+    workers_ = std::make_unique<util::WorkerPool>(
+        static_cast<std::size_t>(opts_.analysis_threads), opts_.clock);
   if (opts_.pipeline_depth > 1)
     // depth d admits one window in flight on the worker plus d-1 queued.
     pipeline_ = std::make_unique<util::StageExecutor>(
@@ -62,9 +69,11 @@ AnalysisServer::AnalysisServer(int ranks, ServerOptions opts)
 }
 
 AnalysisServer::~AnalysisServer() {
-  // Stop the worker before anything it writes is torn down; queued
-  // windows are still analyzed (StageExecutor drains on close).
+  // Stop the stage worker before anything it writes is torn down; queued
+  // windows are still analyzed (StageExecutor drains on close).  The
+  // shard pool goes second: the stage worker fans out through it.
   pipeline_.reset();
+  workers_.reset();
   if (!opts_.obs || live_routes_.empty()) return;
   if (obs::ExpositionServer* http = opts_.obs->exposition())
     for (const std::string& path : live_routes_) http->remove_route(path);
@@ -136,6 +145,7 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
   }
   if (!pipeline_) {
     analyze_window(std::move(batch), drain_seconds, submit_seconds, flow_id);
+    publish_pipeline_gauges();
     return;
   }
   // Hand the window to the analysis worker.  submit() blocks when
@@ -161,22 +171,47 @@ void AnalysisServer::process_window(FragmentBatch batch, double drain_seconds) {
 
 void AnalysisServer::publish_pipeline_gauges() const {
   obs::ObsContext* obs = opts_.obs;
-  if (!obs || !pipeline_) return;
+  if (!obs || (!pipeline_ && !workers_)) return;
   obs::MetricsRegistry& m = obs->metrics();
-  m.gauge("vapro.pipeline.queue_depth")
-      ->set(static_cast<double>(pipeline_->depth()));
-  m.gauge("vapro.pipeline.stall_seconds")->set(pipeline_->stall_seconds());
-  // Wait-time attribution: producer-block vs consumer-idle vs queued time.
-  m.gauge("vapro.pipeline.producer_block_seconds")
-      ->set(pipeline_->stall_seconds());
-  m.gauge("vapro.pipeline.consumer_idle_seconds")
-      ->set(pipeline_->idle_seconds());
-  m.gauge("vapro.pipeline.handoff_wait_seconds")
-      ->set(pipeline_->handoff_seconds());
-  // Stage occupancy: cumulative busy seconds of the analysis worker; the
-  // scraper divides by wall time for utilization.
-  m.gauge("vapro.pipeline.analysis_busy_seconds")
-      ->set(pipeline_->busy_seconds());
+  if (pipeline_) {
+    m.gauge("vapro.pipeline.queue_depth")
+        ->set(static_cast<double>(pipeline_->depth()));
+    m.gauge("vapro.pipeline.stall_seconds")->set(pipeline_->stall_seconds());
+    // Wait-time attribution: producer-block vs consumer-idle vs queued
+    // time.
+    m.gauge("vapro.pipeline.producer_block_seconds")
+        ->set(pipeline_->stall_seconds());
+    m.gauge("vapro.pipeline.consumer_idle_seconds")
+        ->set(pipeline_->idle_seconds());
+    m.gauge("vapro.pipeline.handoff_wait_seconds")
+        ->set(pipeline_->handoff_seconds());
+    // Stage occupancy: cumulative busy seconds of the analysis worker; the
+    // scraper divides by wall time for utilization.
+    m.gauge("vapro.pipeline.analysis_busy_seconds")
+        ->set(pipeline_->busy_seconds());
+  }
+  if (workers_) {
+    // Intra-window shard pool occupancy.  Imbalance is max/mean lane busy
+    // time: ≈1 means the atomic-claim balancing kept lanes even, ≫1 means
+    // one giant edge serialized the fan-out.
+    const std::vector<double> busy = workers_->lane_busy_seconds();
+    double total = 0.0, peak = 0.0;
+    for (double b : busy) {
+      total += b;
+      peak = std::max(peak, b);
+    }
+    const double mean = busy.empty() ? 0.0 : total / busy.size();
+    m.gauge("vapro.pipeline.shards")
+        ->set(static_cast<double>(workers_->lanes()));
+    m.gauge("vapro.pipeline.shard_busy_seconds")->set(total);
+    m.gauge("vapro.pipeline.shard_busy_seconds_max")->set(peak);
+    m.gauge("vapro.pipeline.shard_imbalance")
+        ->set(mean > 0.0 ? peak / mean : 1.0);
+    m.gauge("vapro.pipeline.shard_idle_seconds")
+        ->set(workers_->idle_seconds());
+    m.gauge("vapro.pipeline.shard_tasks_total")
+        ->set(static_cast<double>(workers_->tasks_run()));
+  }
 }
 
 PipelineBreakdown AnalysisServer::pipeline_breakdown() const {
@@ -189,6 +224,13 @@ PipelineBreakdown AnalysisServer::pipeline_breakdown() const {
     b.consumer_idle_seconds = pipeline_->idle_seconds();
     b.consumer_idle_waits = pipeline_->idle_waits();
     b.handoff_wait_seconds = pipeline_->handoff_seconds();
+  }
+  if (workers_) {
+    b.shard_lanes = workers_->lanes();
+    b.shard_busy_seconds = workers_->lane_busy_seconds();
+    b.shard_tasks = workers_->lane_task_counts();
+    b.shard_idle_seconds = workers_->idle_seconds();
+    b.shard_runs = workers_->runs();
   }
   return b;
 }
@@ -261,10 +303,30 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
     // window from scratch.  The site fires on the analysis path in both
     // serial and pipelined modes, so equivalence holds under a fault plan.
     seed_cache_.invalidate();
-  ClusteringResult clusters = cluster_stg_parallel(
-      stg_, opts_.cluster, opts_.analysis_threads, trace, cache);
+  util::WorkerPool* pool = workers_.get();
+  if (pool && VAPRO_FAULT("pipeline.shard") == testing::FaultAction::kFail) {
+    // Injected worker-task failure.  The decision is made HERE, once per
+    // window on the analysis thread — never inside a parallel task, where
+    // which-task-hits-it would depend on scheduling.  One poisoned task
+    // exercises the pool's exception containment, then the whole window
+    // degrades to serial fan-out: byte-identical output (sharding is
+    // equivalence-preserving by design), only the intra-window overlap is
+    // lost.  Degrading BEFORE the real fan-out also keeps the seed cache
+    // single-update: no entry is touched twice for one window.
+    ++shard_faults_;
+    pool->run(1, [](std::size_t, std::size_t) {
+      testing::FaultInjector::throw_if(testing::FaultAction::kThrow,
+                                       "pipeline.shard");
+    });
+    pool = nullptr;
+  }
+  stats.cluster_shards = pool ? pool->lanes() : 1;
+  ClusteringResult clusters =
+      cluster_stg_parallel(stg_, opts_.cluster, pool, trace, cache);
   cluster_span.add_arg(obs::TraceRecorder::arg(
       "clusters", static_cast<std::uint64_t>(clusters.clusters.size())));
+  cluster_span.add_arg(obs::TraceRecorder::arg(
+      "shards", static_cast<std::uint64_t>(stats.cluster_shards)));
   rare_clusters_ += clusters.rare_count();
 
   // Algorithm 1 line 8: surface rare-but-expensive execution paths
@@ -374,7 +436,7 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
       // the final journal_detection_snapshot still recovers every region.
       ++publish_faults_;
     else
-      publish_detection(stats);
+      publish_detection(stats, pool);
   }
   stats.publish_seconds = clock.lap();
   // Everything but the producer-side drain is analysis-stage occupancy.
@@ -431,12 +493,13 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
   }
 }
 
-void AnalysisServer::publish_detection(const obs::PipelineStats& stats) {
+void AnalysisServer::publish_detection(const obs::PipelineStats& stats,
+                                       util::WorkerPool* pool) {
   obs::ObsContext* obs = opts_.obs;
   const Heatmap* maps[3] = {&comp_map_, &comm_map_, &io_map_};
   std::vector<VarianceRegion> regions[3];
   for (FragmentKind kind : kAllKinds)
-    regions[static_cast<int>(kind)] = locate_locked(kind);
+    regions[static_cast<int>(kind)] = locate_locked(kind, pool);
   const DetectionHealth health = detection_health(maps, regions, coverage_);
   publish_health_gauges(obs->metrics(), health);
 
@@ -470,8 +533,8 @@ void AnalysisServer::journal_detection_snapshot() const {
   const std::int64_t window =
       windows_ ? static_cast<std::int64_t>(windows_) - 1 : -1;
   for (FragmentKind kind : kAllKinds)
-    region_journal_.emit(*journal, kind, locate_locked(kind), window,
-                         last_virtual_time_, opts_.bin_seconds,
+    region_journal_.emit(*journal, kind, locate_locked(kind, workers_.get()),
+                         window, last_virtual_time_, opts_.bin_seconds,
                          /*final_snapshot=*/true);
   // Terminal critical-path verdict: one event carrying the per-stage
   // totals, so the replay can cross-check its fold of the per-window
@@ -503,7 +566,7 @@ std::string AnalysisServer::render_variance_json() const {
   std::lock_guard<std::mutex> lock(live_mu_);
   std::vector<VarianceRegion> regions[3];
   for (FragmentKind kind : kAllKinds)
-    regions[static_cast<int>(kind)] = locate_locked(kind);
+    regions[static_cast<int>(kind)] = locate_locked(kind, workers_.get());
   return core::render_variance_json(regions, windows_, last_virtual_time_,
                                     opts_.bin_seconds,
                                     opts_.variance_threshold);
@@ -514,18 +577,18 @@ std::vector<VarianceRegion> AnalysisServer::locate(FragmentKind kind) const {
   // concurrent scrape or (in a group) sibling publish sees whole windows.
   sync();
   std::lock_guard<std::mutex> lock(live_mu_);
-  return locate_locked(kind);
+  return locate_locked(kind, workers_.get());
 }
 
 std::vector<VarianceRegion> AnalysisServer::locate_locked(
-    FragmentKind kind) const {
+    FragmentKind kind, util::WorkerPool* pool) const {
   switch (kind) {
     case FragmentKind::kComputation:
-      return find_variance_regions(comp_map_, opts_.variance_threshold);
+      return find_variance_regions(comp_map_, opts_.variance_threshold, pool);
     case FragmentKind::kCommunication:
-      return find_variance_regions(comm_map_, opts_.variance_threshold);
+      return find_variance_regions(comm_map_, opts_.variance_threshold, pool);
     case FragmentKind::kIo:
-      return find_variance_regions(io_map_, opts_.variance_threshold);
+      return find_variance_regions(io_map_, opts_.variance_threshold, pool);
   }
   return {};
 }

@@ -114,6 +114,15 @@ struct PipelineBreakdown {
   double consumer_idle_seconds = 0.0;  // worker waiting for work
   std::uint64_t consumer_idle_waits = 0;
   double handoff_wait_seconds = 0.0;   // submit→start latency, summed
+  // Intra-window shard pool occupancy (empty/zero at analysis_threads 1):
+  // cumulative per-lane busy seconds and task counts since construction,
+  // pool idle time, and the number of fan-outs.  Imbalance for a balanced
+  // fan-out is max(lane busy) / mean(lane busy) ≈ 1.
+  std::size_t shard_lanes = 0;
+  std::vector<double> shard_busy_seconds;
+  std::vector<std::uint64_t> shard_tasks;
+  double shard_idle_seconds = 0.0;
+  std::uint64_t shard_runs = 0;
 };
 
 class AnalysisServer {
@@ -173,6 +182,10 @@ class AnalysisServer {
   // "pipeline.handoff" fault fired (pipelined mode only; outputs are
   // unaffected — the window is analyzed in-line instead of overlapped).
   std::size_t handoff_faults() const { sync(); return handoff_faults_; }
+  // Windows whose intra-window fan-out degraded to serial because the
+  // injected "pipeline.shard" fault fired (analysis_threads > 1 only;
+  // outputs are unaffected — sharding is byte-equivalent by design).
+  std::size_t shard_faults() const { sync(); return shard_faults_; }
   // Per-stage occupancy since construction (syncs first, so it reflects
   // every admitted window).
   PipelineBreakdown pipeline_breakdown() const;
@@ -221,10 +234,15 @@ class AnalysisServer {
   // window span (0 = no trace).
   void analyze_window(FragmentBatch batch, double drain_seconds,
                       double submit_seconds, std::uint64_t flow_id);
-  // Detection-health gauges + window/region journal events for one window.
-  void publish_detection(const obs::PipelineStats& stats);
-  // locate() for callers already holding live_mu_.
-  std::vector<VarianceRegion> locate_locked(FragmentKind kind) const;
+  // Detection-health gauges + window/region journal events for one window;
+  // `pool` shards the region growing (null = serial, e.g. a degraded
+  // window).
+  void publish_detection(const obs::PipelineStats& stats,
+                         util::WorkerPool* pool);
+  // locate() for callers already holding live_mu_ (live_mu_ also
+  // serializes pool use, honoring the pool's single-coordinator contract).
+  std::vector<VarianceRegion> locate_locked(FragmentKind kind,
+                                            util::WorkerPool* pool) const;
   // vapro.pipeline.* gauges (queue depth, stall time, occupancy).
   void publish_pipeline_gauges() const;
   ServerOptions opts_;
@@ -241,6 +259,7 @@ class AnalysisServer {
   std::size_t rare_clusters_ = 0;
   std::size_t publish_faults_ = 0;
   std::size_t handoff_faults_ = 0;
+  std::size_t shard_faults_ = 0;
   // Written by analyze_window (worker thread at depth > 1); read only
   // after sync(), which establishes the happens-before edge.
   double analysis_busy_seconds_ = 0.0;
@@ -248,6 +267,12 @@ class AnalysisServer {
   // threads).
   obs::CriticalPathTracker latency_;
   std::vector<RareFinding> rare_findings_;
+  // Intra-window shard pool (null at analysis_threads 1): clustering and
+  // region growing fan out across its lanes.  Every run() happens under
+  // live_mu_, satisfying the pool's single-coordinator contract even
+  // though locate() may be called from the serve thread.  Declared before
+  // pipeline_ so it outlives the stage worker that uses it.
+  mutable std::unique_ptr<util::WorkerPool> workers_;
   // The analysis pipeline (null at pipeline_depth 1).  Mutable so const
   // accessors can sync(); destroyed first in ~AnalysisServer so the worker
   // never outlives the state it writes.

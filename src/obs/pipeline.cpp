@@ -32,6 +32,7 @@ PipelineStats CollectingSink::totals() const {
     t.new_states += w.new_states;
     t.clusters_formed += w.clusters_formed;
     t.rare_clusters += w.rare_clusters;
+    t.cluster_shards = w.cluster_shards;  // a config, not a volume: keep last
     t.drain_seconds += w.drain_seconds;
     t.stg_seconds += w.stg_seconds;
     t.cluster_seconds += w.cluster_seconds;
@@ -58,6 +59,7 @@ std::string CollectingSink::to_json() const {
         << ",\"new_states\":" << w.new_states
         << ",\"clusters_formed\":" << w.clusters_formed
         << ",\"rare_clusters\":" << w.rare_clusters
+        << ",\"cluster_shards\":" << w.cluster_shards
         << ",\"diagnosis_stage\":" << w.diagnosis_stage << ",\"stages\":{";
     const std::pair<const char*, double> stages[] = {
         {"drain", w.drain_seconds},       {"stg", w.stg_seconds},

@@ -26,6 +26,9 @@ struct PipelineStats {
   std::size_t new_states = 0;        // STG vertices announced this window
   std::size_t clusters_formed = 0;
   std::size_t rare_clusters = 0;     // Algorithm 1 line 8 candidates
+  // Lanes of the intra-window shard pool this window fanned out over (1 =
+  // serial, including a window degraded by a "pipeline.shard" fault).
+  std::size_t cluster_shards = 1;
   int diagnosis_stage = 0;           // stage after this window's feed
 
   // --- per-stage wall time (seconds) ---

@@ -4,7 +4,7 @@
 // Records complete ("X") duration events and instant ("i") events against a
 // steady-clock epoch taken at construction; thread ids are compacted to
 // small integers in first-seen order so a Perfetto timeline shows "analysis
-// window N" spans on the driver track and "cluster.worker"/"leaf.window"
+// window N" spans on the driver track and "cluster.shard"/"leaf.window"
 // spans on the worker tracks, with diagnosis stage descents nested inside.
 //
 // Recording happens under one mutex — the event rate is per analysis

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -375,6 +376,83 @@ TEST(AlertFault, ThrowingSinkDoesNotStarveOtherSinks) {
 }
 
 // --- server publication ---------------------------------------------------
+
+// A small multi-edge batch so the shard pool has real fan-out work: 3
+// sites x 4 ranks of computation + communication fragments, with rank 3
+// slowed in window 1 to produce a non-trivial heat map.
+core::FragmentBatch shard_batch(int window) {
+  core::FragmentBatch batch;
+  const int kSites = 3, kRanks = 4, kReps = 6;
+  std::vector<core::StateKey> keys;
+  for (int s = 0; s < kSites; ++s) {
+    sim::InvocationInfo info;
+    info.site = static_cast<sim::CallSiteId>(20 + s);
+    info.kind = sim::OpKind::kAllreduce;
+    keys.push_back(core::make_state_key(core::StgMode::kContextFree, info));
+    batch.new_states.push_back(info);
+  }
+  for (int rank = 0; rank < kRanks; ++rank) {
+    core::StateKey prev = core::kStartState;
+    double t = window * 0.25;
+    for (int step = 0; step < kSites * kReps; ++step) {
+      const int s = step % kSites;
+      core::Fragment comp;
+      comp.kind = core::FragmentKind::kComputation;
+      comp.rank = rank;
+      comp.from = prev;
+      comp.to = keys[static_cast<std::size_t>(s)];
+      comp.start_time = t;
+      const double stretch = (window == 1 && rank == kRanks - 1) ? 2.0 : 1.0;
+      comp.end_time = t + 0.003 * stretch;
+      comp.counters[pmu::Counter::kTotIns] = 1e6 * (1 + s);
+      batch.fragments.push_back(comp);
+      t = comp.end_time + 0.005;
+      prev = keys[static_cast<std::size_t>(s)];
+    }
+  }
+  return batch;
+}
+
+TEST(PipelineFault, ShardFaultDegradesWindowToSerialWithIdenticalOutput) {
+  // The pool-task throw is contained, the window re-fans-out serially, and
+  // — because sharding is byte-equivalent by design — detection output
+  // matches an unfaulted run exactly.
+  auto run = [](const char* plan_text, std::size_t expected_faults) {
+    std::optional<testing_::FaultScope> scope;
+    if (plan_text) scope.emplace(plan_from(plan_text));
+    core::ServerOptions opts;
+    opts.run_diagnosis = false;
+    opts.analysis_threads = 4;
+    core::AnalysisServer server(4, opts);
+    for (int w = 0; w < 3; ++w) server.process_window(shard_batch(w));
+    std::string fp = server.computation_map().render_ascii();
+    for (const core::VarianceRegion& r :
+         server.locate(core::FragmentKind::kComputation))
+      fp += std::to_string(r.rank_lo) + "," + std::to_string(r.rank_hi) + "," +
+            std::to_string(r.bin_lo) + "," + std::to_string(r.bin_hi) + "," +
+            std::to_string(r.impact_seconds) + "\n";
+    EXPECT_EQ(server.shard_faults(), expected_faults);
+    return fp;
+  };
+  const std::string clean = run(nullptr, 0);
+  const std::string faulted = run("seed 1\npipeline.shard on=2 fail\n", 1);
+  EXPECT_EQ(faulted, clean);
+  EXPECT_FALSE(clean.empty());
+}
+
+TEST(PipelineFault, ShardFaultOnSerialServerNeverFires) {
+  // The site is only evaluated when a shard pool exists, so a serial
+  // server under the same plan stays untouched.
+  testing_::FaultScope scope(
+      plan_from("seed 1\npipeline.shard every=1 fail\n"));
+  core::ServerOptions opts;
+  opts.run_diagnosis = false;
+  opts.analysis_threads = 1;
+  core::AnalysisServer server(4, opts);
+  for (int w = 0; w < 2; ++w) server.process_window(shard_batch(w));
+  EXPECT_EQ(server.shard_faults(), 0u);
+  EXPECT_EQ(server.windows_processed(), 2u);
+}
 
 TEST(ServerFault, WindowPublishFaultSkipsJournalButKeepsAnalysis) {
   testing_::FaultScope scope(plan_from("seed 1\nserver.window on=1 fail\n"));

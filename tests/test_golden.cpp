@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "src/core/heatmap.hpp"
 #include "src/core/report.hpp"
+#include "src/util/pipeline.hpp"
 
 namespace vapro {
 namespace {
@@ -106,6 +108,49 @@ TEST(Golden, RegionTableTruncation) {
   }
   expect_matches_golden(core::render_region_table(many, 0.25, /*limit=*/3),
                         "region_table_truncated.txt");
+}
+
+// A real multi-rank heat map whose low-performance regions straddle every
+// rank-stripe boundary a 2..4-lane pool can draw over 16 ranks: a wide
+// 10-rank band with per-rank perf variation (so the mean/impact sums
+// cross boundaries), a 6-rank band near the top edge, a 2-rank blip, and
+// an isolated single cell.  The golden table is rendered from the serial
+// result; the sharded results must first match it byte for byte.
+core::Heatmap stripe_fixture_map() {
+  core::Heatmap map(16, 0.25);
+  for (int rank = 0; rank < 16; ++rank)
+    for (int bin = 0; bin < 24; ++bin)
+      map.deposit(rank, bin * 0.25, bin * 0.25 + 0.25, 1.0);
+  for (int rank = 3; rank <= 12; ++rank)
+    for (int bin = 4; bin <= 9; ++bin)
+      map.deposit(rank, bin * 0.25, bin * 0.25 + 0.25, 0.30 + 0.02 * rank);
+  for (int rank = 10; rank <= 15; ++rank)
+    for (int bin = 18; bin <= 20; ++bin)
+      map.deposit(rank, bin * 0.25, bin * 0.25 + 0.25, 0.55);
+  for (int rank = 0; rank <= 1; ++rank)
+    for (int bin = 14; bin <= 16; ++bin)
+      map.deposit(rank, bin * 0.25, bin * 0.25 + 0.25, 0.6);
+  map.deposit(8, 22 * 0.25, 22 * 0.25 + 0.25, 0.2);
+  return map;
+}
+
+TEST(Golden, RegionTableStripeMerged) {
+  const core::Heatmap map = stripe_fixture_map();
+  const std::vector<core::VarianceRegion> serial =
+      core::find_variance_regions(map, 0.85);
+  ASSERT_GE(serial.size(), 4u);
+  const std::string rendered = core::render_region_table(serial, 0.25);
+  // Every lane count must render the identical table — the stripe split
+  // and boundary merge are invisible in the output.
+  for (std::size_t lanes : {2u, 3u, 4u}) {
+    util::WorkerPool pool(lanes);
+    EXPECT_EQ(
+        core::render_region_table(core::find_variance_regions(map, 0.85, &pool),
+                                  0.25),
+        rendered)
+        << "lanes=" << lanes;
+  }
+  expect_matches_golden(rendered, "region_table_stripes.txt");
 }
 
 TEST(Golden, RareTable) {

@@ -401,7 +401,7 @@ TEST(ObsSession, PipelineStatsMatchSessionAndStagesSumToTotals) {
   ctx.enable_trace();
   core::VaproOptions opts;
   opts.window_seconds = 0.1;
-  opts.analysis_threads = 4;  // exercise cluster.worker spans
+  opts.analysis_threads = 4;  // exercise cluster.shard spans
   opts.obs = &ctx;
   core::VaproSession session(simulator, opts);
   apps::NpbParams p;
@@ -445,17 +445,19 @@ TEST(ObsSession, PipelineStatsMatchSessionAndStagesSumToTotals) {
   EXPECT_EQ(ctx.metrics().histogram("vapro.server.window_seconds")->count(),
             windows.size());
 
-  // The trace captured analysis windows and parallel cluster workers, and
+  // The trace captured analysis windows and parallel cluster shards, and
   // the full export is valid JSON.
   // The handoff flow arrow ends with an 'f' event carrying the consuming
   // span's name, so filter on the 'X' phase to count spans exactly once.
-  std::size_t window_events = 0, worker_events = 0;
+  std::size_t window_events = 0, shard_events = 0;
   for (const ChromeEvent& ev : ctx.trace()->snapshot()) {
     if (ev.name == "analysis.window" && ev.phase == 'X') ++window_events;
-    if (ev.name == "cluster.worker") ++worker_events;
+    if (ev.name == "cluster.shard") ++shard_events;
   }
   EXPECT_EQ(window_events, windows.size());
-  EXPECT_GT(worker_events, 0u);
+  EXPECT_GT(shard_events, 0u);
+  // Every window fanned out over the server's persistent 4-lane pool.
+  for (const PipelineStats& w : windows) EXPECT_EQ(w.cluster_shards, 4u);
   EXPECT_TRUE(JsonScanner(ctx.trace()->to_json()).valid());
   EXPECT_TRUE(JsonScanner(ctx.metrics_json()).valid());
 }

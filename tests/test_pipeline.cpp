@@ -2,17 +2,24 @@
 //   * BoundedQueue — FIFO order, backpressure blocking, close semantics;
 //   * StageExecutor — strict FIFO on one worker, drain() as the
 //     happens-before sync point, exception containment, backpressure;
+//   * WorkerPool — exactly-once task claiming across lanes, exception
+//     containment, the per-lane completion hook;
 //   * ClusterSeedCache — first-window equivalence with the uncached sweep,
 //     seed stability across recurring windows, invalidation;
+//   * sharded clustering & region growing — lane-count invariance,
+//     permutation stability, seed-cache equivalence under shards;
 //   * AnalysisServer — byte-identical detection state at any pipeline
 //     depth/thread/cache combination (the property tool_vapro_stress
 //     --equivalence fuzzes at scale).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -270,6 +277,92 @@ TEST(StageExecutor, AccountsSubmitStallUnderBackpressure) {
   EXPECT_EQ(exec.jobs_run(), 3u);
 }
 
+// --- WorkerPool -----------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnceAcrossLanes) {
+  util::WorkerPool pool(4);
+  EXPECT_EQ(pool.lanes(), 4u);
+  const std::size_t kTasks = 64;
+  // No lock: every index is claimed by exactly one lane (the property
+  // under test), and run() returning is the happens-before edge.
+  std::vector<int> hits(kTasks, 0);
+  const std::size_t failed =
+      pool.run(kTasks, [&](std::size_t task, std::size_t lane) {
+        ASSERT_LT(lane, 4u);
+        ++hits[task];
+      });
+  EXPECT_EQ(failed, 0u);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i], 1);
+  EXPECT_EQ(pool.tasks_run(), kTasks);
+  EXPECT_EQ(pool.tasks_failed(), 0u);
+  EXPECT_EQ(pool.runs(), 1u);
+  std::uint64_t lane_sum = 0;
+  for (std::uint64_t n : pool.lane_task_counts()) lane_sum += n;
+  EXPECT_EQ(lane_sum, kTasks);
+}
+
+TEST(WorkerPool, ContainsTaskExceptionsAndReturnsFailedCount) {
+  util::WorkerPool pool(3);
+  const std::size_t kTasks = 16;
+  std::vector<int> hits(kTasks, 0);
+  const std::size_t failed =
+      pool.run(kTasks, [&](std::size_t task, std::size_t) {
+        ++hits[task];
+        if (task % 4 == 0) throw std::runtime_error("shard boom");
+      });
+  EXPECT_EQ(failed, 4u);  // tasks 0, 4, 8, 12
+  EXPECT_EQ(pool.tasks_failed(), 4u);
+  EXPECT_EQ(pool.tasks_run(), kTasks);  // a throwing task still counts as run
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i], 1);
+  // The pool survives for the next run.
+  EXPECT_EQ(pool.run(4, [](std::size_t, std::size_t) {}), 0u);
+  EXPECT_EQ(pool.tasks_run(), kTasks + 4);
+}
+
+TEST(WorkerPool, LaneDoneFiresOncePerActiveLaneBeforeRunReturns) {
+  util::WorkerPool pool(3);
+  std::mutex mu;
+  std::vector<util::WorkerPool::LaneReport> reports;
+  pool.run(
+      10, [](std::size_t, std::size_t) {},
+      [&](const util::WorkerPool::LaneReport& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        reports.push_back(r);
+      });
+  // run() returned, so every report is in: one per lane that ran work,
+  // and their task counts account for the whole run.
+  ASSERT_FALSE(reports.empty());
+  ASSERT_LE(reports.size(), 3u);
+  std::vector<bool> seen(3, false);
+  std::uint64_t total = 0;
+  for (const auto& r : reports) {
+    ASSERT_LT(r.lane, 3u);
+    EXPECT_FALSE(seen[r.lane]) << "lane " << r.lane << " reported twice";
+    seen[r.lane] = true;
+    EXPECT_GT(r.tasks, 0u);
+    total += r.tasks;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(WorkerPool, SingleLanePoolRunsInlineOnTheCaller) {
+  util::WorkerPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.run(5, [&](std::size_t, std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(pool.tasks_run(), 5u);
+}
+
+TEST(WorkerPool, ZeroTasksIsANoOp) {
+  util::WorkerPool pool(2);
+  EXPECT_EQ(pool.run(0, [](std::size_t, std::size_t) { FAIL(); }), 0u);
+  EXPECT_EQ(pool.tasks_run(), 0u);
+  EXPECT_EQ(pool.runs(), 0u);
+}
+
 // --- ClusterSeedCache -----------------------------------------------------
 
 core::Fragment vertex_frag(int rank, core::StateKey key, double start,
@@ -367,6 +460,182 @@ TEST(ClusterSeedCache, PrepareAlignsEntriesWithKeys) {
   EXPECT_EQ(entries[0], entries[2]);  // same key, same node
   EXPECT_NE(entries[0], entries[1]);
   EXPECT_EQ(cache.entries(), 2u);
+}
+
+// --- Sharded clustering & region growing properties -----------------------
+
+// Several vertices so the shard pool has real multi-item fan-out: kSites
+// vertices, each with two well-separated workload classes across kRanks
+// ranks.  Every fragment gets a unique bytes value inside its class band,
+// so norms are all distinct and clustering has no tie to break — the
+// partition is then a pure function of the fragment SET, which is what
+// the permutation property asserts.
+core::Stg property_stg(unsigned shuffle_seed) {
+  const int kSites = 5, kRanks = 6;
+  std::vector<core::StateKey> keys;
+  core::Stg stg(core::StgMode::kContextFree);
+  for (int s = 0; s < kSites; ++s) {
+    sim::InvocationInfo info;
+    info.site = static_cast<sim::CallSiteId>(30 + s);
+    info.kind = sim::OpKind::kAllreduce;
+    keys.push_back(stg.touch_vertex(info));
+  }
+  std::vector<core::Fragment> frags;
+  for (int s = 0; s < kSites; ++s) {
+    for (int rank = 0; rank < kRanks; ++rank) {
+      for (int klass = 0; klass < 2; ++klass) {
+        // Class bands 1024 and 262144; the per-fragment offset keeps every
+        // norm unique but well inside the 5% attachment threshold.
+        const double base = klass == 0 ? 1024.0 : 262144.0;
+        core::Fragment f = vertex_frag(
+            rank, keys[static_cast<std::size_t>(s)],
+            s * 10.0 + rank * 0.1 + klass * 0.05,
+            base * (1.0 + 0.001 * (rank + kRanks * s)), (rank + 1) % kRanks);
+        frags.push_back(f);
+      }
+    }
+  }
+  if (shuffle_seed != 0) {
+    std::mt19937 rng(shuffle_seed);
+    std::shuffle(frags.begin(), frags.end(), rng);
+  }
+  for (core::Fragment& f : frags) stg.add_fragment(f);
+  return stg;
+}
+
+// Order-independent rendering of a clustering: members are named by their
+// fragment identity (rank@start:bytes) instead of their Stg index, sorted
+// within each cluster, and clusters sorted — two runs over permuted
+// fragment streams canonicalize to the same string iff they found the
+// same partition with the same seed norms and rare flags.
+std::string canonical_clusters(const core::Stg& stg,
+                               const core::ClusteringResult& res) {
+  std::vector<std::string> rows;
+  for (const core::Cluster& c : res.clusters) {
+    std::vector<std::string> members;
+    for (std::size_t idx : c.members) {
+      const core::Fragment& f = stg.fragment(idx);
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%d@%.17g:%.17g", f.rank, f.start_time,
+                    f.args.bytes);
+      members.emplace_back(buf);
+    }
+    std::sort(members.begin(), members.end());
+    char head[128];
+    std::snprintf(head, sizeof head, "%llu>%llu k%d %s seed=%.17g:",
+                  static_cast<unsigned long long>(c.from),
+                  static_cast<unsigned long long>(c.to),
+                  static_cast<int>(c.kind), c.rare ? "rare" : "main",
+                  c.seed_norm);
+    std::string row = head;
+    for (const std::string& m : members) row += " " + m;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& r : rows) out += r + "\n";
+  return out;
+}
+
+void expect_identical_clustering(const core::ClusteringResult& a,
+                                 const core::ClusteringResult& b,
+                                 const std::string& what) {
+  ASSERT_EQ(a.clusters.size(), b.clusters.size()) << what;
+  for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].from, b.clusters[c].from) << what << " #" << c;
+    EXPECT_EQ(a.clusters[c].to, b.clusters[c].to) << what << " #" << c;
+    EXPECT_EQ(a.clusters[c].kind, b.clusters[c].kind) << what << " #" << c;
+    EXPECT_EQ(a.clusters[c].members, b.clusters[c].members) << what << " #" << c;
+    // Byte-identical, not just close: the sharded path must not reorder
+    // any floating-point accumulation.
+    EXPECT_EQ(a.clusters[c].seed_norm, b.clusters[c].seed_norm)
+        << what << " #" << c;
+    EXPECT_EQ(a.clusters[c].rare, b.clusters[c].rare) << what << " #" << c;
+  }
+  EXPECT_EQ(a.assignment, b.assignment) << what;
+}
+
+TEST(ShardedClustering, EdgePartitionInvarianceAcrossLaneCounts) {
+  core::Stg stg = property_stg(0);
+  core::ClusterOptions opts;
+  const core::ClusteringResult serial = core::cluster_stg_parallel(stg, opts, 1);
+  ASSERT_GT(serial.clusters.size(), 1u);
+  for (std::size_t lanes : {2u, 3u, 4u, 7u}) {
+    util::WorkerPool pool(lanes);
+    const core::ClusteringResult sharded =
+        core::cluster_stg_parallel(stg, opts, &pool);
+    expect_identical_clustering(serial, sharded,
+                                "lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST(ShardedClustering, PermutationStabilityUnderShuffledFragmentOrder) {
+  core::Stg base = property_stg(0);
+  core::ClusterOptions opts;
+  util::WorkerPool pool(4);
+  const std::string baseline =
+      canonical_clusters(base, core::cluster_stg_parallel(base, opts, &pool));
+  ASSERT_FALSE(baseline.empty());
+  for (unsigned seed : {1u, 2u, 3u, 4u}) {
+    core::Stg shuffled = property_stg(seed);
+    const std::string got = canonical_clusters(
+        shuffled, core::cluster_stg_parallel(shuffled, opts, &pool));
+    EXPECT_EQ(got, baseline) << "shuffle seed " << seed;
+  }
+}
+
+TEST(ShardedClustering, SeedCacheEquivalenceWithShardsEnabled) {
+  core::ClusterOptions opts;
+  core::ClusterSeedCache serial_cache, sharded_cache;
+  util::WorkerPool pool(4);
+  core::StateKey key;
+  for (int window = 0; window < 3; ++window) {
+    core::Stg stg = seeded_stg(&key, window);
+    const core::ClusteringResult serial =
+        core::cluster_stg_parallel(stg, opts, 1, nullptr, &serial_cache);
+    const core::ClusteringResult sharded =
+        core::cluster_stg_parallel(stg, opts, &pool, nullptr, &sharded_cache);
+    expect_identical_clustering(serial, sharded,
+                                "window " + std::to_string(window));
+  }
+  // The caches themselves evolved identically: same hit/miss history means
+  // the same seeds were carried forward on both paths.
+  EXPECT_EQ(sharded_cache.seed_hits(), serial_cache.seed_hits());
+  EXPECT_EQ(sharded_cache.seed_misses(), serial_cache.seed_misses());
+  EXPECT_EQ(sharded_cache.entries(), serial_cache.entries());
+}
+
+TEST(ShardedRegions, StripeCountInvarianceOnBoundaryCrossingRegions) {
+  // 12 ranks, one region spanning ranks 2..9 (crosses every stripe
+  // boundary a pool of 2..5 lanes can draw) plus two single-rank blips.
+  core::Heatmap map(12, 0.1);
+  for (int rank = 0; rank < 12; ++rank)
+    for (int bin = 0; bin < 20; ++bin)
+      map.deposit(rank, bin * 0.1, bin * 0.1 + 0.1, 1.0);
+  for (int rank = 2; rank <= 9; ++rank)
+    for (int bin = 4; bin <= 9; ++bin)
+      map.deposit(rank, bin * 0.1, bin * 0.1 + 0.1, 0.2);
+  map.deposit(0, 1.5, 1.7, 0.1);
+  map.deposit(11, 0.0, 0.2, 0.3);
+  const std::vector<core::VarianceRegion> serial =
+      core::find_variance_regions(map, 0.85);
+  ASSERT_GE(serial.size(), 3u);
+  for (std::size_t lanes : {2u, 3u, 4u, 5u}) {
+    util::WorkerPool pool(lanes);
+    const std::vector<core::VarianceRegion> sharded =
+        core::find_variance_regions(map, 0.85, &pool);
+    ASSERT_EQ(sharded.size(), serial.size()) << "lanes=" << lanes;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(sharded[i].rank_lo, serial[i].rank_lo) << lanes << "/" << i;
+      EXPECT_EQ(sharded[i].rank_hi, serial[i].rank_hi) << lanes << "/" << i;
+      EXPECT_EQ(sharded[i].bin_lo, serial[i].bin_lo) << lanes << "/" << i;
+      EXPECT_EQ(sharded[i].bin_hi, serial[i].bin_hi) << lanes << "/" << i;
+      EXPECT_EQ(sharded[i].cells, serial[i].cells) << lanes << "/" << i;
+      EXPECT_EQ(sharded[i].mean_perf, serial[i].mean_perf) << lanes << "/" << i;
+      EXPECT_EQ(sharded[i].impact_seconds, serial[i].impact_seconds)
+          << lanes << "/" << i;
+    }
+  }
 }
 
 // --- Pipelined server equivalence ----------------------------------------

@@ -67,11 +67,13 @@ int usage() {
       "                     with different scratch dirs still compare equal)\n"
       "  --verbose          print the per-round region tables\n"
       "  --equivalence      serial/parallel equivalence property mode: run\n"
-      "                     every round twice — --pipeline-depth=1\n"
-      "                     --analysis-threads=1 vs --pipeline-depth=2\n"
-      "                     --analysis-threads=4 — and byte-compare region\n"
-      "                     tables, rare-path tables, journal-replay tables\n"
-      "                     and the seq-normalized journal event stream\n"
+      "                     every round at --pipeline-depth=1\n"
+      "                     --analysis-threads=1 and then across the full\n"
+      "                     depth {1,2} x threads {2,4,1} variant matrix\n"
+      "                     (cluster-seed cache flipping per round), and\n"
+      "                     byte-compare region tables, rare-path tables,\n"
+      "                     journal-replay tables and the seq-normalized\n"
+      "                     journal event stream against the serial base\n"
       "  --score            detection-quality scoreboard mode: run the\n"
       "                     app x noise matrix deterministically, score\n"
       "                     detections and diagnoses against the injected\n"
@@ -774,48 +776,70 @@ int main(int argc, char** argv) {
 
   int failed = 0;
   if (equivalence) {
-    // The property: the same scenario at depth 1 / 1 thread and at depth 2
-    // / 4 threads produces byte-identical detection artifacts.  The seed
-    // cache flips per round so both cache states are covered.
+    // The property: the same scenario produces byte-identical detection
+    // artifacts for EVERY pipeline-depth x analysis-threads combination.
+    // Each round runs the serial base (depth 1, 1 thread) and then the
+    // full variant matrix against it.  The seed cache flips per round, so
+    // over any two consecutive rounds the complete depth {1,2} x threads
+    // {1,2,4} x cache {off,on} grid is covered.
+    const std::pair<int, int> kVariants[] = {
+        {1, 2}, {1, 4}, {2, 1}, {2, 2}, {2, 4}};
     for (int r = 0; r < rounds; ++r) {
-      const PipeCfg serial{1, 1, r % 2 == 1};
-      const PipeCfg pipelined{2, 4, r % 2 == 1};
-      RoundArtifacts a, b;
-      // Re-arm before each run so both see the identical per-site fault
-      // sequence (arm() resets every per-(site, rule) counter).
+      const bool cache = r % 2 == 1;
+      const PipeCfg serial{1, 1, cache};
+      RoundArtifacts base;
+      // Re-arm before each run so every variant sees the identical
+      // per-site fault sequence (arm() resets every per-(site, rule)
+      // counter).
       if (!plan_path.empty()) vapro::testing::FaultInjector::instance().arm(plan);
       RoundResult ra = run_round(r, seed, scratch, verbose, serial,
-                                 "serial", &a);
-      if (!plan_path.empty()) vapro::testing::FaultInjector::instance().arm(plan);
-      RoundResult rb = run_round(r, seed, scratch, verbose, pipelined,
-                                 "pipelined", &b);
+                                 "serial", &base);
       std::cout << ra.report.str();
-      bool equal = true;
-      auto require = [&](bool ok, const char* what) {
-        if (!ok) {
-          equal = false;
-          std::cout << "  EQUIVALENCE VIOLATED: " << what << "\n";
+      bool round_ok = ra.pass;
+      std::size_t variants_ok = 0;
+      for (const auto& [depth, threads] : kVariants) {
+        const PipeCfg variant{depth, threads, cache};
+        const std::string tag =
+            "d" + std::to_string(depth) + "t" + std::to_string(threads);
+        RoundArtifacts b;
+        if (!plan_path.empty())
+          vapro::testing::FaultInjector::instance().arm(plan);
+        RoundResult rb = run_round(r, seed, scratch, verbose, variant, tag,
+                                   &b);
+        bool equal = true;
+        auto require = [&](bool ok, const char* what) {
+          if (!ok) {
+            equal = false;
+            std::cout << "  EQUIVALENCE VIOLATED (" << tag << "): " << what
+                      << "\n";
+          }
+        };
+        for (int k = 0; k < 3; ++k) {
+          require(base.region_tables[k] == b.region_tables[k],
+                  "live region table differs");
+          require(base.replay_tables[k] == b.replay_tables[k],
+                  "journal-replay region table differs");
         }
-      };
-      for (int k = 0; k < 3; ++k) {
-        require(a.region_tables[k] == b.region_tables[k],
-                "live region table differs");
-        require(a.replay_tables[k] == b.replay_tables[k],
-                "journal-replay region table differs");
+        require(base.rare_table == b.rare_table, "rare-path table differs");
+        require(base.journal_lines == b.journal_lines,
+                "journal event stream differs (after seq normalization)");
+        require(base.timing_events == b.timing_events,
+                "self-timing journal event count differs");
+        require(base.alerts == b.alerts, "alert fire count differs");
+        if (!rb.pass || !equal) {
+          round_ok = false;
+          std::cout << rb.report.str();
+        } else {
+          ++variants_ok;
+        }
       }
-      require(a.rare_table == b.rare_table, "rare-path table differs");
-      require(a.journal_lines == b.journal_lines,
-              "journal event stream differs (after seq normalization)");
-      require(a.timing_events == b.timing_events,
-              "self-timing journal event count differs");
-      require(a.alerts == b.alerts, "alert fire count differs");
-      if (!ra.pass || !rb.pass || !equal) {
+      if (!round_ok) {
         ++failed;
-        std::cout << rb.report.str();
       } else {
-        std::cout << "  serial == pipelined: OK ("
-                  << a.journal_lines.size() << " journal events, "
-                  << a.alerts << " alerts)\n";
+        std::cout << "  serial == {d1t2,d1t4,d2t1,d2t2,d2t4}: OK ("
+                  << variants_ok << " variants, "
+                  << base.journal_lines.size() << " journal events, "
+                  << base.alerts << " alerts)\n";
       }
     }
   } else {
