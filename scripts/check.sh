@@ -4,8 +4,9 @@
 # experiment.  Mirrors what CI would run.
 #
 #   scripts/check.sh                   the full cycle
-#   scripts/check.sh --sanitize=asan   ASan+UBSan build, fault+stress suites
-#   scripts/check.sh --sanitize=tsan   TSan build, fault+stress suites
+#   scripts/check.sh --sanitize=asan   ASan+UBSan build, fault+stress+net suites
+#   scripts/check.sh --sanitize=tsan   TSan build, fault+stress+net suites
+#   scripts/check.sh --sanitize=ubsan  standalone UBSan build, same suites
 #
 # Sanitizer mode builds into build-<name>/ (the plain build/ stays usable),
 # runs the whole test suite under the sanitizer, then re-runs the fault and
@@ -17,8 +18,9 @@ cd "$(dirname "$0")/.."
 sanitize=""
 for arg in "$@"; do
   case "$arg" in
-    --sanitize=asan|--sanitize=tsan) sanitize="${arg#--sanitize=}" ;;
-    *) echo "usage: scripts/check.sh [--sanitize=asan|tsan]" >&2; exit 2 ;;
+    --sanitize=asan|--sanitize=tsan|--sanitize=ubsan)
+      sanitize="${arg#--sanitize=}" ;;
+    *) echo "usage: scripts/check.sh [--sanitize=asan|tsan|ubsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -35,8 +37,8 @@ if [ -n "$sanitize" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVAPRO_FAULT_INJECTION=ON
   cmake --build "$build"
   ctest --test-dir "$build" --output-on-failure
-  echo "--- $sanitize: fault + stress labels ---"
-  ctest --test-dir "$build" -L 'fault|stress' --output-on-failure
+  echo "--- $sanitize: fault + stress + net labels ---"
+  ctest --test-dir "$build" -L 'fault|stress|net' --output-on-failure
   echo "check.sh --sanitize=$sanitize OK"
   exit 0
 fi

@@ -8,6 +8,29 @@
 
 namespace vapro::core {
 
+ServerOptions server_options_from(const VaproOptions& opts,
+                                  const pmu::MachineParams& machine,
+                                  ClusterBaseline* shared_baseline) {
+  ServerOptions sopts;
+  sopts.stg_mode = opts.stg_mode;
+  sopts.cluster = opts.cluster;
+  sopts.diagnosis = opts.diagnosis;
+  sopts.machine = machine;
+  sopts.variance_threshold = opts.variance_threshold;
+  sopts.bin_seconds = opts.bin_seconds;
+  sopts.window_overlap_seconds = opts.window_overlap_seconds;
+  sopts.analysis_threads = opts.analysis_threads;
+  sopts.pipeline_depth = opts.pipeline_depth;
+  sopts.cluster_seed_cache = opts.cluster_seed_cache;
+  sopts.run_diagnosis = opts.run_diagnosis;
+  sopts.record_eval_pairs = opts.record_eval_pairs;
+  sopts.window_observer = opts.window_observer;
+  sopts.shared_baseline = shared_baseline;
+  sopts.obs = opts.obs;
+  sopts.clock = opts.clock;
+  return sopts;
+}
+
 VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
                            ClusterBaseline* shared_baseline)
     : simulator_(simulator), opts_(opts) {
@@ -22,24 +45,17 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
   client_ =
       std::make_unique<VaproClient>(simulator.config().ranks, copts);
 
-  ServerOptions sopts;
-  sopts.stg_mode = opts.stg_mode;
-  sopts.cluster = opts.cluster;
-  sopts.diagnosis = opts.diagnosis;
-  sopts.machine = simulator.config().machine;
-  sopts.variance_threshold = opts.variance_threshold;
-  sopts.bin_seconds = opts.bin_seconds;
-  sopts.window_overlap_seconds = opts.window_overlap_seconds;
-  sopts.analysis_threads = opts.analysis_threads;
-  sopts.pipeline_depth = opts.pipeline_depth;
-  sopts.cluster_seed_cache = opts.cluster_seed_cache;
-  sopts.run_diagnosis = opts.run_diagnosis;
-  sopts.record_eval_pairs = opts.record_eval_pairs;
-  sopts.window_observer = opts.window_observer;
-  sopts.shared_baseline = shared_baseline;
-  sopts.obs = opts.obs;
-  sopts.clock = opts.clock;
-  server_ = std::make_unique<AnalysisServer>(simulator.config().ranks, sopts);
+  if (opts.batch_transport) {
+    // Transport-attached: batches travel through the hook (typically the
+    // src/net ingest plane) and land on the caller-owned backend.
+    analysis_ = opts.external_server;
+  } else {
+    server_ = std::make_unique<AnalysisServer>(
+        simulator.config().ranks,
+        server_options_from(opts, simulator.config().machine,
+                            shared_baseline));
+    analysis_ = server_.get();
+  }
 
   // Stage-1 counters must be live from the start.  User-specified proxy
   // metrics (§3.4: "users are able to specify other PMU metrics") ride
@@ -54,7 +70,7 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
     return counters;
   };
   auto reprogram = [this, with_proxies] {
-    auto wanted = with_proxies(server_->counters_needed());
+    auto wanted = with_proxies(analysis_->counters_needed());
     if (client_->configure_counters(wanted)) return;
     if (opts_.allow_multiplexing) {
       client_->configure_counters_multiplexed(wanted);
@@ -65,7 +81,7 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
     VAPRO_LOG_TAG_EVERY_N(::vapro::util::LogLevel::kWarn, "session", 32)
         << "proxy metrics + stage counters exceed the PMU budget; "
            "raise pmu_budget or set allow_multiplexing";
-    client_->configure_counters(server_->counters_needed());
+    client_->configure_counters(analysis_->counters_needed());
   };
   reprogram();
 
@@ -79,14 +95,24 @@ VaproSession::VaproSession(sim::Simulator& simulator, VaproOptions opts,
         FragmentBatch batch = client_->drain();
         const double drain_seconds =
             opts_.obs ? clock->now_seconds() - t0 : 0.0;
-        server_->process_window(std::move(batch), drain_seconds);
+        if (opts_.batch_transport) {
+          opts_.batch_transport(std::move(batch), drain_seconds);
+        } else {
+          server_->process_window(std::move(batch), drain_seconds);
+        }
         // Progressive diagnosis may have moved to a finer stage; reprogram
         // the clients' PMU sets for the next window.  With a pipelined
         // server the window may still be in flight — sync first so the
         // PMU feedback loop sees exactly the serial run's state.  Without
         // diagnosis the counter demand is constant, so the pipeline keeps
         // its overlap.
-        if (opts_.run_diagnosis) server_->sync();
+        if (opts_.run_diagnosis) {
+          if (opts_.transport_sync) {
+            opts_.transport_sync();
+          } else if (server_) {
+            server_->sync();
+          }
+        }
         reprogram();
       });
 }

@@ -67,7 +67,28 @@ struct VaproOptions {
   // Wall-clock source for drain/stage timings (null = the process-wide
   // real clock); tests install a util::VirtualClock.  Borrowed.
   util::Clock* clock = nullptr;
+  // --- external ingest transport (src/net service plane) ---
+  // When `batch_transport` is set the periodic window flush hands each
+  // drained batch to the hook instead of an in-process server; the hook
+  // owns delivery (e.g. a net::IngestClient over loopback).  The session
+  // then reads detection/diagnosis results from `external_server`, the
+  // backend the remote plane feeds — borrowed, must outlive the session.
+  // `transport_sync` is called after each hand-off (when run_diagnosis)
+  // so the PMU feedback loop observes the window's results before
+  // reprogramming counters; it must block until the batch is applied.
+  // core stays independent of src/net: the hooks are plain callables.
+  std::function<void(FragmentBatch&&, double)> batch_transport;
+  AnalysisServer* external_server = nullptr;
+  std::function<void()> transport_sync;
 };
+
+// The ServerOptions a VaproSession would construct for its in-process
+// server.  Transports that terminate on a remote AnalysisServer (the
+// src/net ingest plane) build the backend from the same options so a
+// networked run is configured identically to an in-process one.
+ServerOptions server_options_from(const VaproOptions& opts,
+                                  const pmu::MachineParams& machine,
+                                  ClusterBaseline* shared_baseline = nullptr);
 
 class VaproSession {
  public:
@@ -81,37 +102,39 @@ class VaproSession {
   VaproSession& operator=(const VaproSession&) = delete;
 
   // --- detection ---
-  const Heatmap& computation_map() const { return server_->computation_map(); }
-  const Heatmap& communication_map() const {
-    return server_->communication_map();
+  const Heatmap& computation_map() const {
+    return analysis_->computation_map();
   }
-  const Heatmap& io_map() const { return server_->io_map(); }
+  const Heatmap& communication_map() const {
+    return analysis_->communication_map();
+  }
+  const Heatmap& io_map() const { return analysis_->io_map(); }
   std::vector<VarianceRegion> locate(FragmentKind kind) const {
-    return server_->locate(kind);
+    return analysis_->locate(kind);
   }
   // Human-readable report: per-category variance regions with quantified
   // loss, ordered by impact (paper Fig 2 step 7).
   std::string detection_summary() const;
 
   // --- diagnosis ---
-  const DiagnosisReport& diagnosis() const { return server_->diagnosis(); }
+  const DiagnosisReport& diagnosis() const { return analysis_->diagnosis(); }
   // Restart diagnosis focused on a user-selected heat-map region (§3.5);
   // subsequent windows attribute only that region's abnormal fragments.
   void refocus_diagnosis(std::optional<FocusRegion> focus) {
-    server_->refocus_diagnosis(std::move(focus));
+    analysis_->refocus_diagnosis(std::move(focus));
   }
   // Rare-but-expensive execution paths (Algorithm 1 line 8).
   const std::vector<RareFinding>& rare_findings() const {
-    return server_->rare_findings();
+    return analysis_->rare_findings();
   }
 
   // --- coverage / overhead bookkeeping (Table 1) ---
   // `total_execution_seconds` = Σ per-rank wall time of the run.
   double coverage(double total_execution_seconds) const {
-    return server_->coverage().coverage(total_execution_seconds);
+    return analysis_->coverage().coverage(total_execution_seconds);
   }
   const CoverageAccumulator& coverage_accumulator() const {
-    return server_->coverage();
+    return analysis_->coverage();
   }
   std::uint64_t bytes_recorded() const { return client_->bytes_recorded(); }
   std::uint64_t fragments_recorded() const {
@@ -123,17 +146,18 @@ class VaproSession {
 
   // --- evaluation (Table 2) ---
   stats::VMeasure clustering_quality() const {
-    return server_->clustering_quality();
+    return analysis_->clustering_quality();
   }
 
-  const AnalysisServer& server() const { return *server_; }
+  const AnalysisServer& server() const { return *analysis_; }
   const VaproClient& client() const { return *client_; }
 
  private:
   sim::Simulator& simulator_;
   VaproOptions opts_;
   std::unique_ptr<VaproClient> client_;
-  std::unique_ptr<AnalysisServer> server_;
+  std::unique_ptr<AnalysisServer> server_;  // null when transport-attached
+  AnalysisServer* analysis_ = nullptr;      // server_ or external_server
   std::uint64_t periodic_id_ = 0;
 };
 

@@ -1,0 +1,251 @@
+#include "src/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "src/testing/fault.hpp"
+#include "src/util/clock.hpp"
+#include "src/util/socket.hpp"
+
+namespace vapro::net {
+
+namespace {
+enum class Await { kAck, kNack, kConnLost };
+}
+
+IngestClient::IngestClient(ClientOptions opts) : opts_(std::move(opts)) {}
+
+IngestClient::~IngestClient() { close(); }
+
+bool IngestClient::connect(std::string* error) {
+  return connect_locked(error);
+}
+
+bool IngestClient::connect_locked(std::string* error) {
+  if (fd_ >= 0) return true;
+  util::ignore_sigpipe();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // Bound every ack wait: a wedged server surfaces as EAGAIN on recv, and
+  // the retry loop takes over.  (Real time — fault-driven tests never hit
+  // it because a live server always answers.)
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(opts_.recv_timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (opts_.recv_timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  HelloPayload hello;
+  hello.tenant = opts_.tenant;
+  hello.ranks = opts_.ranks;
+  const std::string frame =
+      encode_frame(FrameType::kHello, /*seq=*/0, encode_hello(hello));
+  if (!util::send_all(fd, frame.data(), frame.size())) {
+    if (error) *error = "hello send failed";
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  AckStatus status = AckStatus::kRejected;
+  std::string ack_error;
+  if (!await_ack(0, &status, &ack_error) ||
+      status != AckStatus::kAdmitted) {
+    if (error)
+      *error = status == AckStatus::kRejected && ack_error.empty()
+                   ? "tenant rejected: " + opts_.tenant
+                   : "hello failed: " + ack_error;
+    disconnect();
+    return false;
+  }
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  return true;
+}
+
+void IngestClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool IngestClient::await_ack(std::uint64_t seq, AckStatus* status,
+                             std::string* error) {
+  for (;;) {
+    std::uint8_t header_bytes[kFrameHeaderBytes];
+    if (!util::recv_all(fd_, header_bytes, sizeof(header_bytes))) {
+      if (error) *error = "connection lost awaiting ack";
+      return false;
+    }
+    FrameHeader header;
+    std::string decode_error;
+    if (!decode_header(header_bytes, &header, &decode_error)) {
+      if (error) *error = "desynced stream: " + decode_error;
+      return false;
+    }
+    std::string payload(header.payload_len, '\0');
+    if (header.payload_len > 0 &&
+        !util::recv_all(fd_, payload.data(), payload.size())) {
+      if (error) *error = "connection lost awaiting ack payload";
+      return false;
+    }
+    if (header.seq != seq) continue;  // stale reply for an earlier frame
+    if (header.type == FrameType::kNack) {
+      if (error) *error = "nack";
+      *status = AckStatus::kRejected;
+      return true;
+    }
+    if (header.type != FrameType::kAck ||
+        !decode_ack(payload, status, &decode_error)) {
+      if (error) *error = "malformed reply";
+      return false;
+    }
+    if (error) error->clear();
+    return true;
+  }
+}
+
+void IngestClient::backoff(int attempt) {
+  double delay = opts_.retry.backoff_seconds;
+  for (int i = 1; i < attempt; ++i) delay *= opts_.retry.multiplier;
+  delay = std::min(delay, opts_.retry.max_backoff_seconds);
+  if (opts_.sleep_fn)
+    opts_.sleep_fn(delay);
+  else
+    util::real_clock()->sleep_for(delay);
+}
+
+bool IngestClient::transmit(const std::string& frame, std::uint64_t seq,
+                            std::string* error) {
+  std::string last_error;
+  for (int attempt = 1; attempt <= opts_.retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retries;
+      backoff(attempt - 1);
+    }
+    if (!connect_locked(&last_error)) continue;
+    ++stats_.frames_sent;
+    if (!util::send_all(fd_, frame.data(), frame.size())) {
+      last_error = "send failed";
+      disconnect();
+      continue;
+    }
+    AckStatus status = AckStatus::kRejected;
+    std::string ack_error;
+    if (!await_ack(seq, &status, &ack_error)) {
+      // EOF / reset / timeout: the ack may have been lost AFTER admission
+      // — reconnect and retransmit; the session dedups if so.
+      last_error = ack_error;
+      disconnect();
+      continue;
+    }
+    if (ack_error == "nack") {
+      // Frame arrived torn but the stream is intact: resend, same socket.
+      last_error = "nack for seq " + std::to_string(seq);
+      continue;
+    }
+    switch (status) {
+      case AckStatus::kAdmitted: ++stats_.acks_admitted; break;
+      case AckStatus::kDuplicate: ++stats_.acks_duplicate; break;
+      case AckStatus::kShed: ++stats_.acks_shed; break;
+      case AckStatus::kRejected:
+        if (error) *error = "batch rejected by server";
+        return false;
+    }
+    return true;
+  }
+  if (error) *error = "exhausted retries: " + last_error;
+  return false;
+}
+
+bool IngestClient::send_batch(const core::FragmentBatch& batch,
+                              double drain_seconds, std::string* error) {
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.batches_sent;
+  const std::string frame =
+      encode_frame(FrameType::kBatch, seq, encode_batch(batch, drain_seconds));
+  // net.reorder: delay this frame past its successor — the wire-visible
+  // effect of a rerouted packet.  At most one frame is held at a time, and
+  // flush() delivers a frame held at end of stream.
+  switch (VAPRO_FAULT("net.reorder")) {
+    case testing::FaultAction::kNone:
+      break;
+    default:
+      if (held_frame_.empty()) {
+        held_frame_ = frame;
+        held_seq_ = seq;
+        ++stats_.reordered_sends;
+        return true;
+      }
+      break;
+  }
+  bool ok = transmit(frame, seq, error);
+  if (!held_frame_.empty()) {
+    const std::string held = std::move(held_frame_);
+    held_frame_.clear();
+    std::string held_error;
+    if (!transmit(held, held_seq_, &held_error)) {
+      ++stats_.send_failures;
+      if (error && ok) *error = "held frame: " + held_error;
+      ok = false;
+    }
+  }
+  if (ok) {
+    // net.dup_batch: a retransmit race — the ack was in flight while a
+    // timeout-driven resend went out.  The server must dedup.
+    switch (VAPRO_FAULT("net.dup_batch")) {
+      case testing::FaultAction::kNone:
+        break;
+      default:
+        ++stats_.dup_batches_sent;
+        transmit(frame, seq, nullptr);
+        break;
+    }
+  } else {
+    ++stats_.send_failures;
+  }
+  return ok;
+}
+
+bool IngestClient::flush(std::string* error) {
+  if (held_frame_.empty()) return true;
+  const std::string held = std::move(held_frame_);
+  held_frame_.clear();
+  if (!transmit(held, held_seq_, error)) {
+    ++stats_.send_failures;
+    return false;
+  }
+  return true;
+}
+
+void IngestClient::close() {
+  flush(nullptr);
+  if (fd_ >= 0) {
+    const std::string bye = encode_frame(FrameType::kBye, next_seq_, "");
+    util::send_all(fd_, bye.data(), bye.size());
+    disconnect();
+  }
+}
+
+}  // namespace vapro::net

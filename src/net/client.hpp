@@ -1,0 +1,118 @@
+// IngestClient — the sending half of the ingest plane.
+//
+// One client speaks for one tenant stream: connect() opens a loopback TCP
+// connection and performs the kHello handshake; send_batch() assigns the
+// next sequence number, encodes the batch, and runs the reliability loop:
+//
+//   send frame → await ack/nack (SO_RCVTIMEO-bounded) →
+//     ack   : done (kAdmitted / kDuplicate / kShed all count as delivered —
+//             the server has durably decided this seq's fate)
+//     nack  : retransmit the same seq after a backoff sleep
+//     EOF / reset / timeout: reconnect (re-hello) and retransmit
+//
+// Retries are bounded (RetryPolicy::max_attempts) with exponential backoff
+// (base * multiplier^attempt, capped).  Backoff sleeps go through an
+// injectable hook so deterministic tests never really sleep — and never
+// touch the shared VirtualClock that analysis timing runs on.
+//
+// Because retransmits reuse the original seq, at-least-once delivery plus
+// the session layer's dedup gives exactly-once APPLICATION — the property
+// the deduped-retransmit stress test asserts by fragment accounting.
+//
+// Client-side hazard sites:
+//   net.dup_batch — after a successful ack, the frame is sent once more
+//     (a retransmit race); the duplicate must ack kDuplicate.
+//   net.reorder — the frame is held back and sent after its successor
+//     (socket-level reordering); the session's reorder buffer restores
+//     seq order before application.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/net/wire.hpp"
+
+namespace vapro::net {
+
+struct RetryPolicy {
+  int max_attempts = 5;            // total tries per frame, including the first
+  double backoff_seconds = 0.05;   // sleep before retry #1
+  double multiplier = 2.0;         // exponential growth per retry
+  double max_backoff_seconds = 1.0;
+};
+
+struct ClientStats {
+  std::uint64_t batches_sent = 0;    // unique seqs handed to send_batch
+  std::uint64_t frames_sent = 0;     // wire-level batch frames (incl. resends)
+  std::uint64_t retries = 0;         // nack/timeout-triggered retransmits
+  std::uint64_t reconnects = 0;      // connections re-established mid-stream
+  std::uint64_t acks_admitted = 0;
+  std::uint64_t acks_duplicate = 0;  // retransmits the server deduped
+  std::uint64_t acks_shed = 0;       // batches the server shed at admission
+  std::uint64_t dup_batches_sent = 0;   // net.dup_batch firings
+  std::uint64_t reordered_sends = 0;    // net.reorder firings
+  std::uint64_t send_failures = 0;   // batches abandoned after max_attempts
+};
+
+struct ClientOptions {
+  int port = 0;                  // ingest server port (loopback)
+  std::string tenant;
+  std::uint32_t ranks = 0;
+  double recv_timeout_seconds = 5.0;  // real-time ack wait bound
+  RetryPolicy retry;
+  // Backoff sleep hook; null = sleep on the real clock.  Deterministic
+  // harnesses install a no-op so retries never advance any clock.
+  std::function<void(double)> sleep_fn;
+};
+
+class IngestClient {
+ public:
+  explicit IngestClient(ClientOptions opts);
+  ~IngestClient();
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  // Connects and performs the hello handshake.  False (with `error`) when
+  // the server is unreachable or rejects the tenant.
+  bool connect(std::string* error = nullptr);
+
+  // Assigns the next seq and delivers the batch (or holds it under the
+  // net.reorder fault — it is delivered before the NEXT batch's ack).
+  // False when every attempt failed; the batch is counted in
+  // send_failures and the stream continues with the next seq.
+  bool send_batch(const core::FragmentBatch& batch, double drain_seconds,
+                  std::string* error = nullptr);
+
+  // Delivers any held (reordered) frame.  Call before reading reports.
+  bool flush(std::string* error = nullptr);
+
+  // Sends kBye and closes.  Implicit in the destructor.
+  void close();
+
+  bool connected() const { return fd_ >= 0; }
+  const ClientStats& stats() const { return stats_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  bool connect_locked(std::string* error);
+  // The reliability loop for one encoded frame.  `expect_status`: the ack
+  // status is recorded in stats but any ack completes the attempt.
+  bool transmit(const std::string& frame, std::uint64_t seq,
+                std::string* error);
+  bool await_ack(std::uint64_t seq, AckStatus* status, std::string* error);
+  void backoff(int attempt);
+  void disconnect();
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::string held_frame_;   // net.reorder: frame delayed past its successor
+  std::uint64_t held_seq_ = 0;
+  ClientStats stats_;
+};
+
+}  // namespace vapro::net

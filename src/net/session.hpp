@@ -1,0 +1,210 @@
+// Tenant-keyed admission layer in front of the analysis servers — the
+// session half of the ingest plane (ROADMAP item 2).
+//
+// A TenantSession owns one tenant's isolated analysis state (a single
+// AnalysisServer, or a rank-sharded ServerGroup when `group_servers` > 1)
+// plus a bounded admission queue between the transport and the analysis
+// consumer.  Batches arrive tagged with a per-tenant sequence number and
+// pass through three gates:
+//
+//   1. Dedup — a seq already applied or buffered acks kDuplicate without
+//      re-admission, so a retransmit (after a torn frame, a reset
+//      connection, or the net.dup_batch fault) can never double-count
+//      fragments.
+//   2. Reorder — out-of-order batches wait in a bounded reorder buffer
+//      until the gap fills; batches are applied to the server strictly in
+//      seq order, so socket-level reordering is invisible to analysis.  A
+//      seq beyond the reorder window is refused outright (kRejected +
+//      `net_drop` journal event) — the stream is too far desynced to heal.
+//   3. Admission — kBlock propagates backpressure (the transport blocks,
+//      the client's ack is delayed); kShedOldest keeps accepting but
+//      evicts the oldest queued batch, journaling a `shed` event per
+//      victim, bumping vapro.net.batches_shed, and flipping the
+//      vapro.net.degraded gauge until the queue drains.  Detection keeps
+//      running on what survives — overload degrades the data, never the
+//      service.
+//
+// Every shed is accounted: per tenant,
+//     submitted_unique == admitted + shed + rejected
+//     server.fragments_processed == Σ fragments(admitted batches)
+// which is exactly the invariant vapro_stress's faulted net equivalence
+// run asserts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/core/server.hpp"
+#include "src/core/server_group.hpp"
+#include "src/net/wire.hpp"
+#include "src/util/pipeline.hpp"
+
+namespace vapro::net {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,      // blocking backpressure: push waits for queue space
+  kShedOldest, // shed the oldest queued window to admit the newest
+};
+
+struct TenantOptions {
+  std::string name;
+  int ranks = 1;
+  // Options for the tenant's analysis server(s); `server.obs` is the
+  // tenant's own ObsContext (journal isolation) and may differ from the
+  // plane-level ObsContext holding the vapro.net.* metrics.
+  core::ServerOptions server;
+  // > 1 shards the tenant's ranks across a ServerGroup (fleet tier).
+  int group_servers = 1;
+  std::size_t queue_capacity = 4;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  // Max distance a batch may run ahead of the next expected seq and still
+  // be buffered for in-order application.
+  std::uint64_t reorder_window = 64;
+  // False: no consumer thread; tests drive pump_all() manually.
+  bool threaded = true;
+};
+
+struct TenantStats {
+  std::uint64_t submitted = 0;   // submit() calls, including duplicates
+  std::uint64_t admitted = 0;    // batches that reached the queue
+  std::uint64_t duplicates = 0;  // deduped retransmits
+  std::uint64_t shed = 0;        // journaled `shed` events
+  std::uint64_t rejected = 0;    // journaled `net_drop` events
+  std::uint64_t reordered = 0;   // batches that arrived ahead of a gap
+};
+
+class IngestPlane;
+
+class TenantSession {
+ public:
+  TenantSession(TenantOptions opts, IngestPlane* plane);
+  ~TenantSession();
+
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  // Thread-safe (one transport connection at a time per tenant is the
+  // expected shape, but nothing breaks with more).  The returned status is
+  // the wire-level ack for THIS seq; sheds of other (older) batches are
+  // visible through the journal and stats only.
+  AckStatus submit(std::uint64_t seq, core::FragmentBatch batch,
+                   double drain_seconds);
+
+  // Blocks until every admitted batch has been fully analyzed, then syncs
+  // the backend (threaded mode).  In manual mode, processes the backlog
+  // inline.  After sync() all accessors reflect every admitted batch.
+  void sync();
+
+  // Manual mode: drain and analyze the queued backlog on the caller.
+  void pump_all();
+
+  const std::string& name() const { return opts_.name; }
+  int ranks() const { return opts_.ranks; }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  TenantStats stats() const;
+  std::size_t queue_depth() const { return queue_.depth(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+
+  // Backend views (exactly one is non-null).
+  core::AnalysisServer* server() { return backend_server_.get(); }
+  core::ServerGroup* group() { return backend_group_.get(); }
+  std::size_t windows_processed() const;
+  std::size_t fragments_processed() const;
+  void journal_detection_snapshot() const;
+
+ private:
+  struct Queued {
+    std::uint64_t seq = 0;
+    double drain_seconds = 0.0;
+    core::FragmentBatch batch;
+  };
+
+  // Applies the contiguous run starting at next_expected_; caller holds
+  // seq_mu_.  Returns the admission outcome of `submitted_seq`.
+  AckStatus apply_ready_locked(std::uint64_t submitted_seq);
+  // Queues one in-order batch, shedding per policy; caller holds seq_mu_.
+  AckStatus enqueue_locked(Queued q);
+  void journal_shed(std::uint64_t seq, std::size_t fragments,
+                    std::size_t new_states, const char* policy);
+  void journal_net_drop(std::uint64_t seq, std::size_t fragments,
+                        const char* reason);
+  void process(Queued q);
+  void consumer_loop();
+  void set_degraded(bool on);
+  void note_inflight(int delta);
+
+  TenantOptions opts_;
+  IngestPlane* plane_;  // borrowed; owns this session
+  std::unique_ptr<core::AnalysisServer> backend_server_;
+  std::unique_ptr<core::ServerGroup> backend_group_;
+  util::BoundedQueue<Queued> queue_;
+
+  mutable std::mutex seq_mu_;
+  std::uint64_t next_expected_ = 0;
+  std::map<std::uint64_t, Queued> pending_;  // reorder buffer, seq-ordered
+  TenantStats stats_;
+
+  // Admitted-but-unfinished batches; sync() waits for 0.  Incremented
+  // before enqueue, decremented after analysis completes.
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::uint64_t inflight_ = 0;
+
+  std::atomic<bool> degraded_{false};
+  std::thread consumer_;  // last member: starts after all state exists
+};
+
+struct PlaneOptions {
+  // Plane-level telemetry: vapro.net.* counters/gauges land here.  May be
+  // shared with a tenant's ObsContext (the single-tenant vapro_run shape)
+  // or separate (the stress harness isolates tenant journals).  Null
+  // disables.
+  obs::ObsContext* obs = nullptr;
+  // Time source for shed/net_drop journal timestamps and queue accounting.
+  util::Clock* clock = nullptr;
+};
+
+// The set of tenant sessions one ingest endpoint serves.  add_tenant() is
+// setup-phase only (not safe against concurrent submits); everything else
+// is thread-safe.
+class IngestPlane {
+ public:
+  explicit IngestPlane(PlaneOptions opts);
+  ~IngestPlane();
+
+  TenantSession* add_tenant(TenantOptions opts);
+  TenantSession* find(const std::string& name);
+  std::vector<std::string> tenant_names() const;
+
+  void sync_all();
+  // Any tenant currently shedding (set on shed, cleared when that tenant's
+  // queue drains).  Mirrored by the vapro.net.degraded gauge; /readyz
+  // turns 503 while true.
+  bool degraded() const { return degraded_tenants_.load() > 0; }
+  std::uint64_t shed_total() const;
+
+  const PlaneOptions& options() const { return opts_; }
+  util::Clock* clock() const { return clock_; }
+
+ private:
+  friend class TenantSession;
+  void note_degraded(int delta);
+  void note_inflight(int delta);
+  void publish_static_gauges();
+
+  PlaneOptions opts_;
+  util::Clock* clock_;
+  std::vector<std::unique_ptr<TenantSession>> tenants_;
+  std::atomic<int> degraded_tenants_{0};
+  std::atomic<std::int64_t> inflight_{0};
+};
+
+}  // namespace vapro::net

@@ -15,7 +15,7 @@ namespace {
 // Known window-event metrics an alert rule may reference.
 bool is_window_metric(const std::string& m) {
   return m == "variance_ratio" || m == "worst_cell" || m == "region_count" ||
-         m == "coverage";
+         m == "coverage" || m == "shed_count";
 }
 
 // Scoreboard metrics, carried by "quality" events (src/obs/quality.hpp).
@@ -94,8 +94,8 @@ bool parse_alert_rule(const std::string& spec, AlertRule* out,
   } else {
     return fail("unknown metric '" + head +
                 "' (want variance_ratio, worst_cell, region_count, "
-                "coverage, quality_precision, quality_recall, quality_f1, "
-                "quality_top_factor_accuracy, or factor=NAME)");
+                "coverage, shed_count, quality_precision, quality_recall, "
+                "quality_f1, quality_top_factor_accuracy, or factor=NAME)");
   }
 
   if (i >= tokens.size()) return fail("missing comparison operator");
@@ -195,9 +195,17 @@ void AlertEngine::on_event(const JournalEvent& event) {
       if (is_quality_metric(st.rule.metric)) evaluate_window(st, event);
     return;
   }
+  // Ingest-plane drops accumulate between window events; each window event
+  // evaluates (and then resets) the count, so `shed_count > 0 for 2` means
+  // two consecutive windows that both lost batches to overload.
+  if (event.type == "shed" || event.type == "net_drop") {
+    ++shed_in_window_;
+    return;
+  }
   if (event.type != "window") return;
   for (RuleState& st : states_)
     if (!is_quality_metric(st.rule.metric)) evaluate_window(st, event);
+  shed_in_window_ = 0;
 }
 
 void AlertEngine::evaluate_window(RuleState& st,
@@ -210,6 +218,9 @@ void AlertEngine::evaluate_window(RuleState& st,
     value = st.factor_value;
     st.factor_hit = false;
     st.factor_value = 0.0;
+  } else if (st.rule.metric == "shed_count") {
+    value = static_cast<double>(shed_in_window_);
+    holds = st.rule.compare(value);
   } else {
     value = window_event.number(st.rule.metric);
     holds = st.rule.compare(value);

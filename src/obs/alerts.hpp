@@ -8,6 +8,7 @@
 //   worst_cell < 0.7                  # any window with a cell this slow
 //   region_count >= 2 for 2
 //   factor=io contribution > 0.25     # diagnosis blames io for >25%
+//   shed_count > 0                    # ingest plane shed batches this window
 //
 // Window metrics (variance_ratio, worst_cell, region_count, coverage) come
 // from each "window" journal event's detection-health fields; factor rules
@@ -130,6 +131,9 @@ class AlertEngine final : public JournalSink {
   std::vector<AlertSink*> sinks_;
   std::uint64_t fired_ = 0;
   std::uint64_t dispatch_faults_ = 0;
+  // Ingest-plane drops ("shed" + "net_drop" events) since the last window
+  // event — the observation behind `shed_count` rules.
+  std::uint64_t shed_in_window_ = 0;
 };
 
 }  // namespace vapro::obs

@@ -125,6 +125,37 @@ ExpositionServer* ObsContext::start_exposition(int port, std::string* error) {
     return resp;
   });
 
+  // Readiness, distinct from liveness: /healthz answers "is the process
+  // up", /readyz answers "should this instance take more traffic".  503
+  // while the ingest plane is shedding (vapro.net.degraded), while the
+  // admission queues are saturated, or after the journal file has gone
+  // unwritable — a load balancer drains the instance while detection keeps
+  // running on what was already admitted.  Find, don't create: a process
+  // without an ingest plane must not fail readiness over absent gauges.
+  server->add_route("/readyz", [this] {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    bool degraded = false;
+    if (const Gauge* g = metrics_.find_gauge("vapro.net.degraded"))
+      degraded = g->value() > 0.0;
+    bool saturated = false;
+    const Gauge* depth = metrics_.find_gauge("vapro.net.queue_depth");
+    const Gauge* capacity = metrics_.find_gauge("vapro.net.queue_capacity");
+    if (depth && capacity && capacity->value() > 0.0)
+      saturated = depth->value() >= capacity->value();
+    const bool journal_ok = !journal_file_ || journal_file_->ok();
+    const bool ready = !degraded && !saturated && journal_ok;
+    resp.status = ready ? 200 : 503;
+    std::ostringstream body;
+    body << "{\"status\":\"" << (ready ? "ready" : "not_ready")
+         << "\",\"degraded\":" << (degraded ? "true" : "false")
+         << ",\"admission_saturated\":" << (saturated ? "true" : "false")
+         << ",\"journal_writable\":" << (journal_ok ? "true" : "false")
+         << '}';
+    resp.body = body.str();
+    return resp;
+  });
+
   exposition_ = std::move(server);
   return exposition_.get();
 }

@@ -13,6 +13,7 @@
 
 #include "src/testing/fault.hpp"
 #include "src/util/log.hpp"
+#include "src/util/socket.hpp"
 
 namespace vapro::obs {
 
@@ -108,6 +109,9 @@ bool ExpositionServer::start(int port, std::string* error) {
     if (error) *error = "exposition server already running";
     return false;
   }
+  // A scraper that disconnects mid-response must cost us a counted drop,
+  // not a SIGPIPE-killed process.
+  util::ignore_sigpipe();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     if (error) *error = std::string("socket: ") + std::strerror(errno);
@@ -234,13 +238,10 @@ void ExpositionServer::handle_connection(int fd) {
     default:
       break;
   }
-  std::size_t sent = 0;
-  while (sent < payload.size()) {
-    const ssize_t n =
-        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
+  // EPIPE/ECONNRESET here just means the peer went away mid-response
+  // (curl ^C, a scraper timeout): count the drop, keep serving.
+  if (!util::send_all(fd, payload.data(), payload.size()))
+    send_drops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 HttpResponse ExpositionServer::dispatch(const std::string& path) {

@@ -59,6 +59,12 @@ class ExpositionServer {
   std::uint64_t accept_faults() const {
     return accept_faults_.load(std::memory_order_relaxed);
   }
+  // Responses whose send failed because the peer disconnected mid-response
+  // (EPIPE/ECONNRESET — e.g. a scraper that hung up).  A counted drop, not
+  // a crash: SIGPIPE is ignored at start() and sends use MSG_NOSIGNAL.
+  std::uint64_t send_drops() const {
+    return send_drops_.load(std::memory_order_relaxed);
+  }
 
   using Handler = std::function<HttpResponse()>;
   // Registers (or replaces) a GET route.  remove_route is safe while the
@@ -83,6 +89,7 @@ class ExpositionServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> accept_faults_{0};
+  std::atomic<std::uint64_t> send_drops_{0};
   // Recursive: dispatch() holds it across the handler call (so
   // remove_route cannot race an in-flight handler), and handlers may call
   // route_paths() back into the server.

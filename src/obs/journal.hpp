@@ -35,10 +35,14 @@ inline constexpr const char* kJournalSchemaName = "vapro.journal";
 // v1: detection/diagnosis conclusion events.  v2 adds the "ground_truth"
 // event type (injected noise windows/ranks/factor classes — see
 // src/obs/quality.hpp) and the "quality" / "quality_cell" scoreboard
-// events.  Writers stamp the current version; the reader accepts any
-// version in [kJournalMinReaderVersion, kJournalSchemaVersion] — v1 files
-// simply contain none of the newer event types.
-inline constexpr int kJournalSchemaVersion = 2;
+// events.  v3 adds the ingest-plane degradation events: "shed" (an
+// admitted-then-evicted or refused batch, with tenant/seq/fragment
+// accounting — see src/net/session.hpp) and "net_drop" (a batch refused
+// before admission, e.g. outside the reorder window).  Writers stamp the
+// current version; the reader accepts any version in
+// [kJournalMinReaderVersion, kJournalSchemaVersion] — older files simply
+// contain none of the newer event types.
+inline constexpr int kJournalSchemaVersion = 3;
 inline constexpr int kJournalMinReaderVersion = 1;
 
 // One "key":value pair; `json` is already valid JSON text.  Build with the

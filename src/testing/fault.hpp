@@ -35,6 +35,16 @@
 //   group.merge     fail                    merged-root publication skipped
 //   obs.span        drop | fail | short_write  trace span lost / torn; the
 //                                           histogram sample still lands
+//   net.frame_torn  fail                    batch frame corrupted in flight
+//                                           (CRC mismatch → NACK → resend)
+//   net.conn_reset  close                   server resets the connection
+//                                           after admission, before the ack
+//   net.slow_peer   fail                    admission sheds the batch
+//                                           (journaled `shed`, degraded=1)
+//   net.dup_batch   fail                    client retransmits an acked
+//                                           batch (must dedup server-side)
+//   net.reorder     fail                    client delays a batch past its
+//                                           successor (reorder buffer heals)
 #pragma once
 
 #include <atomic>

@@ -100,6 +100,38 @@ class BoundedQueue {
     return std::optional<T>(std::move(item));
   }
 
+  // Non-blocking push: false when the queue is full or closed, in which
+  // case `item` is left untouched (rvalue-ref, moved only on success) so
+  // the caller still owns it.  This is the admission-control entry point —
+  // callers that shed instead of blocking (net ingest under kShedOldest)
+  // pair it with try_pop() to evict the oldest queued item and retry.
+  bool try_push(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.emplace_back(clock_->now_seconds(), std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Non-blocking pop: nullopt when the queue is empty (closed or not).
+  // Unlike pop(), usable from a non-consumer thread to evict a victim; the
+  // handoff accounting still runs so evictions stay visible.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    auto [enqueued_at, item] = std::move(items_.front());
+    items_.pop_front();
+    handoff_seconds_ += clock_->now_seconds() - enqueued_at;
+    ++handoffs_;
+    not_full_.notify_one();
+    return std::optional<T>(std::move(item));
+  }
+
   // Wakes all waiters; subsequent push() fails, pop() drains the backlog
   // then returns nullopt.
   void close() {

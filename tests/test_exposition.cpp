@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -324,6 +325,54 @@ TEST(ExpositionFault, MidResponseCloseTruncatesBody) {
 }
 
 #endif  // VAPRO_FAULT_INJECTION
+
+TEST(Exposition, PeerResetMidResponseIsACountedDropNotACrash) {
+  obs::ObsContext ctx;
+  // Pad /metrics far past the loopback socket buffers so the server is
+  // still send()ing when the peer resets — the EPIPE/ECONNRESET path a
+  // ^C'd curl or a timed-out scraper takes.  Without SIGPIPE hardening
+  // this test kills the process instead of failing an expectation.
+  for (int i = 0; i < 100000; ++i)
+    ctx.metrics().counter("vapro.test.pad_" + std::to_string(i))->inc(1);
+  ASSERT_NE(ctx.start_exposition(0), nullptr);
+  const int port = ctx.exposition()->port();
+
+  bool dropped = false;
+  for (int attempt = 0; attempt < 20 && !dropped; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const char req[] =
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+    // Wait for the first response byte so the server is provably mid-send,
+    // then close with an immediate RST (SO_LINGER 0): the megabytes still
+    // queued have nowhere to go and the server's next send() must fail.
+    char c;
+    (void)::recv(fd, &c, 1, 0);
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+    // The drop is counted on the serve thread; give it a beat.
+    for (int spin = 0; spin < 200 && ctx.exposition()->send_drops() == 0;
+         ++spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    dropped = ctx.exposition()->send_drops() >= 1;
+  }
+  EXPECT_TRUE(dropped)
+      << "peer reset mid-response never registered as a send drop";
+  // The serve loop survived: a fresh scrape completes whole.
+  HttpReply reply = http_get(port, "/metrics");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+}
 
 TEST(Exposition, PortInUseFailsWithReadableError) {
   obs::ExpositionServer first;

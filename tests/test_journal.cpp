@@ -298,6 +298,44 @@ TEST(Alerts, FactorRuleMatchesDiagnosisFindings) {
   EXPECT_DOUBLE_EQ(sink.alerts[0].value, 0.4);
 }
 
+TEST(Alerts, ShedCountRuleFiresOnIngestOverload) {
+  obs::Journal journal;
+  obs::AlertEngine engine;
+  CollectingAlertSink sink;
+  engine.add_alert_sink(&sink);
+  obs::AlertRule rule;
+  std::string error;
+  ASSERT_TRUE(obs::parse_alert_rule("shed_count > 0", &rule, &error)) << error;
+  engine.add_rule(std::move(rule));
+  journal.add_sink(&engine);
+
+  // A healthy window: no sheds, no alert.
+  journal.emit("window", 0, 0.1, {});
+  EXPECT_EQ(sink.alerts.size(), 0u);
+
+  // The ingest plane drops two batches (one shed, one reorder-window
+  // reject) before the window closes: the rule fires with the drop count.
+  journal.emit("shed", 4, 0.15,
+               {obs::JournalField::num("batch_seq", 4.0),
+                obs::JournalField::num("fragments", 120.0)});
+  journal.emit("net_drop", 9, 0.18,
+               {obs::JournalField::num("batch_seq", 9.0),
+                obs::JournalField::str("reason", "reorder_window_exceeded")});
+  journal.emit("window", 1, 0.2, {});
+  ASSERT_EQ(sink.alerts.size(), 1u);
+  EXPECT_EQ(sink.alerts[0].metric, "shed_count");
+  EXPECT_DOUBLE_EQ(sink.alerts[0].value, 2.0);
+
+  // The count resets per window: a clean window re-arms the rule, the
+  // next overloaded one fires again.
+  journal.emit("window", 2, 0.3, {});
+  EXPECT_EQ(sink.alerts.size(), 1u);
+  journal.emit("shed", 12, 0.35, {obs::JournalField::num("batch_seq", 12.0)});
+  journal.emit("window", 3, 0.4, {});
+  EXPECT_EQ(sink.alerts.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.alerts[1].value, 1.0);
+}
+
 TEST(Alerts, JournalSinkRecordsAlertBackIntoJournal) {
   obs::Journal journal;
   CollectingJournalSink events;

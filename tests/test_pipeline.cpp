@@ -77,6 +77,83 @@ TEST(BoundedQueue, CloseUnblocksWaitingProducer) {
   producer.join();
 }
 
+TEST(BoundedQueue, CloseUnblocksEveryBlockedProducerAtOnce) {
+  // The ingest plane's shutdown shape: several transport threads stuck in
+  // push() against a full queue when the session closes.  Every one must
+  // return false promptly — a single notify would strand the rest.
+  util::BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(0));
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < 4; ++i)
+    producers.emplace_back([&q, &rejected, i] {
+      if (!q.push(i + 1)) rejected.fetch_add(1);
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(rejected.load(), 0) << "producers should be blocked, not failed";
+  q.close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), 4);
+  // The item admitted before close still drains, then the end signal.
+  EXPECT_EQ(q.pop(), 0);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumer) {
+  util::BoundedQueue<int> q(4);
+  std::atomic<bool> got_end{false};
+  std::thread consumer([&] {
+    // Blocks on the empty queue until close(), then must see the
+    // termination signal — not hang, not a phantom item.
+    got_end = (q.pop() == std::nullopt);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got_end.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_end.load());
+}
+
+TEST(BoundedQueue, ConsumerExceptionLeavesTheQueueUsable) {
+  // A consumer that throws mid-drain (the StageExecutor and TenantSession
+  // loops both catch per-item) must not poison the queue: the remaining
+  // backlog and the close handshake still work.
+  util::BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.push(i));
+  int consumed = 0;
+  try {
+    while (auto item = q.try_pop()) {
+      if (*item == 1) throw std::runtime_error("consumer exploded");
+      ++consumed;
+    }
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(consumed, 1);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.pop(), 2);  // backlog survives the thrown item
+  q.close();
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, TryPushAndTryPopRespectCapacityAndClose) {
+  util::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  int overflow = 3;
+  EXPECT_FALSE(q.try_push(std::move(overflow)));
+  EXPECT_EQ(overflow, 3) << "rejected item must stay owned by the caller";
+  // Evict-oldest-and-retry, the kShedOldest admission idiom.
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_TRUE(q.try_push(std::move(overflow)));
+  q.close();
+  int late = 9;
+  EXPECT_FALSE(q.try_push(std::move(late)));  // closed: rejected, not queued
+  EXPECT_EQ(q.try_pop(), 2);  // backlog still drains through try_pop
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
 // --- StageExecutor --------------------------------------------------------
 
 TEST(StageExecutor, RunsJobsInFifoOrderWithDrainSync) {

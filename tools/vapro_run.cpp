@@ -17,6 +17,9 @@
 #include "src/core/report_json.hpp"
 #include "src/core/scoreboard.hpp"
 #include "src/core/vapro.hpp"
+#include "src/net/client.hpp"
+#include "src/net/server.hpp"
+#include "src/net/session.hpp"
 #include "src/obs/context.hpp"
 #include "src/sim/runtime.hpp"
 #include "src/trace/trace.hpp"
@@ -43,6 +46,10 @@ int usage() {
       "  --context-aware        use context-aware STG\n"
       "  --sampling=none|backoff|skip-short\n"
       "  --no-diagnosis         detection only\n"
+      "  --net-loopback         route window batches through the framed\n"
+      "                         ingest plane (wire protocol over a\n"
+      "                         loopback socket) instead of the in-process\n"
+      "                         server; reports must be identical\n"
       << tools::PipelineCli::usage_lines() <<
       "  --ansi                 colored heat maps\n"
       "  --csv=DIR              also dump heat-map CSVs into DIR\n"
@@ -172,6 +179,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --net-loopback: the same analysis, but every window batch travels the
+  // production ingest path — encoded, framed, CRC-checked, admitted through
+  // the tenant session — over a real loopback socket.  The report must be
+  // byte-identical to the in-process run (tool_vapro_run_net_equivalence).
+  std::unique_ptr<net::IngestPlane> plane;
+  std::unique_ptr<net::IngestServer> ingest_server;
+  std::unique_ptr<net::IngestClient> ingest_client;
+  net::TenantSession* tenant = nullptr;
+  if (args.get_bool("net-loopback")) {
+    net::PlaneOptions popts;
+    popts.obs = want_obs ? &obs_ctx : nullptr;
+    plane = std::make_unique<net::IngestPlane>(popts);
+    net::TenantOptions topts;
+    topts.name = "default";
+    topts.ranks = config.ranks;
+    topts.server = core::server_options_from(options, config.machine);
+    tenant = plane->add_tenant(std::move(topts));
+    ingest_server = std::make_unique<net::IngestServer>(plane.get());
+    std::string error;
+    if (!ingest_server->start(0, &error)) {
+      std::cerr << "ingest server: " << error << "\n";
+      return 1;
+    }
+    net::ClientOptions ncopts;
+    ncopts.port = ingest_server->port();
+    ncopts.tenant = "default";
+    ncopts.ranks = static_cast<std::uint32_t>(config.ranks);
+    ingest_client = std::make_unique<net::IngestClient>(ncopts);
+    if (!ingest_client->connect(&error)) {
+      std::cerr << "ingest client: " << error << "\n";
+      return 1;
+    }
+    options.external_server = tenant->server();
+    options.batch_transport = [&ingest_client](core::FragmentBatch&& batch,
+                                               double drain_seconds) {
+      std::string send_error;
+      if (!ingest_client->send_batch(batch, drain_seconds, &send_error))
+        std::cerr << "ingest send: " << send_error << "\n";
+    };
+    options.transport_sync = [tenant, &ingest_client] {
+      std::string flush_error;
+      ingest_client->flush(&flush_error);
+      tenant->sync();
+    };
+  }
+
   core::VaproSession session(simulator, options);
 
   // Optional trace recording, teeing into the live session.
@@ -188,6 +241,14 @@ int main(int argc, char** argv) {
   const double run_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
+  if (ingest_client) {
+    // Deliver any held frame, drain the admission queue, and settle the
+    // backend before the report reads it.
+    std::string flush_error;
+    if (!ingest_client->flush(&flush_error))
+      std::cerr << "ingest flush: " << flush_error << "\n";
+    tenant->sync();
+  }
   if (writer) {
     writer->trace().save(trace_path);
     std::cout << "trace: " << writer->trace().size() << " events ("

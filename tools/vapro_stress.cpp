@@ -39,6 +39,9 @@
 #include "src/core/server.hpp"
 #include "src/core/server_group.hpp"
 #include "src/core/vapro.hpp"
+#include "src/net/client.hpp"
+#include "src/net/server.hpp"
+#include "src/net/session.hpp"
 #include "src/obs/alerts.hpp"
 #include "src/obs/context.hpp"
 #include "src/obs/latency.hpp"
@@ -74,6 +77,19 @@ int usage() {
       "                     byte-compare region tables, rare-path tables,\n"
       "                     journal-replay tables and the seq-normalized\n"
       "                     journal event stream against the serial base\n"
+      "  --net              net-transport equivalence variant: feed every\n"
+      "                     scenario through the framed wire protocol over\n"
+      "                     a loopback socket (IngestClient -> IngestServer\n"
+      "                     -> TenantSession admission) and byte-compare\n"
+      "                     region/rare/critical-path tables against an\n"
+      "                     in-process reference fed the identical batches;\n"
+      "                     with --fault-plan the tables may differ but\n"
+      "                     every dropped batch must be accounted by a\n"
+      "                     journaled shed/net_drop event and no fragment\n"
+      "                     may be double-counted\n"
+      "  --tenants=N        --net: concurrent tenant streams (default 1);\n"
+      "                     each tenant runs its own scenario and must\n"
+      "                     reproduce its own isolated reference report\n"
       "  --score            detection-quality scoreboard mode: run the\n"
       "                     app x noise matrix deterministically, score\n"
       "                     detections and diagnoses against the injected\n"
@@ -546,6 +562,273 @@ RoundResult run_round(int round, std::uint64_t seed,
   return rr;
 }
 
+// --- net-transport equivalence (--net) ------------------------------------
+//
+// The same scenario generator, but every window batch crosses the framed
+// wire protocol: per-tenant IngestClient -> loopback TCP -> IngestServer ->
+// TenantSession admission -> AnalysisServer.  Each tenant runs its own
+// scenario against its own isolated backend/journal/clock, so the check is
+// simultaneously a transport-transparency property (socket ingest changes
+// nothing) and a multi-tenant isolation property (neighbors change
+// nothing).  Without faults every tenant's region, rare-path, and
+// critical-path tables must be byte-identical to an in-process reference
+// fed the very same batches.  With a seeded net fault plan the tables may
+// legitimately differ (batches shed), but every unique sequence number
+// must have exactly one durable fate, every missing fragment must trace to
+// a journaled shed/net_drop event, and nothing may be double-counted —
+// retransmits (torn frames, reset connections, duplicated batches) dedup.
+
+struct NetTenantPlan {
+  Scenario sc;
+  std::vector<core::FragmentBatch> batches;
+  std::size_t total_fragments = 0;
+};
+
+struct NetArtifacts {
+  std::string region_tables[3];
+  std::string rare_table;
+  std::string critical_path;
+};
+
+NetArtifacts collect_net_artifacts(core::AnalysisServer& server,
+                                   double bin_seconds) {
+  NetArtifacts art;
+  for (int k = 0; k < 3; ++k)
+    art.region_tables[k] =
+        core::render_region_table(server.locate(kKinds[k]), bin_seconds);
+  art.rare_table = rare_findings_fingerprint(server.rare_findings());
+  art.critical_path = obs::render_critical_path_table(
+      server.latency_tracker().recent(), server.latency_tracker().summary());
+  return art;
+}
+
+bool run_net_round(int round, std::uint64_t seed, int tenants,
+                   const std::string& scratch, bool faulted) {
+  const double window_seconds = 0.25;
+  const double bin_seconds = 0.05;
+  bool pass = true;
+  auto require = [&pass](bool ok, const std::string& what) {
+    if (!ok) {
+      pass = false;
+      std::cout << "  NET INVARIANT VIOLATED: " << what << "\n";
+    }
+  };
+
+  std::cout << "net round " << round << ": tenants=" << tenants
+            << " faulted=" << (faulted ? 1 : 0) << "\n";
+
+  // Per-tenant scenario plus the full batch sequence, generated once so the
+  // reference run and the socket run feed byte-identical windows.
+  std::vector<NetTenantPlan> plans;
+  for (int t = 0; t < tenants; ++t) {
+    util::Rng rng(seed ^
+                  (0x5bd1e995ULL * static_cast<std::uint64_t>(round + 1)) ^
+                  (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t)));
+    NetTenantPlan plan;
+    plan.sc = make_scenario(rng);
+    for (int w = 0; w < plan.sc.windows; ++w) {
+      core::FragmentBatch b =
+          make_window_batch(plan.sc, w, window_seconds, rng);
+      plan.total_fragments += b.fragments.size();
+      plan.batches.push_back(std::move(b));
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  auto server_opts = [bin_seconds](obs::ObsContext* ctx, util::Clock* clock) {
+    core::ServerOptions opts;
+    opts.bin_seconds = bin_seconds;
+    opts.cluster.min_cluster_size = 3;
+    opts.run_diagnosis = false;
+    opts.obs = ctx;
+    opts.clock = clock;
+    return opts;
+  };
+
+  // In-process reference: one isolated single server per tenant (the
+  // critical-path tracker is a single-server instrument) fed the identical
+  // batches on an identically-advanced virtual clock.
+  std::vector<NetArtifacts> reference;
+  for (int t = 0; t < tenants; ++t) {
+    const NetTenantPlan& plan = plans[static_cast<std::size_t>(t)];
+    util::VirtualClock vclock;
+    obs::ObsContext ctx;
+    ctx.set_clock(&vclock);
+    core::AnalysisServer server(plan.sc.ranks, server_opts(&ctx, &vclock));
+    for (const core::FragmentBatch& b : plan.batches) {
+      server.process_window(core::FragmentBatch(b), /*drain_seconds=*/0.0);
+      vclock.advance(window_seconds);
+    }
+    server.sync();
+    reference.push_back(collect_net_artifacts(server, bin_seconds));
+  }
+
+  // Socket run: one plane, one ingest endpoint, N tenant streams.  Tenant
+  // clocks are isolated and advanced in lockstep with the reference runs;
+  // the plane clock only timestamps shed events and queue accounting.
+  util::VirtualClock plane_clock;
+  obs::ObsContext plane_ctx;
+  plane_ctx.set_clock(&plane_clock);
+  net::PlaneOptions popts;
+  popts.obs = &plane_ctx;
+  popts.clock = &plane_clock;
+  net::IngestPlane plane(popts);
+
+  std::vector<std::unique_ptr<util::VirtualClock>> clocks;
+  std::vector<std::unique_ptr<obs::ObsContext>> ctxs;
+  std::vector<net::TenantSession*> sessions;
+  std::vector<std::string> journal_paths;
+  for (int t = 0; t < tenants; ++t) {
+    clocks.push_back(std::make_unique<util::VirtualClock>());
+    ctxs.push_back(std::make_unique<obs::ObsContext>());
+    ctxs.back()->set_clock(clocks.back().get());
+    journal_paths.push_back(scratch + "/net-round" + std::to_string(round) +
+                            "-tenant" + std::to_string(t) + ".jsonl");
+    if (!ctxs.back()->attach_journal_file(journal_paths.back())) {
+      require(false, "tenant journal unwritable");
+      return pass;
+    }
+    net::TenantOptions topts;
+    topts.name = "tenant" + std::to_string(t);
+    topts.ranks = plans[static_cast<std::size_t>(t)].sc.ranks;
+    topts.server = server_opts(ctxs.back().get(), clocks.back().get());
+    topts.admission = faulted ? net::AdmissionPolicy::kShedOldest
+                              : net::AdmissionPolicy::kBlock;
+    sessions.push_back(plane.add_tenant(std::move(topts)));
+  }
+
+  net::IngestServer ingest(&plane);
+  std::string error;
+  if (!ingest.start(0, &error)) {
+    require(false, "ingest server start: " + error);
+    return pass;
+  }
+  std::vector<std::unique_ptr<net::IngestClient>> clients;
+  for (int t = 0; t < tenants; ++t) {
+    net::ClientOptions copts;
+    copts.port = ingest.port();
+    copts.tenant = "tenant" + std::to_string(t);
+    copts.ranks =
+        static_cast<std::uint32_t>(plans[static_cast<std::size_t>(t)].sc.ranks);
+    copts.sleep_fn = [](double) {};  // retry backoff must not burn real time
+    clients.push_back(std::make_unique<net::IngestClient>(copts));
+    if (!clients.back()->connect(&error)) {
+      require(false, "client connect: " + error);
+      return pass;
+    }
+  }
+
+  // Sends are serialized (each batch ack completes before the next send),
+  // so fault-site hit order — hence the shed set — is a pure function of
+  // the plan, and two runs of the same seed print byte-identical reports.
+  int max_windows = 0;
+  for (const NetTenantPlan& p : plans)
+    max_windows = std::max(max_windows, p.sc.windows);
+  for (int w = 0; w < max_windows; ++w) {
+    for (int t = 0; t < tenants; ++t) {
+      if (w >= plans[static_cast<std::size_t>(t)].sc.windows) continue;
+      std::string send_error;
+      require(clients[static_cast<std::size_t>(t)]->send_batch(
+                  plans[static_cast<std::size_t>(t)].batches[
+                      static_cast<std::size_t>(w)],
+                  /*drain_seconds=*/0.0, &send_error),
+              "send_batch: " + send_error);
+    }
+    plane.sync_all();
+    for (int t = 0; t < tenants; ++t)
+      if (w < plans[static_cast<std::size_t>(t)].sc.windows)
+        clocks[static_cast<std::size_t>(t)]->advance(window_seconds);
+  }
+  for (auto& client : clients) {
+    std::string flush_error;
+    require(client->flush(&flush_error), "flush: " + flush_error);
+  }
+  plane.sync_all();
+
+  for (int t = 0; t < tenants; ++t) {
+    const std::size_t ti = static_cast<std::size_t>(t);
+    const NetTenantPlan& plan = plans[ti];
+    net::TenantSession* session = sessions[ti];
+    const net::TenantStats st = session->stats();
+    session->journal_detection_snapshot();
+    ctxs[ti]->journal()->flush();
+
+    std::cout << "  tenant" << t << ": ranks=" << plan.sc.ranks
+              << " windows=" << plan.sc.windows
+              << " fragments_sent=" << plan.total_fragments
+              << " admitted=" << st.admitted << " shed=" << st.shed
+              << " rejected=" << st.rejected
+              << " duplicates=" << st.duplicates
+              << " reordered=" << st.reordered
+              << " processed=" << session->fragments_processed() << "\n";
+
+    // Every unique seq has exactly one durable fate.
+    require(st.submitted - st.duplicates ==
+                st.admitted + st.shed + st.rejected,
+            "tenant" + std::to_string(t) +
+                ": seq fates don't partition unique submissions");
+    require(session->windows_processed() == st.admitted,
+            "tenant" + std::to_string(t) +
+                ": windows processed != batches admitted");
+
+    // Journal accounting: every fragment the backend never saw traces to
+    // exactly one shed/net_drop event carrying its batch's fragment count.
+    obs::JournalReadOptions ropts;
+    const obs::JournalReadResult read =
+        obs::read_journal(journal_paths[ti], ropts);
+    require(read.ok, "tenant journal unreadable: " + read.error);
+    if (read.ok) {
+      std::size_t shed_events = 0, drop_events = 0;
+      std::size_t dropped_fragments = 0;
+      for (const obs::JournalEvent& ev : read.events) {
+        if (ev.type == "shed") {
+          ++shed_events;
+          dropped_fragments += static_cast<std::size_t>(ev.number("fragments"));
+        } else if (ev.type == "net_drop") {
+          ++drop_events;
+          dropped_fragments += static_cast<std::size_t>(ev.number("fragments"));
+        }
+      }
+      require(shed_events == st.shed,
+              "journaled shed events != shed stat");
+      require(drop_events == st.rejected,
+              "journaled net_drop events != rejected stat");
+      require(session->fragments_processed() + dropped_fragments ==
+                  plan.total_fragments,
+              "tenant" + std::to_string(t) +
+                  ": fragment accounting leaks (processed + dropped != sent)");
+    }
+
+    if (!faulted) {
+      require(st.shed == 0 && st.rejected == 0 && st.duplicates == 0,
+              "clean run saw sheds/rejects/duplicates");
+      const NetArtifacts net_art =
+          collect_net_artifacts(*session->server(), bin_seconds);
+      const NetArtifacts& ref = reference[ti];
+      bool equal = true;
+      for (int k = 0; k < 3; ++k)
+        equal = equal && net_art.region_tables[k] == ref.region_tables[k];
+      require(equal, "region tables differ from in-process reference");
+      require(net_art.rare_table == ref.rare_table,
+              "rare-path table differs from in-process reference");
+      require(net_art.critical_path == ref.critical_path,
+              "critical-path table differs from in-process reference");
+      if (pass)
+        std::cout << "  tenant" << t
+                  << ": socket ingest == in-process reference: OK\n";
+    }
+  }
+
+  std::cout << "  plane: shed_total=" << plane.shed_total()
+            << " frames_torn=" << ingest.frames_torn()
+            << " conn_resets=" << ingest.conn_resets()
+            << " batches_received=" << ingest.batches_received()
+            << " protocol_errors=" << ingest.protocol_errors() << "\n";
+  if (!faulted)
+    require(!plane.degraded(), "degraded latched without any shed");
+  return pass;
+}
+
 // --- detection-quality scoreboard (--score) -------------------------------
 //
 // Runs a fixed app x noise matrix: every cell is one deterministic
@@ -751,6 +1034,8 @@ int main(int argc, char** argv) {
   const std::string plan_path = args.get("fault-plan", "");
   const bool verbose = args.get_bool("verbose");
   const bool equivalence = args.get_bool("equivalence");
+  const bool net_mode = args.get_bool("net");
+  const int tenants = args.get_int("tenants", 1);
   vapro::tools::PipelineCli pipeline_cli;
   if (!pipeline_cli.parse(args)) return 2;
 
@@ -771,11 +1056,21 @@ int main(int argc, char** argv) {
 
   std::cout << "vapro_stress seed=" << seed << " rounds=" << rounds
             << " fault_plan=" << (plan_path.empty() ? "none" : "armed")
-            << " fault_rules=" << plan.rules.size()
-            << " mode=" << (equivalence ? "equivalence" : "fuzz") << "\n";
+            << " fault_rules=" << plan.rules.size() << " mode="
+            << (net_mode ? "net" : equivalence ? "equivalence" : "fuzz")
+            << "\n";
 
   int failed = 0;
-  if (equivalence) {
+  if (net_mode) {
+    for (int r = 0; r < rounds; ++r) {
+      // Re-arm per round so every round observes the same per-site fault
+      // sequence (the reference runs never touch net.* sites).
+      if (!plan_path.empty())
+        vapro::testing::FaultInjector::instance().arm(plan);
+      if (!run_net_round(r, seed, tenants, scratch, !plan_path.empty()))
+        ++failed;
+    }
+  } else if (equivalence) {
     // The property: the same scenario produces byte-identical detection
     // artifacts for EVERY pipeline-depth x analysis-threads combination.
     // Each round runs the serial base (depth 1, 1 thread) and then the
