@@ -44,10 +44,10 @@ Series collect(const sim::NoiseSpec& noise) {
     }
     if (!biggest) return;
     for (std::size_t idx : biggest->members) {
-      const core::Fragment& f = stg.fragment(idx);
-      if (f.rank != 0) continue;
-      series.tot_ins.push_back(f.counters[pmu::Counter::kTotIns]);
-      series.tsc.push_back(f.counters[pmu::Counter::kTsc]);
+      const core::FragmentView f = stg.fragment(idx);
+      if (f.rank() != 0) continue;
+      series.tot_ins.push_back(f.counters()[pmu::Counter::kTotIns]);
+      series.tsc.push_back(f.counters()[pmu::Counter::kTsc]);
     }
   };
   core::VaproSession session(simulator, opts);

@@ -63,9 +63,9 @@ int main() {
       for (std::size_t idx : c.members) {
         const auto& f = stg.fragment(idx);
         if (f.duration() > 1.2 * fastest) continue;
-        ref_be += core::factor_value(core::FactorId::kBackend, f.counters,
+        ref_be += core::factor_value(core::FactorId::kBackend, f.counters(),
                                      machine);
-        ref_sp += core::factor_value(core::FactorId::kSuspension, f.counters,
+        ref_sp += core::factor_value(core::FactorId::kSuspension, f.counters(),
                                      machine);
         ++normals;
       }
@@ -76,9 +76,9 @@ int main() {
       for (std::size_t idx : c.members) {
         const auto& f = stg.fragment(idx);
         const double be = core::factor_value(core::FactorId::kBackend,
-                                             f.counters, machine) - ref_be;
+                                             f.counters(), machine) - ref_be;
         const double sp = core::factor_value(core::FactorId::kSuspension,
-                                             f.counters, machine) - ref_sp;
+                                             f.counters(), machine) - ref_sp;
         const double slowdown = f.duration() - fastest;
         const bool abnormal = f.duration() > 1.2 * fastest;
         std::string cls = "Normal";
@@ -116,8 +116,8 @@ int main() {
       for (std::size_t idx : biggest->members) {
         const auto& f = stg.fragment(idx);
         if (f.duration() > 1.2 * fastest) continue;
-        ref_be += core::factor_value(core::FactorId::kBackend, f.counters, machine);
-        ref_sp += core::factor_value(core::FactorId::kSuspension, f.counters, machine);
+        ref_be += core::factor_value(core::FactorId::kBackend, f.counters(), machine);
+        ref_sp += core::factor_value(core::FactorId::kSuspension, f.counters(), machine);
         ++normals;
       }
       ref_be /= std::max(1, normals);
@@ -125,9 +125,9 @@ int main() {
       for (std::size_t idx : biggest->members) {
         const auto& f = stg.fragment(idx);
         formula_be += std::max(
-            0.0, core::factor_value(core::FactorId::kBackend, f.counters, machine) - ref_be);
+            0.0, core::factor_value(core::FactorId::kBackend, f.counters(), machine) - ref_be);
         formula_sp += std::max(
-            0.0, core::factor_value(core::FactorId::kSuspension, f.counters, machine) - ref_sp);
+            0.0, core::factor_value(core::FactorId::kSuspension, f.counters(), machine) - ref_sp);
       }
     }
   };

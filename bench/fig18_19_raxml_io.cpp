@@ -60,10 +60,12 @@ int main() {
     opts.bin_seconds = 0.15;
     opts.window_observer = [&](const core::Stg& stg,
                                const core::ClusteringResult&) {
-      for (const auto& f : stg.fragments()) {
-        if (f.kind != core::FragmentKind::kIo || f.rank != 0) continue;
-        if (f.op == sim::OpKind::kFileRead) read_times.push_back(f.duration());
-        if (f.op == sim::OpKind::kFileWrite) write_times.push_back(f.duration());
+      for (const core::FragmentView f : stg.fragments()) {
+        if (f.kind() != core::FragmentKind::kIo || f.rank() != 0) continue;
+        if (f.op() == sim::OpKind::kFileRead)
+          read_times.push_back(f.duration());
+        if (f.op() == sim::OpKind::kFileWrite)
+          write_times.push_back(f.duration());
       }
     };
     core::VaproSession session(simulator, opts);

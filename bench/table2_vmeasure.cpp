@@ -33,8 +33,8 @@ Scored score(const sim::Simulator::RankProgram& program, int ranks) {
   std::size_t labelled = 0;
   opts.window_observer = [&](const core::Stg& stg,
                              const core::ClusteringResult&) {
-    for (const auto& f : stg.fragments()) {
-      if (f.kind == core::FragmentKind::kComputation && f.truth_class >= 0)
+    for (const core::FragmentView f : stg.fragments()) {
+      if (f.kind() == core::FragmentKind::kComputation && f.truth_class() >= 0)
         ++labelled;
     }
   };

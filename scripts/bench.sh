@@ -7,6 +7,7 @@
 #                                 BENCH_obs.json       (obs_overhead)
 #                                 BENCH_quality.json   (vapro_stress --score)
 #                                 BENCH_latency.json   (latency_profile)
+#                                 BENCH_journal.json   (journal_throughput)
 #
 # Each file holds {"bench": ..., "results": [{name, reps, median, p95}]};
 # see bench::JsonReport in bench/bench_common.hpp.  The bars the benches
@@ -16,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja > /dev/null
-cmake --build build --target pipeline_scaling obs_overhead latency_profile vapro_stress > /dev/null
+cmake --build build --target pipeline_scaling obs_overhead latency_profile journal_throughput vapro_stress > /dev/null
 
 ./build/bench/pipeline_scaling --json BENCH_pipeline.json
 ./build/bench/obs_overhead --json BENCH_obs.json
@@ -28,5 +29,8 @@ cmake --build build --target pipeline_scaling obs_overhead latency_profile vapro
 # Per-stage latency profile on the deterministic TickClock: also
 # byte-identical per commit; scripts/latency_schema.py validates it in CI.
 ./build/bench/latency_profile --json BENCH_latency.json
+# Segmented journal store throughput (both framings, read-back,
+# compaction); scripts/journal_schema.py validates the shape in CI.
+./build/bench/journal_throughput --json BENCH_journal.json
 
-echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json BENCH_quality.json BENCH_latency.json"
+echo "bench.sh OK: BENCH_pipeline.json BENCH_obs.json BENCH_quality.json BENCH_latency.json BENCH_journal.json"

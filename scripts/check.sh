@@ -37,8 +37,8 @@ if [ -n "$sanitize" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DVAPRO_FAULT_INJECTION=ON
   cmake --build "$build"
   ctest --test-dir "$build" --output-on-failure
-  echo "--- $sanitize: fault + stress + net labels ---"
-  ctest --test-dir "$build" -L 'fault|stress|net' --output-on-failure
+  echo "--- $sanitize: fault + stress + net + soa + journal labels ---"
+  ctest --test-dir "$build" -L 'fault|stress|net|soa|journal' --output-on-failure
   echo "check.sh --sanitize=$sanitize OK"
   exit 0
 fi
@@ -69,6 +69,7 @@ echo "--- exposition + journal smoke ---"
 # tool lingers, and validate journal + Prometheus output shape.
 ./build/tools/vapro_run --app=CG --ranks=32 --noise=io:1:0.3:1.5:2.0 \
   --listen=0 --listen-linger=6 --journal-out="$obs_tmp/run.jsonl" \
+  --journal-dir="$obs_tmp/segments" --journal-rotate-bytes=1024 \
   --alert-rule='worst_cell < 0.95' > "$obs_tmp/listen.out" 2>&1 &
 run_pid=$!
 port=""
@@ -107,7 +108,8 @@ for line in open(sys.argv[1]):
         continue
     name, _, value = line.rpartition(" ")
     float(value)
-    assert name and all(c.isalnum() or c in "_:{}=\",." for c in name), line
+    # "+"/"-" appear in histogram bucket labels (le="+Inf", le="1e-08").
+    assert name and all(c.isalnum() or c in "_:{}=\",.+-" for c in name), line
     samples += 1
 assert samples > 0, "empty /metrics exposition"
 PYEOF
@@ -131,10 +133,33 @@ PYEOF
 fi
 # A journal replay must reconstruct summaries without the raw trace.
 ./build/tools/vapro_replay --from-journal "$obs_tmp/run.jsonl" \
-  > /dev/null || { echo "FAIL: vapro_replay --from-journal" >&2; exit 1; }
+  > "$obs_tmp/replay_file.txt" \
+  || { echo "FAIL: vapro_replay --from-journal" >&2; exit 1; }
+# The same run also journaled into rotated binary segments: replaying the
+# directory must reproduce the single-file replay byte for byte.
+[ -d "$obs_tmp/segments" ] \
+  || { echo "FAIL: --journal-dir wrote no segments" >&2; exit 1; }
+seg_count="$(ls "$obs_tmp/segments" | wc -l)"
+[ "$seg_count" -ge 2 ] \
+  || { echo "FAIL: expected rotation, got $seg_count segment(s)" >&2; exit 1; }
+./build/tools/vapro_replay --from-journal "$obs_tmp/segments" \
+  > "$obs_tmp/replay_dir.txt" \
+  || { echo "FAIL: vapro_replay --from-journal DIR" >&2; exit 1; }
+cmp "$obs_tmp/replay_file.txt" "$obs_tmp/replay_dir.txt" \
+  || { echo "FAIL: segment-dir replay differs from file replay" >&2; exit 1; }
+# Offline compaction must preserve replay byte-identity while dropping
+# superseded quality/region revisions.
+./build/tools/vapro_replay --compact-journal "$obs_tmp/run.jsonl" \
+  --compact-out="$obs_tmp/compacted.vjseg" \
+  || { echo "FAIL: vapro_replay --compact-journal" >&2; exit 1; }
+./build/tools/vapro_replay --from-journal "$obs_tmp/compacted.vjseg" \
+  > "$obs_tmp/replay_compacted.txt" \
+  || { echo "FAIL: vapro_replay on compacted journal" >&2; exit 1; }
+cmp "$obs_tmp/replay_file.txt" "$obs_tmp/replay_compacted.txt" \
+  || { echo "FAIL: compaction broke replay byte-identity" >&2; exit 1; }
 ctest --test-dir build -L obs --output-on-failure > /dev/null \
   || { echo "FAIL: ctest -L obs" >&2; exit 1; }
-echo "exposition + journal smoke OK"
+echo "exposition + journal + compaction smoke OK"
 
 echo "--- experiment reproduction ---"
 for b in build/bench/*; do

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/columns.hpp"
 #include "src/core/fragment.hpp"
 #include "src/core/stg.hpp"
 #include "src/obs/context.hpp"
@@ -59,9 +60,12 @@ struct ClientOptions {
 };
 
 // One window's worth of data shipped from clients to the server.
+// Fragments travel as SoA columns end-to-end: the client appends into
+// them, drain() moves them out (arena swap), and the server adopts them
+// into the window STG without a copy.
 struct FragmentBatch {
   std::vector<sim::InvocationInfo> new_states;
-  std::vector<Fragment> fragments;
+  FragmentColumns fragments;
 };
 
 class VaproClient final : public sim::Interceptor {

@@ -1,6 +1,7 @@
 #include "src/core/clustering.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/check.hpp"
 #include "src/util/pipeline.hpp"
@@ -36,27 +37,79 @@ void ClusterSeedCache::record(std::uint64_t hits, std::uint64_t misses) {
 
 namespace {
 
+// One row of the norm-sorted sweep.  The workload dims themselves live in
+// EntryBlock::dims (one flat column for the whole work item) — sorting
+// moves only these 24-byte records, and the sweep's norm comparisons walk
+// a contiguous array instead of hopping between per-fragment vectors.
 struct NormEntry {
-  std::size_t frag_idx;
-  WorkloadVector vec;
   double norm;
+  std::size_t frag_idx;
+  std::size_t pos;  // row index into EntryBlock::dims (pre-sort order)
 };
 
-// Builds the norm-sorted entry list Algorithm 1 sweeps over.
-std::vector<NormEntry> make_entries(const Stg& stg,
-                                    const std::vector<std::size_t>& indices,
-                                    const ClusterOptions& opts) {
+// Algorithm 1's input: a dense row-major dims block plus norm-sorted
+// entries pointing into it.  All fragments of one work item share a kind
+// (one STG edge → computation, one vertex → its op's kind), so every row
+// has the same width.
+struct EntryBlock {
+  std::vector<double> dims;
   std::vector<NormEntry> entries;
-  entries.reserve(indices.size());
-  for (std::size_t idx : indices) {
-    WorkloadVector v = make_workload_vector(stg.fragment(idx), opts.proxies);
-    double n = v.norm();
-    entries.push_back(NormEntry{idx, std::move(v), n});
+  std::size_t dim_count = 0;
+
+  const double* row(std::size_t pos) const {
+    return dims.data() + pos * dim_count;
+  }
+};
+
+// Identical floating-point op order to WorkloadVector::norm()/distance()
+// (src/core/fragment.cpp) — the SoA sweep must reproduce the AoS sweep's
+// results bit-for-bit, and FP summation order is part of that contract.
+double row_norm(const double* d, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += d[i] * d[i];
+  return std::sqrt(s);
+}
+
+double row_distance(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double seed_to_row_distance(const WorkloadVector& seed, const double* row,
+                            std::size_t n) {
+  VAPRO_DCHECK(seed.dims.size() == n);
+  return row_distance(seed.dims.data(), row, n);
+}
+
+// Builds the norm-sorted entry block Algorithm 1 sweeps over.  The sort
+// comparator looks only at norms, exactly like the AoS version did, so
+// std::sort — whose control flow is a pure function of the comparator
+// outcome sequence — produces the same permutation it always did.
+EntryBlock make_entries(const Stg& stg, const std::vector<std::size_t>& indices,
+                        const ClusterOptions& opts) {
+  EntryBlock blk;
+  const FragmentColumns& cols = stg.fragments();
+  blk.dim_count =
+      workload_dim_count(cols.kind(indices.front()), opts.proxies.size());
+  blk.dims.resize(indices.size() * blk.dim_count);
+  blk.entries.reserve(indices.size());
+  for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+    const std::size_t idx = indices[pos];
+    VAPRO_DCHECK(workload_dim_count(cols.kind(idx), opts.proxies.size()) ==
+                 blk.dim_count);
+    double* row = blk.dims.data() + pos * blk.dim_count;
+    write_workload_dims(cols.kind(idx), cols.counters(idx), cols.args(idx),
+                        cols.op(idx), opts.proxies, row);
+    blk.entries.push_back(NormEntry{row_norm(row, blk.dim_count), idx, pos});
   }
   std::sort(
-      entries.begin(), entries.end(),
+      blk.entries.begin(), blk.entries.end(),
       [](const NormEntry& a, const NormEntry& b) { return a.norm < b.norm; });
-  return entries;
+  return blk;
 }
 
 // Absolute radius: relative threshold of the seed norm, with a floor so
@@ -68,24 +121,27 @@ double seed_radius(double norm, const ClusterOptions& opts) {
 // The fresh seeding sweep: every unused entry in norm order seeds a
 // cluster that absorbs later unused entries within its radius.  Appends to
 // `out`; marks consumed entries in `used`.
-void sweep_fresh(const std::vector<NormEntry>& entries, std::vector<bool>& used,
-                 const Fragment& first, const ClusterOptions& opts,
+void sweep_fresh(const EntryBlock& blk, std::vector<bool>& used,
+                 FragmentView first, const ClusterOptions& opts,
                  std::vector<Cluster>& out) {
+  const std::vector<NormEntry>& entries = blk.entries;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (used[i]) continue;
     // Smallest-norm unprocessed fragment seeds a new cluster.
     Cluster cluster;
-    cluster.from = first.from;
-    cluster.to = first.to;
-    cluster.kind = first.kind;
+    cluster.from = first.from();
+    cluster.to = first.to();
+    cluster.kind = first.kind();
     cluster.seed_norm = entries[i].norm;
     cluster.members.push_back(entries[i].frag_idx);
     used[i] = true;
     const double radius = seed_radius(entries[i].norm, opts);
+    const double* seed_row = blk.row(entries[i].pos);
     for (std::size_t j = i + 1; j < entries.size(); ++j) {
       if (entries[j].norm - entries[i].norm > radius) break;  // sorted sweep
       if (used[j]) continue;
-      if (entries[i].vec.distance(entries[j].vec) <= radius) {
+      if (row_distance(seed_row, blk.row(entries[j].pos), blk.dim_count) <=
+          radius) {
         cluster.members.push_back(entries[j].frag_idx);
         used[j] = true;
       }
@@ -103,9 +159,9 @@ std::vector<Cluster> cluster_fragments(const Stg& stg,
                                        const ClusterOptions& opts) {
   std::vector<Cluster> out;
   if (indices.empty()) return out;
-  std::vector<NormEntry> entries = make_entries(stg, indices, opts);
-  std::vector<bool> used(entries.size(), false);
-  sweep_fresh(entries, used, stg.fragment(indices.front()), opts, out);
+  EntryBlock blk = make_entries(stg, indices, opts);
+  std::vector<bool> used(blk.entries.size(), false);
+  sweep_fresh(blk, used, stg.fragment(indices.front()), opts, out);
   return out;
 }
 
@@ -115,9 +171,10 @@ std::vector<Cluster> cluster_fragments_cached(
     ClusterSeedCache* cache) {
   std::vector<Cluster> out;
   if (indices.empty()) return out;
-  std::vector<NormEntry> entries = make_entries(stg, indices, opts);
+  EntryBlock blk = make_entries(stg, indices, opts);
+  const std::vector<NormEntry>& entries = blk.entries;
   std::vector<bool> used(entries.size(), false);
-  const Fragment& first = stg.fragment(indices.front());
+  const FragmentView first = stg.fragment(indices.front());
 
   // Pass 1: attach fragments to cached seeds.  Seeds are visited in
   // ascending norm order and each fragment joins the first seed that
@@ -134,15 +191,16 @@ std::vector<Cluster> cluster_fragments_cached(
         entries.begin(), entries.end(), seed.norm - radius,
         [](const NormEntry& e, double v) { return e.norm < v; });
     Cluster cluster;
-    cluster.from = first.from;
-    cluster.to = first.to;
-    cluster.kind = first.kind;
+    cluster.from = first.from();
+    cluster.to = first.to();
+    cluster.kind = first.kind();
     cluster.seed_norm = seed.norm;
     for (auto it = lo; it != entries.end(); ++it) {
       if (it->norm - seed.norm > radius) break;
       const std::size_t i = static_cast<std::size_t>(it - entries.begin());
       if (used[i]) continue;
-      if (seed.vec.distance(it->vec) <= radius) {
+      if (seed_to_row_distance(seed.vec, blk.row(it->pos), blk.dim_count) <=
+          radius) {
         cluster.members.push_back(it->frag_idx);
         used[i] = true;
         ++hits;
@@ -160,7 +218,7 @@ std::vector<Cluster> cluster_fragments_cached(
   for (std::size_t i = 0; i < used.size(); ++i)
     if (!used[i]) ++misses;
   const std::size_t fresh_begin = out.size();
-  sweep_fresh(entries, used, first, opts, out);
+  sweep_fresh(blk, used, first, opts, out);
 
   // The entry becomes this window's seed set: surviving cached seeds keep
   // their original vectors (stable identity), fresh clusters contribute

@@ -1,0 +1,203 @@
+// Structure-of-arrays fragment storage (the hot-path window layout).
+//
+// A window's fragments used to live in std::vector<Fragment> — one 200+
+// byte struct per fragment, so clustering's norm sort and region growing's
+// sweeps dragged counters/args cache lines they never read.  Here every
+// field is its own contiguous column, sized together and carved from one
+// per-window bump arena (src/util/arena.hpp):
+//
+//   kind | rank | from | to | start | end | counters | args | op | truth
+//
+// The counters column is pmu::CounterSample[] — CounterSample is a plain
+// std::array<double, kCounterCount>, so the column IS a dense n×18 double
+// block without any reinterpret_cast (keeps ubsan honest).
+//
+// Ownership rules that make the pipeline fast and the tests possible:
+//   * move      = arena pointer swap (stage hand-off: drain → analysis →
+//                 publish, ServerGroup leaf merge) — no per-fragment copy;
+//   * copy      = deep copy into a fresh arena (stress/test harnesses
+//                 replay the same batch across runs);
+//   * clear()   = arena reset — chunks stay reserved, the next window
+//                 refills warm memory.
+//
+// FragmentView is the migration shim: a {columns*, index} pair with
+// field-named accessors, so code written against `const Fragment&` reads
+// (clustering, detection, diagnosis, wire encode, benches) ports by
+// swapping `.field` for `.field()`.  materialize() rebuilds a Fragment
+// when a true value copy is needed (overlap carry, chaos reordering).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/fragment.hpp"
+#include "src/util/arena.hpp"
+
+namespace vapro::core {
+
+class FragmentColumns;
+
+class FragmentView {
+ public:
+  FragmentView(const FragmentColumns* cols, std::size_t index)
+      : cols_(cols), i_(index) {}
+
+  FragmentKind kind() const;
+  sim::RankId rank() const;
+  StateKey from() const;
+  StateKey to() const;
+  double start_time() const;
+  double end_time() const;
+  const pmu::CounterSample& counters() const;
+  const sim::CommArgs& args() const;
+  sim::OpKind op() const;
+  std::int64_t truth_class() const;
+  double duration() const { return end_time() - start_time(); }
+
+  // Value copy, for the few sites that need to own a Fragment (overlap
+  // carry-over, wire chaos reordering, test fixtures).
+  Fragment materialize() const;
+
+  std::size_t index() const { return i_; }
+
+ private:
+  const FragmentColumns* cols_;
+  std::size_t i_;
+};
+
+class FragmentColumns {
+ public:
+  FragmentColumns() = default;
+  ~FragmentColumns() = default;
+
+  // Move = arena swap: O(1), no fragment is touched.  The moved-from
+  // object is left empty and reusable.
+  FragmentColumns(FragmentColumns&& other) noexcept;
+  FragmentColumns& operator=(FragmentColumns&& other) noexcept;
+
+  // Copy = deep copy into a fresh arena.
+  FragmentColumns(const FragmentColumns& other);
+  FragmentColumns& operator=(const FragmentColumns& other);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Drops all fragments and rewinds the arena; reserved chunks are kept so
+  // the next window's columns land in warm memory.
+  void clear();
+
+  void reserve(std::size_t n);
+  void push_back(const Fragment& f);
+  void push_back(const FragmentView& v);
+  void append(const FragmentColumns& other);
+
+  // Whole-fragment overwrite (test fixtures patch fields through this:
+  // materialize → mutate → set).
+  void set(std::size_t i, const Fragment& f);
+
+  Fragment materialize(std::size_t i) const {
+    return FragmentView(this, i).materialize();
+  }
+
+  FragmentView operator[](std::size_t i) const {
+    return FragmentView(this, i);
+  }
+
+  // Per-field element access (bounds unchecked; hot paths).
+  FragmentKind kind(std::size_t i) const { return kind_[i]; }
+  sim::RankId rank(std::size_t i) const { return rank_[i]; }
+  StateKey from(std::size_t i) const { return from_[i]; }
+  StateKey to(std::size_t i) const { return to_[i]; }
+  double start_time(std::size_t i) const { return start_[i]; }
+  double end_time(std::size_t i) const { return end_[i]; }
+  const pmu::CounterSample& counters(std::size_t i) const {
+    return counters_[i];
+  }
+  const sim::CommArgs& args(std::size_t i) const { return args_[i]; }
+  sim::OpKind op(std::size_t i) const { return op_[i]; }
+  std::int64_t truth_class(std::size_t i) const { return truth_[i]; }
+  double duration(std::size_t i) const { return end_[i] - start_[i]; }
+
+  // Raw columns for contiguous sweeps (region growing, stats folds) and
+  // for the tests that prove moves really are pointer swaps.
+  const FragmentKind* kind_data() const { return kind_; }
+  const sim::RankId* rank_data() const { return rank_; }
+  const StateKey* from_data() const { return from_; }
+  const StateKey* to_data() const { return to_; }
+  const double* start_data() const { return start_; }
+  const double* end_data() const { return end_; }
+  const pmu::CounterSample* counters_data() const { return counters_; }
+
+  class const_iterator {
+   public:
+    using value_type = FragmentView;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const FragmentColumns* cols, std::size_t index)
+        : cols_(cols), i_(index) {}
+    FragmentView operator*() const { return FragmentView(cols_, i_); }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const FragmentColumns* cols_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+  // Arena telemetry (obs gauges, layout tests).
+  std::size_t arena_bytes_reserved() const { return arena_.bytes_reserved(); }
+  std::size_t arena_bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  void grow(std::size_t min_capacity);
+  void steal(FragmentColumns& other) noexcept;
+  void copy_from(const FragmentColumns& other);
+
+  util::Arena arena_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  FragmentKind* kind_ = nullptr;
+  sim::RankId* rank_ = nullptr;
+  StateKey* from_ = nullptr;
+  StateKey* to_ = nullptr;
+  double* start_ = nullptr;
+  double* end_ = nullptr;
+  pmu::CounterSample* counters_ = nullptr;
+  sim::CommArgs* args_ = nullptr;
+  sim::OpKind* op_ = nullptr;
+  std::int64_t* truth_ = nullptr;
+};
+
+inline FragmentKind FragmentView::kind() const { return cols_->kind(i_); }
+inline sim::RankId FragmentView::rank() const { return cols_->rank(i_); }
+inline StateKey FragmentView::from() const { return cols_->from(i_); }
+inline StateKey FragmentView::to() const { return cols_->to(i_); }
+inline double FragmentView::start_time() const {
+  return cols_->start_time(i_);
+}
+inline double FragmentView::end_time() const { return cols_->end_time(i_); }
+inline const pmu::CounterSample& FragmentView::counters() const {
+  return cols_->counters(i_);
+}
+inline const sim::CommArgs& FragmentView::args() const {
+  return cols_->args(i_);
+}
+inline sim::OpKind FragmentView::op() const { return cols_->op(i_); }
+inline std::int64_t FragmentView::truth_class() const {
+  return cols_->truth_class(i_);
+}
+
+// FragmentView flavor of make_workload_vector (src/core/fragment.hpp);
+// same definition via write_workload_dims.
+WorkloadVector make_workload_vector(const FragmentView& f,
+                                    const std::vector<pmu::Counter>& proxies);
+
+}  // namespace vapro::core

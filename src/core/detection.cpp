@@ -39,13 +39,13 @@ std::vector<NormalizedFragment> normalize_fragments(
     if (fastest <= 0.0) continue;  // zero-duration cluster: nothing to rank
     for (std::size_t idx : c.members) {
       if (idx < live_begin) continue;  // carry-in: context only
-      const Fragment& f = stg.fragment(idx);
+      const FragmentView f = stg.fragment(idx);
       NormalizedFragment nf;
       nf.frag_idx = idx;
-      nf.rank = f.rank;
-      nf.start = f.start_time;
-      nf.end = f.end_time;
-      nf.kind = f.kind;
+      nf.rank = f.rank();
+      nf.start = f.start_time();
+      nf.end = f.end_time();
+      nf.kind = f.kind();
       nf.perf = f.duration() > 0.0
                     ? std::min(1.0, fastest / f.duration())
                     : 1.0;
@@ -60,8 +60,8 @@ void CoverageAccumulator::add(const Stg& stg, const ClusteringResult& clusters,
   for (const Cluster& c : clusters.clusters) {
     for (std::size_t idx : c.members) {
       if (idx < live_begin) continue;  // carry-in: already counted
-      const Fragment& f = stg.fragment(idx);
-      const auto k = static_cast<std::size_t>(f.kind);
+      const FragmentView f = stg.fragment(idx);
+      const auto k = static_cast<std::size_t>(f.kind());
       observed[k] += f.duration();
       if (!c.rare) covered[k] += f.duration();
     }

@@ -23,7 +23,7 @@ std::vector<std::vector<double>> factor_columns(
     cols[f].reserve(members.size());
     for (std::size_t idx : members) {
       cols[f].push_back(
-          factor_value(factors[f], stg.fragment(idx).counters, machine));
+          factor_value(factors[f], stg.fragment(idx).counters(), machine));
     }
   }
   return cols;
@@ -215,8 +215,9 @@ ContributionWindow analyze_contributions(const Stg& stg,
       window.observed_seconds += durations[i];
       if (durations[i] <= abnormal_cut) continue;
       if (opts.focus) {
-        const Fragment& f = stg.fragment(c.members[i]);
-        if (!opts.focus->contains(f.rank, f.start_time, f.end_time)) continue;
+        const FragmentView f = stg.fragment(c.members[i]);
+        if (!opts.focus->contains(f.rank(), f.start_time(), f.end_time()))
+          continue;
       }
       ++window.abnormal_fragments;
       window.abnormal_seconds += durations[i];

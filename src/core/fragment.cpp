@@ -31,26 +31,40 @@ double WorkloadVector::distance(const WorkloadVector& other) const {
   return std::sqrt(s);
 }
 
-WorkloadVector make_workload_vector(
-    const Fragment& f, const std::vector<pmu::Counter>& proxies) {
-  WorkloadVector v;
-  switch (f.kind) {
+std::size_t workload_dim_count(FragmentKind kind, std::size_t proxy_count) {
+  return kind == FragmentKind::kComputation ? proxy_count : 3;
+}
+
+void write_workload_dims(FragmentKind kind, const pmu::CounterSample& counters,
+                         const sim::CommArgs& args, sim::OpKind op,
+                         const std::vector<pmu::Counter>& proxies,
+                         double* out) {
+  switch (kind) {
     case FragmentKind::kComputation:
-      v.dims.reserve(proxies.size());
-      for (pmu::Counter c : proxies) v.dims.push_back(f.counters[c]);
+      for (pmu::Counter c : proxies) *out++ = counters[c];
       break;
     case FragmentKind::kCommunication:
       // Arguments approximate communication workload (§3.3): size, peer,
       // and the operation.  Peer/op are scaled so that distinct values land
       // in distinct clusters regardless of the byte dimension.
-      v.dims = {f.args.bytes, static_cast<double>(f.args.peer) * 1e3,
-                static_cast<double>(f.op) * 1e3};
+      out[0] = args.bytes;
+      out[1] = static_cast<double>(args.peer) * 1e3;
+      out[2] = static_cast<double>(op) * 1e3;
       break;
     case FragmentKind::kIo:
-      v.dims = {f.args.bytes, static_cast<double>(f.args.fd) * 1e3,
-                static_cast<double>(f.op) * 1e3};
+      out[0] = args.bytes;
+      out[1] = static_cast<double>(args.fd) * 1e3;
+      out[2] = static_cast<double>(op) * 1e3;
       break;
   }
+}
+
+WorkloadVector make_workload_vector(
+    const Fragment& f, const std::vector<pmu::Counter>& proxies) {
+  WorkloadVector v;
+  v.dims.resize(workload_dim_count(f.kind, proxies.size()));
+  write_workload_dims(f.kind, f.counters, f.args, f.op, proxies,
+                      v.dims.data());
   return v;
 }
 

@@ -118,7 +118,12 @@ JournalSummary summarize_journal_file(const std::string& path) {
     s.error = read.error;
     return s;
   }
-  return summarize_journal(read.events);
+  JournalSummary s = summarize_journal(read.events);
+  // Compaction removed superseded events but recorded how many; adding
+  // them back keeps the replay's `events:` line — and therefore the whole
+  // rendered summary — byte-identical to the uncompacted journal's.
+  s.events += read.compacted_dropped;
+  return s;
 }
 
 std::string render_journal_summary(const JournalSummary& s) {

@@ -272,22 +272,25 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
   // Carry-ins from the previous window's tail enter the STG first so
   // indices below `live_begin` are exactly the carried fragments.
   const std::size_t live_begin = overlap_carry_.size();
-  for (Fragment& f : overlap_carry_) stg_.add_fragment(std::move(f));
+  for (const Fragment& f : overlap_carry_) stg_.add_fragment(f);
   overlap_carry_.clear();
+  // One contiguous scan of the end-time column finds the window end, the
+  // overlap cut selects next window's carry candidates, and then the whole
+  // batch is adopted into the STG — an arena swap when there is no carry
+  // (the steady state), never a per-fragment copy.
+  const std::size_t drained = batch.fragments.size();
+  const double* ends = batch.fragments.end_data();
   double window_end = 0.0;
-  for (Fragment& f : batch.fragments) {
-    window_end = std::max(window_end, f.end_time);
-    if (opts_.window_overlap_seconds > 0.0) {
-      overlap_carry_.push_back(f);  // candidate for the next window
-    }
-    stg_.add_fragment(std::move(f));
-  }
-  fragments_ += batch.fragments.size();
-  if (!overlap_carry_.empty()) {
+  for (std::size_t i = 0; i < drained; ++i)
+    window_end = std::max(window_end, ends[i]);
+  if (opts_.window_overlap_seconds > 0.0) {
     const double cut = window_end - opts_.window_overlap_seconds;
-    std::erase_if(overlap_carry_,
-                  [cut](const Fragment& f) { return f.end_time < cut; });
+    for (std::size_t i = 0; i < drained; ++i)
+      if (ends[i] >= cut)
+        overlap_carry_.push_back(batch.fragments.materialize(i));
   }
+  stg_.adopt_fragments(std::move(batch.fragments));
+  fragments_ += drained;
   stats.carry_ins = live_begin;
   stats.virtual_time = window_end;
   last_virtual_time_ = std::max(last_virtual_time_, window_end);
@@ -339,11 +342,11 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
     double first_start = 1e300;
     for (std::size_t idx : c.members) {
       if (idx < live_begin) continue;
-      const Fragment& f = stg_.fragment(idx);
+      const FragmentView f = stg_.fragment(idx);
       ++finding.executions;
       finding.total_seconds += f.duration();
       finding.longest_seconds = std::max(finding.longest_seconds, f.duration());
-      first_start = std::min(first_start, f.start_time);
+      first_start = std::min(first_start, f.start_time());
     }
     if (finding.total_seconds < opts_.rare_report_min_seconds) continue;
     finding.state = c.kind == FragmentKind::kComputation
@@ -395,9 +398,9 @@ void AnalysisServer::analyze_window(FragmentBatch batch, double drain_seconds,
       const std::uint64_t label = baseline_.key_of(c);
       for (std::size_t idx : c.members) {
         if (idx < live_begin) continue;
-        const Fragment& f = stg_.fragment(idx);
-        if (f.truth_class < 0) continue;
-        eval_truth_.push_back(static_cast<int>(f.truth_class % 1000000007));
+        const FragmentView f = stg_.fragment(idx);
+        if (f.truth_class() < 0) continue;
+        eval_truth_.push_back(static_cast<int>(f.truth_class() % 1000000007));
         eval_predicted_.push_back(static_cast<int>(label % 1000000007));
       }
     }

@@ -87,12 +87,18 @@ void ServerGroup::process_window(FragmentBatch batch) {
   std::vector<FragmentBatch> shards(static_cast<std::size_t>(n));
   // State announcements go to every leaf (cheap, idempotent).
   for (auto& shard : shards) shard.new_states = batch.new_states;
+  // Demux by rank with two contiguous column scans (window end, then
+  // shard routing); each shard's columns receive the fragment via a view
+  // copy — the shard batch then moves into its leaf's pipeline by arena
+  // swap.
   double window_end = 0.0;
-  for (Fragment& f : batch.fragments) {
-    window_end = std::max(window_end, f.end_time);
-    shards[static_cast<std::size_t>(f.rank % n)].fragments.push_back(
-        std::move(f));
-  }
+  const double* ends = batch.fragments.end_data();
+  for (std::size_t i = 0; i < total_fragments; ++i)
+    window_end = std::max(window_end, ends[i]);
+  const sim::RankId* ranks = batch.fragments.rank_data();
+  for (std::size_t i = 0; i < total_fragments; ++i)
+    shards[static_cast<std::size_t>(ranks[i] % n)].fragments.push_back(
+        batch.fragments[i]);
   if (pipelined_) {
     // Pipelined leaves already own an analysis worker each: hand every
     // shard to its leaf's pipeline (the hand-off only blocks for

@@ -29,23 +29,43 @@ StateKey Stg::touch_vertex(const sim::InvocationInfo& info) {
   return key;
 }
 
-std::size_t Stg::add_fragment(Fragment f) {
-  const std::size_t idx = fragments_.size();
-  if (f.kind == FragmentKind::kComputation) {
-    auto [it, inserted] = edges_.try_emplace(edge_key(f.from, f.to));
+void Stg::index_fragment(std::size_t idx, FragmentKind kind, StateKey from,
+                         StateKey to) {
+  if (kind == FragmentKind::kComputation) {
+    auto [it, inserted] = edges_.try_emplace(edge_key(from, to));
     if (inserted) {
-      it->second.from = f.from;
-      it->second.to = f.to;
+      it->second.from = from;
+      it->second.to = to;
     }
     it->second.fragments.push_back(idx);
   } else {
-    auto it = vertices_.find(f.to);
+    auto it = vertices_.find(to);
     VAPRO_CHECK_MSG(it != vertices_.end(),
-                    "vertex fragment for unknown state " << f.to);
+                    "vertex fragment for unknown state " << to);
     it->second.fragments.push_back(idx);
   }
-  fragments_.push_back(std::move(f));
+}
+
+std::size_t Stg::add_fragment(const Fragment& f) {
+  const std::size_t idx = fragments_.size();
+  index_fragment(idx, f.kind, f.from, f.to);
+  fragments_.push_back(f);
   return idx;
+}
+
+void Stg::adopt_fragments(FragmentColumns&& cols) {
+  const std::size_t begin = fragments_.size();
+  if (begin == 0) {
+    fragments_ = std::move(cols);
+  } else {
+    fragments_.append(cols);
+  }
+  // Index everything the batch brought in; add_fragment already indexed
+  // anything that was there before.
+  for (std::size_t i = begin; i < fragments_.size(); ++i) {
+    index_fragment(i, fragments_.kind(i), fragments_.from(i),
+                   fragments_.to(i));
+  }
 }
 
 std::string Stg::state_name(StateKey key) const {

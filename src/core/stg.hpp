@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/columns.hpp"
 #include "src/core/fragment.hpp"
 #include "src/sim/intercept.hpp"
 
@@ -58,10 +59,17 @@ class Stg {
 
   // Attaches a fragment; vertex fragments go to `f.to`, edge fragments to
   // (f.from, f.to).  Returns the fragment's index.
-  std::size_t add_fragment(Fragment f);
+  std::size_t add_fragment(const Fragment& f);
 
-  const std::vector<Fragment>& fragments() const { return fragments_; }
-  const Fragment& fragment(std::size_t idx) const { return fragments_[idx]; }
+  // Bulk attach of a whole window's columns.  When the STG holds no
+  // fragments yet (the steady state: clear_fragments() ran at the end of
+  // the previous window) this is an arena pointer swap — the batch's
+  // columns become the STG's storage without copying a single fragment —
+  // followed by one pass to build the per-edge/per-vertex index lists.
+  void adopt_fragments(FragmentColumns&& cols);
+
+  const FragmentColumns& fragments() const { return fragments_; }
+  FragmentView fragment(std::size_t idx) const { return fragments_[idx]; }
 
   std::size_t vertex_count() const { return vertices_.size(); }
   std::size_t edge_count() const { return edges_.size(); }
@@ -91,10 +99,14 @@ class Stg {
   }
 
  private:
+  // Files fragment `idx` under its edge (computation) or vertex (comm/IO).
+  void index_fragment(std::size_t idx, FragmentKind kind, StateKey from,
+                      StateKey to);
+
   StgMode mode_;
   std::unordered_map<StateKey, StgVertex> vertices_;
   std::unordered_map<std::uint64_t, StgEdge> edges_;
-  std::vector<Fragment> fragments_;
+  FragmentColumns fragments_;
 };
 
 }  // namespace vapro::core

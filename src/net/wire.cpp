@@ -1,7 +1,8 @@
 #include "src/net/wire.hpp"
 
-#include <array>
 #include <cstring>
+
+#include "src/util/crc32.hpp"
 
 namespace vapro::net {
 namespace {
@@ -149,21 +150,9 @@ const char* ack_status_name(AckStatus s) {
 }
 
 std::uint32_t crc32(const void* data, std::size_t len) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      t[i] = c;
-    }
-    return t;
-  }();
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i)
-    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
+  // One shared table for every length-prefixed framing in the tree — the
+  // binary journal segments (src/obs) use the same checksum.
+  return util::crc32(data, len);
 }
 
 std::string encode_frame(FrameType type, std::uint64_t seq,
@@ -244,19 +233,20 @@ std::string encode_batch(const core::FragmentBatch& batch,
     put_u8(out, info.statically_fixed_since_last ? 1 : 0);
   }
   put_u32(out, static_cast<std::uint32_t>(batch.fragments.size()));
-  for (const core::Fragment& f : batch.fragments) {
-    put_u8(out, static_cast<std::uint8_t>(f.kind));
-    put_i32(out, f.rank);
-    put_u64(out, f.from);
-    put_u64(out, f.to);
-    put_f64(out, f.start_time);
-    put_f64(out, f.end_time);
+  for (const core::FragmentView f : batch.fragments) {
+    put_u8(out, static_cast<std::uint8_t>(f.kind()));
+    put_i32(out, f.rank());
+    put_u64(out, f.from());
+    put_u64(out, f.to());
+    put_f64(out, f.start_time());
+    put_f64(out, f.end_time());
     // Sparse counter sample: (slot, value) pairs for non-zero slots only.
     // "Zero" means the all-zero BIT PATTERN, not numeric zero: -0.0 and the
     // rest of the weird doubles must survive the round trip bit-identical.
-    auto slot_active = [&f](std::size_t i) {
+    const pmu::CounterSample& counters = f.counters();
+    auto slot_active = [&counters](std::size_t i) {
       std::uint64_t bits;
-      std::memcpy(&bits, &f.counters.values[i], sizeof(bits));
+      std::memcpy(&bits, &counters.values[i], sizeof(bits));
       return bits != 0;
     };
     std::uint8_t active = 0;
@@ -266,11 +256,11 @@ std::string encode_batch(const core::FragmentBatch& batch,
     for (std::size_t i = 0; i < pmu::kCounterCount; ++i) {
       if (!slot_active(i)) continue;
       put_u8(out, static_cast<std::uint8_t>(i));
-      put_f64(out, f.counters.values[i]);
+      put_f64(out, counters.values[i]);
     }
-    put_args(out, f.args);
-    put_u8(out, static_cast<std::uint8_t>(f.op));
-    put_i64(out, f.truth_class);
+    put_args(out, f.args());
+    put_u8(out, static_cast<std::uint8_t>(f.op()));
+    put_i64(out, f.truth_class());
   }
   return out;
 }

@@ -18,6 +18,7 @@ ObsContext::~ObsContext() {
   // are already gone by now — fanning out through the journal here would
   // call through their dead vptrs.
   if (journal_file_) journal_file_->flush();
+  if (journal_segments_) journal_segments_->flush();
 }
 
 TraceRecorder* ObsContext::enable_trace() {
@@ -36,6 +37,15 @@ bool ObsContext::attach_journal_file(const std::string& path) {
   if (!sink->ok()) return false;
   journal_file_ = std::move(sink);
   journal->add_sink(journal_file_.get());
+  return true;
+}
+
+bool ObsContext::attach_journal_segments(SegmentOptions options) {
+  Journal* journal = enable_journal();
+  auto sink = std::make_unique<JournalSegmentSink>(std::move(options));
+  if (!sink->ok()) return false;
+  journal_segments_ = std::move(sink);
+  journal->add_sink(journal_segments_.get());
   return true;
 }
 

@@ -19,6 +19,7 @@
 
 #include "src/obs/exposition.hpp"
 #include "src/obs/journal.hpp"
+#include "src/obs/journal_segment.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/overhead.hpp"
 #include "src/obs/pipeline.hpp"
@@ -47,6 +48,12 @@ class ObsContext {
   // enable_journal() + attach an owned JSONL file sink (parent directories
   // are created).  False when the file cannot be opened.
   bool attach_journal_file(const std::string& path);
+  // enable_journal() + attach an owned rotating segment-directory sink
+  // (src/obs/journal_segment.hpp).  False when the first segment cannot
+  // be created.
+  bool attach_journal_segments(SegmentOptions options);
+  // The owned segment sink, if attach_journal_segments succeeded.
+  JournalSegmentSink* journal_segments() { return journal_segments_.get(); }
 
   // Null until start_exposition().  Starting binds 127.0.0.1:`port`
   // (0 = ephemeral) and registers the built-in routes (/, /metrics,
@@ -97,6 +104,7 @@ class ObsContext {
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<JournalFileSink> journal_file_;
+  std::unique_ptr<JournalSegmentSink> journal_segments_;
   std::unique_ptr<ExpositionServer> exposition_;
   std::mutex emit_mu_;
   std::atomic<std::uint64_t> windows_emitted_{0};

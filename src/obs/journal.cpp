@@ -6,10 +6,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
+#include "src/obs/journal_segment.hpp"
 #include "src/testing/fault.hpp"
+#include "src/util/crc32.hpp"
 #include "src/util/fs.hpp"
 
 namespace vapro::obs {
@@ -446,15 +450,85 @@ JournalReadResult fail_result(const std::string& error) {
   return r;
 }
 
-}  // namespace
-
-JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts) {
-  JournalReadResult result;
+// Journal payload lines, decoded from either framing.  `torn_tail` means a
+// trailing partial record was already discarded at the framing layer (only
+// the binary decoder reports this; for JSONL the torn final line surfaces
+// as an unparseable last element and the line parser handles it).
+struct DecodedLines {
+  bool ok = false;
+  std::string error;
   std::vector<std::string> lines;
-  {
-    std::string line;
-    while (std::getline(in, line)) lines.push_back(std::move(line));
+  bool torn_tail = false;
+};
+
+std::uint32_t load_le32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+bool has_binary_magic(const std::string& bytes) {
+  return bytes.size() >= sizeof(kJournalBinaryMagic) &&
+         std::memcmp(bytes.data(), kJournalBinaryMagic,
+                     sizeof(kJournalBinaryMagic)) == 0;
+}
+
+// A frame longer than this is corruption, not data — no journal event
+// approaches it, and trusting a garbage length would make a flipped bit
+// swallow the rest of the file as "torn tail".
+constexpr std::uint32_t kMaxFramePayload = 1u << 24;
+
+DecodedLines decode_binary_frames(const std::string& bytes,
+                                  bool recover_truncated_tail) {
+  DecodedLines out;
+  std::size_t pos = sizeof(kJournalBinaryMagic);
+  std::size_t frame_no = 0;
+  while (pos < bytes.size()) {
+    ++frame_no;
+    // A complete frame needs its 8-byte header plus the payload; anything
+    // shorter at EOF is a torn write from a killed writer.
+    if (bytes.size() - pos < 8) {
+      if (recover_truncated_tail) {
+        out.torn_tail = true;
+        break;
+      }
+      out.error = "torn frame header at byte " + std::to_string(pos);
+      return out;
+    }
+    const std::uint32_t len = load_le32(bytes.data() + pos);
+    const std::uint32_t crc = load_le32(bytes.data() + pos + 4);
+    if (len > kMaxFramePayload) {
+      out.error = "frame " + std::to_string(frame_no) +
+                  ": implausible payload length " + std::to_string(len);
+      return out;
+    }
+    if (bytes.size() - pos - 8 < len) {
+      if (recover_truncated_tail) {
+        out.torn_tail = true;
+        break;
+      }
+      out.error = "torn frame payload at byte " + std::to_string(pos);
+      return out;
+    }
+    // CRC failure on a *complete* frame is corruption (a torn write can
+    // only truncate the file), so it is fatal even under recovery.
+    if (util::crc32(bytes.data() + pos + 8, len) != crc) {
+      out.error = "frame " + std::to_string(frame_no) + ": CRC mismatch";
+      return out;
+    }
+    out.lines.emplace_back(bytes, pos + 8, len);
+    pos += 8 + static_cast<std::size_t>(len);
   }
+  out.ok = true;
+  return out;
+}
+
+JournalReadResult parse_journal_lines(const std::vector<std::string>& lines,
+                                      bool framing_torn_tail,
+                                      JournalReadOptions opts) {
+  JournalReadResult result;
   bool saw_header = false;
   std::int64_t last_seq = -1;
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -509,6 +583,10 @@ JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts) {
             std::to_string(result.schema_version) + ", reader accepts v" +
             std::to_string(kJournalMinReaderVersion) + "..v" +
             std::to_string(kJournalSchemaVersion));
+      // A compacted journal's header records how many superseded events
+      // were removed, so replay can reconstruct the original count.
+      result.compacted_dropped +=
+          static_cast<std::uint64_t>(h.number("dropped_events", 0.0));
       saw_header = true;
       continue;
     }
@@ -522,12 +600,46 @@ JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts) {
     result.events.push_back(std::move(ev));
   }
   if (!saw_header) return fail_result("empty journal (no header line)");
+  if (framing_torn_tail) result.truncated_tail = true;
   result.ok = true;
   return result;
 }
 
+JournalReadResult parse_journal_bytes(const std::string& bytes,
+                                      JournalReadOptions opts) {
+  if (has_binary_magic(bytes)) {
+    DecodedLines decoded =
+        decode_binary_frames(bytes, opts.recover_truncated_tail);
+    if (!decoded.ok) return fail_result(decoded.error);
+    return parse_journal_lines(decoded.lines, decoded.torn_tail, opts);
+  }
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= bytes.size()) {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < bytes.size()) lines.emplace_back(bytes, pos);
+      break;
+    }
+    lines.emplace_back(bytes, pos, nl - pos);
+    pos = nl + 1;
+  }
+  return parse_journal_lines(lines, /*framing_torn_tail=*/false, opts);
+}
+
+}  // namespace
+
+JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts) {
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parse_journal_bytes(oss.str(), opts);
+}
+
 JournalReadResult read_journal(const std::string& path,
                                JournalReadOptions opts) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec))
+    return read_journal_dir(path, opts);
   std::ifstream in(path, std::ios::binary);
   if (!in) return fail_result("cannot open " + path);
   return parse_journal(in, opts);

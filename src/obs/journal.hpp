@@ -184,7 +184,12 @@ struct JournalReadResult {
   bool ok = false;
   std::string error;            // set when !ok (schema mismatch, bad JSON…)
   int schema_version = 0;       // from the header line
-  bool truncated_tail = false;  // a torn final line was dropped (recovery)
+  bool truncated_tail = false;  // a torn final line/frame was dropped
+  // Events removed by offline compaction, from the `dropped_events` header
+  // field (summed across segments).  Replay adds them back into its event
+  // count so a compacted journal renders identically to the original.
+  std::uint64_t compacted_dropped = 0;
+  std::size_t segments = 1;     // files merged (>1 only for directory reads)
   std::vector<JournalEvent> events;
 };
 
@@ -192,6 +197,12 @@ struct JournalReadResult {
 // header, schema name/version mismatch, a line that is not a flat JSON
 // object of scalars, or a non-monotonic sequence number.  Sequence numbers
 // may be sparse (a writer may drop lines on ENOSPC) but never reorder.
+//
+// Both journal formats are accepted: JSONL (first byte '{') and the
+// length-prefixed binary segment framing from src/obs/journal_segment.hpp
+// (first bytes "VJS1") — the reader auto-detects.  When `path` names a
+// directory, the call forwards to read_journal_dir (all segments, one
+// stream).
 JournalReadResult read_journal(const std::string& path,
                                JournalReadOptions opts = {});
 JournalReadResult parse_journal(std::istream& in, JournalReadOptions opts = {});

@@ -1,0 +1,333 @@
+#include "src/obs/journal_segment.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "src/testing/fault.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/fs.hpp"
+
+namespace vapro::obs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void store_le32(std::uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+// One on-disk record for `payload` (a JSON line without its newline):
+// framed with length+CRC in binary mode, newline-terminated in JSONL mode.
+std::string encode_record(const std::string& payload, bool binary) {
+  if (!binary) return payload + '\n';
+  std::string out;
+  out.reserve(payload.size() + 8);
+  store_le32(static_cast<std::uint32_t>(payload.size()), &out);
+  store_le32(util::crc32(payload.data(), payload.size()), &out);
+  out += payload;
+  return out;
+}
+
+std::string header_payload(std::uint64_t dropped_events) {
+  std::ostringstream oss;
+  oss << "{\"type\":\"journal_header\",\"schema\":\"" << kJournalSchemaName
+      << "\",\"schema_version\":" << kJournalSchemaVersion;
+  if (dropped_events > 0) oss << ",\"dropped_events\":" << dropped_events;
+  oss << '}';
+  return oss.str();
+}
+
+bool is_segment_name(const std::string& name) {
+  if (name.rfind("journal-", 0) != 0) return false;
+  return name.size() > 6 && (name.ends_with(".vjseg") || name.ends_with(".jsonl"));
+}
+
+}  // namespace
+
+std::string journal_segment_name(std::size_t index, bool binary) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%06zu.%s", index,
+                binary ? "vjseg" : "jsonl");
+  return buf;
+}
+
+// --- JournalSegmentSink ---------------------------------------------------
+
+JournalSegmentSink::JournalSegmentSink(SegmentOptions options)
+    : options_(std::move(options)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ok_ = open_segment_locked();
+}
+
+JournalSegmentSink::~JournalSegmentSink() {
+  if (file_) std::fclose(file_);
+}
+
+std::string JournalSegmentSink::active_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paths_.empty() ? std::string() : paths_.back();
+}
+
+std::vector<std::string> JournalSegmentSink::segment_paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paths_;
+}
+
+std::size_t JournalSegmentSink::segments_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paths_.size();
+}
+
+bool JournalSegmentSink::open_segment_locked() {
+  const std::string path =
+      options_.directory + "/" +
+      journal_segment_name(paths_.size(), options_.binary);
+  // ensure_parent_dirs creates everything above the file — which is the
+  // segment directory itself.
+  util::ensure_parent_dirs(path);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  std::string bytes;
+  if (options_.binary)
+    bytes.assign(kJournalBinaryMagic, sizeof(kJournalBinaryMagic));
+  bytes += encode_record(header_payload(0), options_.binary);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return false;
+  }
+  if (file_) std::fclose(file_);
+  file_ = f;
+  paths_.push_back(path);
+  segment_bytes_ = bytes.size();
+  segment_records_ = 0;
+  return true;
+}
+
+void JournalSegmentSink::sync_locked() {
+  if (!file_) return;
+  std::fflush(file_);
+  ::fsync(fileno(file_));
+}
+
+bool JournalSegmentSink::should_rotate_locked(std::size_t record_bytes,
+                                              double virtual_time) const {
+  // Never rotate an event-less segment: a record larger than the size cap
+  // must still land somewhere, and rotation loops would otherwise spin.
+  if (segment_records_ == 0) return false;
+  if (options_.max_segment_bytes > 0 &&
+      segment_bytes_ + record_bytes > options_.max_segment_bytes)
+    return true;
+  if (options_.max_segment_seconds > 0.0 &&
+      virtual_time - segment_open_vt_ >= options_.max_segment_seconds)
+    return true;
+  return false;
+}
+
+void JournalSegmentSink::on_event(const JournalEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) return;
+  const std::string record =
+      encode_record(event.to_json_line(), options_.binary);
+  if (should_rotate_locked(record.size(), event.virtual_time)) {
+    // The finished segment must be durable before the switch; on rotation
+    // failure the active segment simply keeps growing and the next write
+    // retries.
+    sync_locked();
+    if (VAPRO_FAULT("journal.rotate") == testing::FaultAction::kFail ||
+        !open_segment_locked()) {
+      ++rotate_faults_;
+    }
+  }
+  switch (VAPRO_FAULT("journal.write")) {
+    case testing::FaultAction::kShortWrite:
+      // Torn write: a prefix of the frame reaches the disk and the writer
+      // dies.  The sink goes quiet like a crashed process; the reader's
+      // torn-tail recovery drops the partial frame.
+      std::fwrite(record.data(), 1, record.size() / 2, file_);
+      std::fflush(file_);
+      ok_ = false;
+      ++write_faults_;
+      return;
+    case testing::FaultAction::kFail:
+      // ENOSPC: this record is lost but the writer keeps going — readers
+      // see a seq gap, never a reorder.
+      ++write_faults_;
+      return;
+    default:
+      break;
+  }
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    ++write_faults_;
+    return;
+  }
+  if (segment_records_ == 0) segment_open_vt_ = event.virtual_time;
+  ++segment_records_;
+  segment_bytes_ += record.size();
+  ++records_written_;
+}
+
+void JournalSegmentSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok_) std::fflush(file_);
+}
+
+// --- directory reader -----------------------------------------------------
+
+JournalReadResult read_journal_dir(const std::string& directory,
+                                   JournalReadOptions opts) {
+  JournalReadResult result;
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (is_segment_name(name)) names.push_back(name);
+  }
+  if (ec) {
+    result.error = "cannot list " + directory + ": " + ec.message();
+    return result;
+  }
+  if (names.empty()) {
+    result.error = "no journal segments in " + directory;
+    return result;
+  }
+  // Zero-padded indices make the lexicographic order the write order.
+  std::sort(names.begin(), names.end());
+
+  result.segments = names.size();
+  std::int64_t last_seq = -1;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    JournalReadOptions seg_opts = opts;
+    // A sealed segment ends with a rotation fsync; only the final segment
+    // can legitimately be torn by a writer crash.
+    seg_opts.recover_truncated_tail =
+        opts.recover_truncated_tail && i + 1 == names.size();
+    JournalReadResult seg =
+        read_journal(directory + "/" + names[i], seg_opts);
+    if (!seg.ok) {
+      result.error = names[i] + ": " + seg.error;
+      return result;
+    }
+    result.schema_version = std::max(result.schema_version, seg.schema_version);
+    result.truncated_tail = result.truncated_tail || seg.truncated_tail;
+    result.compacted_dropped += seg.compacted_dropped;
+    for (JournalEvent& ev : seg.events) {
+      if (static_cast<std::int64_t>(ev.seq) <= last_seq) {
+        result.error = names[i] + ": non-monotonic seq " +
+                       std::to_string(ev.seq) + " across segment boundary";
+        return result;
+      }
+      last_seq = static_cast<std::int64_t>(ev.seq);
+      result.events.push_back(std::move(ev));
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+// --- writer / compaction --------------------------------------------------
+
+bool write_journal_file(const std::string& path,
+                        const std::vector<JournalEvent>& events,
+                        std::uint64_t dropped_events, std::string* error) {
+  const bool binary = path.ends_with(".vjseg");
+  util::ensure_parent_dirs(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  if (binary) out.write(kJournalBinaryMagic, sizeof(kJournalBinaryMagic));
+  out << encode_record(header_payload(dropped_events), binary);
+  for (const JournalEvent& ev : events)
+    out << encode_record(ev.to_json_line(), binary);
+  out.flush();
+  if (!out) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+CompactionStats compact_journal_events(std::vector<JournalEvent>* events) {
+  CompactionStats stats;
+  // Final revision per region kind: everything below it was superseded
+  // in-stream and replay (core::summarize_journal) discards it anyway.
+  std::uint64_t final_revision[3] = {0, 0, 0};
+  constexpr const char* kKindNames[3] = {"computation", "communication", "io"};
+  for (const JournalEvent& ev : *events) {
+    if (ev.type != "variance_region" && ev.type != "variance_clear") continue;
+    const std::string kind = ev.str("kind");
+    for (int k = 0; k < 3; ++k)
+      if (kind == kKindNames[k])
+        final_revision[k] = std::max(
+            final_revision[k], static_cast<std::uint64_t>(ev.number("revision")));
+  }
+  // Quality scoreboard snapshots: each `quality` event closes a snapshot
+  // (its cells precede it), and a later snapshot supersedes the whole
+  // earlier one.  Keep only the cells after the last-but-one `quality`
+  // plus the final `quality` itself.
+  std::int64_t last_quality_seq = -1;
+  std::int64_t prev_quality_seq = -1;
+  for (const JournalEvent& ev : *events) {
+    if (ev.type != "quality") continue;
+    prev_quality_seq = last_quality_seq;
+    last_quality_seq = static_cast<std::int64_t>(ev.seq);
+  }
+
+  auto superseded = [&](const JournalEvent& ev) {
+    if (ev.type == "variance_region" || ev.type == "variance_clear") {
+      const std::string kind = ev.str("kind");
+      for (int k = 0; k < 3; ++k)
+        if (kind == kKindNames[k])
+          return static_cast<std::uint64_t>(ev.number("revision")) <
+                 final_revision[k];
+      return false;
+    }
+    if (ev.type == "quality")
+      return static_cast<std::int64_t>(ev.seq) != last_quality_seq;
+    if (ev.type == "quality_cell")
+      return static_cast<std::int64_t>(ev.seq) < prev_quality_seq;
+    return false;
+  };
+
+  std::vector<JournalEvent> kept;
+  kept.reserve(events->size());
+  for (JournalEvent& ev : *events) {
+    if (superseded(ev))
+      ++stats.dropped;
+    else
+      kept.push_back(std::move(ev));
+  }
+  stats.kept = kept.size();
+  *events = std::move(kept);
+  return stats;
+}
+
+bool compact_journal(const std::string& source, const std::string& dest,
+                     CompactionStats* stats, std::string* error) {
+  JournalReadOptions opts;
+  opts.recover_truncated_tail = true;
+  JournalReadResult read = read_journal(source, opts);
+  if (!read.ok) {
+    if (error) *error = read.error;
+    return false;
+  }
+  const CompactionStats pass = compact_journal_events(&read.events);
+  if (stats) *stats = pass;
+  return write_journal_file(dest, read.events,
+                            read.compacted_dropped + pass.dropped, error);
+}
+
+}  // namespace vapro::obs

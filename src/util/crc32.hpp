@@ -1,0 +1,18 @@
+// CRC-32/IEEE (polynomial 0xEDB88320, the zlib/Ethernet checksum).
+//
+// One implementation shared by every length-prefixed framing in the tree:
+// the net wire protocol (src/net/wire.hpp) and the binary journal
+// segments (src/obs/journal_segment.hpp) both frame records as
+// {length, crc, payload} and must agree on the checksum — keeping the
+// table here means they cannot drift.  Known-answer: crc32("123456789")
+// == 0xCBF43926.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vapro::util {
+
+std::uint32_t crc32(const void* data, std::size_t len);
+
+}  // namespace vapro::util

@@ -42,13 +42,13 @@ TEST(Client, CutsComputationFragmentBetweenCalls) {
   FragmentBatch batch = client.drain();
   // comp(start→10), inv(10), comp(10→11), inv(11).
   ASSERT_EQ(batch.fragments.size(), 4u);
-  const Fragment& comp = batch.fragments[2];
-  EXPECT_EQ(comp.kind, FragmentKind::kComputation);
-  EXPECT_DOUBLE_EQ(comp.start_time, 1.1);
-  EXPECT_DOUBLE_EQ(comp.end_time, 2.1);
-  EXPECT_DOUBLE_EQ(comp.counters[pmu::Counter::kTotIns], 300.0);
-  const Fragment& inv = batch.fragments[3];
-  EXPECT_EQ(inv.kind, FragmentKind::kCommunication);
+  const FragmentView comp = batch.fragments[2];
+  EXPECT_EQ(comp.kind(), FragmentKind::kComputation);
+  EXPECT_DOUBLE_EQ(comp.start_time(), 1.1);
+  EXPECT_DOUBLE_EQ(comp.end_time(), 2.1);
+  EXPECT_DOUBLE_EQ(comp.counters()[pmu::Counter::kTotIns], 300.0);
+  const FragmentView inv = batch.fragments[3];
+  EXPECT_EQ(inv.kind(), FragmentKind::kCommunication);
   EXPECT_NEAR(inv.duration(), 0.1, 1e-12);
 }
 
@@ -59,7 +59,7 @@ TEST(Client, FirstFragmentComesFromStartState) {
   client.on_call_end(c, 0.6, counters_at(50));
   FragmentBatch batch = client.drain();
   ASSERT_GE(batch.fragments.size(), 1u);
-  EXPECT_EQ(batch.fragments[0].from, kStartState);
+  EXPECT_EQ(batch.fragments[0].from(), kStartState);
 }
 
 TEST(Client, AnnouncesEachStateOnce) {
@@ -82,7 +82,7 @@ TEST(Client, ProbesCutButAreNotRecorded) {
   client.on_call_end(probe, 1.0, counters_at(10));
   FragmentBatch batch = client.drain();
   ASSERT_EQ(batch.fragments.size(), 1u);  // only the computation fragment
-  EXPECT_EQ(batch.fragments[0].kind, FragmentKind::kComputation);
+  EXPECT_EQ(batch.fragments[0].kind(), FragmentKind::kComputation);
 }
 
 TEST(Client, IoOpsProduceIoFragments) {
@@ -94,8 +94,8 @@ TEST(Client, IoOpsProduceIoFragments) {
   client.on_call_end(rd, 1.2, counters_at(0));
   FragmentBatch batch = client.drain();
   ASSERT_EQ(batch.fragments.size(), 2u);
-  EXPECT_EQ(batch.fragments[1].kind, FragmentKind::kIo);
-  EXPECT_DOUBLE_EQ(batch.fragments[1].args.bytes, 4096);
+  EXPECT_EQ(batch.fragments[1].kind(), FragmentKind::kIo);
+  EXPECT_DOUBLE_EQ(batch.fragments[1].args().bytes, 4096);
 }
 
 TEST(Client, EnhancedProfilingShrinksWaitFragments) {
@@ -198,8 +198,8 @@ TEST(Client, RanksAreIndependent) {
   client.on_call_end(c1, 2.1, counters_at(0));
   FragmentBatch batch = client.drain();
   ASSERT_EQ(batch.fragments.size(), 4u);
-  EXPECT_EQ(batch.fragments[2].from, kStartState);
-  EXPECT_EQ(batch.fragments[2].rank, 1);
+  EXPECT_EQ(batch.fragments[2].from(), kStartState);
+  EXPECT_EQ(batch.fragments[2].rank(), 1);
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
-// Tests for src/obs/journal + src/obs/alerts + src/core/journal_replay:
-// byte-identical write→read round-trips, schema-version rejection, parent
-// directory creation, alert rule parsing/firing, and the acceptance
-// criterion that a journal re-ingested by the replay path reproduces the
-// live run's detection and diagnosis summaries exactly.
+// Tests for src/obs/journal + src/obs/journal_segment + src/obs/alerts +
+// src/core/journal_replay: byte-identical write→read round-trips,
+// schema-version rejection, parent directory creation, segment rotation
+// (size/age/faults), binary-framing torn-tail and CRC semantics, mixed
+// JSONL+binary directory readback, compaction replay byte-identity, alert
+// rule parsing/firing, and the acceptance criterion that a journal
+// re-ingested by the replay path reproduces the live run's detection and
+// diagnosis summaries exactly.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,13 +22,34 @@
 #include "src/obs/alerts.hpp"
 #include "src/obs/context.hpp"
 #include "src/obs/journal.hpp"
+#include "src/obs/journal_segment.hpp"
 #include "src/sim/runtime.hpp"
+#include "src/testing/fault.hpp"
+
+// vapro::testing collides with gtest's ::testing inside TEST bodies.
+namespace testing_ = vapro::testing;
 
 namespace vapro {
 namespace {
 
 std::string temp_path(const std::string& leaf) {
   return std::string(::testing::TempDir()) + leaf;
+}
+
+#if defined(VAPRO_FAULT_INJECTION) && VAPRO_FAULT_INJECTION
+testing_::FaultPlan plan_from(const std::string& text) {
+  testing_::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(testing_::FaultPlan::parse(text, &plan, &error)) << error;
+  return plan;
+}
+#endif
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
 }
 
 // In-memory sink used to inspect the exact event stream a run produced.
@@ -203,6 +228,459 @@ TEST(Journal, FileSinkCreatesParentDirectories) {
   std::string header;
   EXPECT_TRUE(std::getline(in, header));
   EXPECT_NE(header.find("vapro.journal"), std::string::npos);
+}
+
+// --- segmented store ------------------------------------------------------
+
+// Emits `n` events with distinct payloads at 0.1s virtual-time spacing.
+void emit_windows(obs::Journal& journal, int n, int first_window = 0) {
+  for (int i = 0; i < n; ++i)
+    journal.emit("window", first_window + i,
+                 0.1 * static_cast<double>(first_window + i + 1),
+                 {obs::JournalField::num("variance_ratio",
+                                         1.0 + 0.01 * static_cast<double>(i)),
+                  obs::JournalField::str("payload", "window-payload-" +
+                                                        std::to_string(i))});
+}
+
+TEST(JournalSegments, RotatesBySizeAndReadsBackAsOneStream) {
+  const std::string dir = temp_path("seg_rotate_size");
+  std::filesystem::remove_all(dir);
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  seg.max_segment_bytes = 256;  // a few events per segment
+  std::size_t segments = 0;
+  {
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    ASSERT_TRUE(sink.ok());
+    journal.add_sink(&sink);
+    emit_windows(journal, 20);
+    journal.flush();
+    EXPECT_EQ(sink.records_written(), 20u);
+    segments = sink.segments_opened();
+    EXPECT_GT(segments, 3u);
+    // Every opened segment is on disk under its canonical name.
+    for (std::size_t i = 0; i < segments; ++i)
+      EXPECT_TRUE(std::filesystem::exists(
+          dir + "/" + obs::journal_segment_name(i, /*binary=*/true)));
+  }
+  obs::JournalReadResult read = obs::read_journal_dir(dir);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.segments, segments);
+  ASSERT_EQ(read.events.size(), 20u);
+  for (std::size_t i = 0; i < read.events.size(); ++i)
+    EXPECT_EQ(read.events[i].seq, i);
+  // read_journal on the directory path resolves to the same stream.
+  obs::JournalReadResult via_file_api = obs::read_journal(dir);
+  ASSERT_TRUE(via_file_api.ok) << via_file_api.error;
+  EXPECT_EQ(via_file_api.events.size(), 20u);
+}
+
+TEST(JournalSegments, RotatesByVirtualTimeAge) {
+  const std::string dir = temp_path("seg_rotate_age");
+  std::filesystem::remove_all(dir);
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  seg.max_segment_seconds = 0.5;  // events arrive every 0.1s of virtual time
+  {
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    ASSERT_TRUE(sink.ok());
+    journal.add_sink(&sink);
+    emit_windows(journal, 20);  // spans 2.0s of virtual time
+    EXPECT_GE(sink.segments_opened(), 3u);
+  }
+  obs::JournalReadResult read = obs::read_journal_dir(dir);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.events.size(), 20u);
+}
+
+TEST(JournalSegments, BinaryPayloadsMatchJsonlByteForByte) {
+  const std::string dir_bin = temp_path("seg_fmt_bin");
+  const std::string dir_txt = temp_path("seg_fmt_txt");
+  std::filesystem::remove_all(dir_bin);
+  std::filesystem::remove_all(dir_txt);
+  obs::SegmentOptions bin;
+  bin.directory = dir_bin;
+  obs::SegmentOptions txt;
+  txt.directory = dir_txt;
+  txt.binary = false;
+  {
+    obs::Journal journal;
+    obs::JournalSegmentSink bsink(bin);
+    obs::JournalSegmentSink tsink(txt);
+    ASSERT_TRUE(bsink.ok());
+    ASSERT_TRUE(tsink.ok());
+    journal.add_sink(&bsink);
+    journal.add_sink(&tsink);
+    emit_windows(journal, 6);
+    journal.flush();
+  }
+  obs::JournalReadResult rb = obs::read_journal_dir(dir_bin);
+  obs::JournalReadResult rt = obs::read_journal_dir(dir_txt);
+  ASSERT_TRUE(rb.ok) << rb.error;
+  ASSERT_TRUE(rt.ok) << rt.error;
+  ASSERT_EQ(rb.events.size(), rt.events.size());
+  // The binary frame payloads are the JSONL lines: every event re-renders
+  // to the identical byte string regardless of which framing carried it.
+  for (std::size_t i = 0; i < rb.events.size(); ++i)
+    EXPECT_EQ(rb.events[i].to_json_line(), rt.events[i].to_json_line());
+}
+
+#if defined(VAPRO_FAULT_INJECTION) && VAPRO_FAULT_INJECTION
+TEST(JournalSegments, BinaryTornTailIsFatalStrictlyButRecoverable) {
+  const std::string dir = temp_path("seg_torn");
+  std::filesystem::remove_all(dir);
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  {
+    testing_::FaultScope scope(
+        plan_from("seed 1\njournal.write on=4 short_write\n"));
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    journal.add_sink(&sink);
+    emit_windows(journal, 5);
+    EXPECT_FALSE(sink.ok());  // crashed writer went quiet
+    EXPECT_EQ(sink.records_written(), 3u);
+    EXPECT_EQ(sink.write_faults(), 1u);
+  }
+  obs::JournalReadResult strict = obs::read_journal_dir(dir);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_NE(strict.error.find("torn"), std::string::npos) << strict.error;
+
+  obs::JournalReadOptions opts;
+  opts.recover_truncated_tail = true;
+  obs::JournalReadResult read = obs::read_journal_dir(dir, opts);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_TRUE(read.truncated_tail);
+  ASSERT_EQ(read.events.size(), 3u);
+  EXPECT_EQ(read.events.back().seq, 2u);
+}
+#endif  // VAPRO_FAULT_INJECTION
+
+TEST(JournalSegments, CrcCorruptionIsFatalEvenWithRecovery) {
+  const std::string dir = temp_path("seg_crc");
+  std::filesystem::remove_all(dir);
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  {
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    journal.add_sink(&sink);
+    emit_windows(journal, 4);
+    journal.flush();
+  }
+  const std::string path = dir + "/" + obs::journal_segment_name(0, true);
+  std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 64u);
+  // Flip one payload byte in the middle of the file: the frame stays
+  // structurally complete, so only the CRC can catch it.
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  obs::JournalReadOptions opts;
+  opts.recover_truncated_tail = true;  // recovery must NOT excuse corruption
+  obs::JournalReadResult read = obs::read_journal_dir(dir, opts);
+  EXPECT_FALSE(read.ok);
+  EXPECT_NE(read.error.find("CRC"), std::string::npos) << read.error;
+}
+
+#if defined(VAPRO_FAULT_INJECTION) && VAPRO_FAULT_INJECTION
+TEST(JournalSegments, EnospcLeavesSeqGapNeverReorder) {
+  const std::string dir = temp_path("seg_enospc");
+  std::filesystem::remove_all(dir);
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  seg.max_segment_bytes = 256;
+  {
+    testing_::FaultScope scope(plan_from("seed 1\njournal.write on=3 fail\n"));
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    journal.add_sink(&sink);
+    emit_windows(journal, 10);
+    journal.flush();
+    EXPECT_EQ(sink.write_faults(), 1u);
+    EXPECT_EQ(sink.records_written(), 9u);
+  }
+  obs::JournalReadResult read = obs::read_journal_dir(dir);
+  ASSERT_TRUE(read.ok) << read.error;
+  ASSERT_EQ(read.events.size(), 9u);
+  std::vector<std::uint64_t> seqs;
+  for (const auto& ev : read.events) seqs.push_back(ev.seq);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(JournalSegments, RotateFaultKeepsActiveSegmentGrowing) {
+  const std::string dir = temp_path("seg_rotfail");
+  std::filesystem::remove_all(dir);
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  seg.max_segment_bytes = 256;
+  std::size_t segments = 0;
+  std::uint64_t rotate_faults = 0;
+  {
+    // The first rotation attempt fails; later ones succeed.
+    testing_::FaultScope scope(plan_from("seed 1\njournal.rotate on=1 fail\n"));
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    journal.add_sink(&sink);
+    emit_windows(journal, 20);
+    journal.flush();
+    EXPECT_TRUE(sink.ok());  // rotation failure never wedges the sink
+    EXPECT_EQ(sink.records_written(), 20u);
+    segments = sink.segments_opened();
+    rotate_faults = sink.rotate_faults();
+  }
+  EXPECT_GE(rotate_faults, 1u);
+  EXPECT_GE(segments, 2u);  // a later rotation still happened
+  obs::JournalReadResult read = obs::read_journal_dir(dir);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.events.size(), 20u);  // nothing lost to the failed rotation
+}
+
+// tests/plans/journal.plan is loaded from disk (not inlined here) so the
+// committed plan file — the documented repro for the segment sink's hazard
+// sites — is itself what this test executes.  The expected accounting is a
+// pure function of the plan: `journal.write every=5 fail limit=2` drops
+// event records 5 and 10 (seqs 4 and 9), `journal.rotate on=1 fail` makes
+// the first size-triggered rotation fail while the segment keeps growing,
+// and `journal.write on=17 short_write` tears record 17 (seq 16) mid-frame
+// and silences the writer.
+TEST(JournalSegments, PlanFileDrivesSegmentFaultSites) {
+  const std::string dir = temp_path("seg_planfile");
+  std::filesystem::remove_all(dir);
+  testing_::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(testing_::FaultPlan::parse_file(
+      std::string(VAPRO_PLANS_DIR) + "/journal.plan", &plan, &error))
+      << error;
+  obs::SegmentOptions seg;
+  seg.directory = dir;
+  seg.max_segment_bytes = 256;  // rotate every couple of records
+  std::size_t segments = 0;
+  {
+    testing_::FaultScope scope(std::move(plan));
+    obs::Journal journal;
+    obs::JournalSegmentSink sink(seg);
+    journal.add_sink(&sink);
+    emit_windows(journal, 20);
+    journal.flush();
+    EXPECT_FALSE(sink.ok());  // the short write silenced the sink
+    EXPECT_EQ(sink.records_written(), 14u);  // 17 attempts - 2 ENOSPC - 1 torn
+    EXPECT_EQ(sink.write_faults(), 3u);
+    EXPECT_GE(sink.rotate_faults(), 1u);
+    segments = sink.segments_opened();
+  }
+  EXPECT_GE(segments, 2u);  // rotations after the faulted one succeeded
+
+  obs::JournalReadOptions opts;
+  opts.recover_truncated_tail = true;
+  obs::JournalReadResult read = obs::read_journal_dir(dir, opts);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_TRUE(read.truncated_tail);
+  std::vector<std::uint64_t> seqs;
+  for (const auto& ev : read.events) seqs.push_back(ev.seq);
+  // Seqs 4 and 9 were dropped by ENOSPC, seq 16 by the torn tail, and the
+  // quiet sink never saw 17..19: gaps, never reorders.
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2, 3, 5, 6, 7, 8, 10, 11,
+                                              12, 13, 14, 15}));
+}
+#endif  // VAPRO_FAULT_INJECTION
+
+TEST(JournalSegments, MixedJsonlAndBinarySegmentsReadAsOneStream) {
+  const std::string dir = temp_path("seg_mixed");
+  std::filesystem::remove_all(dir);
+  // Collect one event stream, then split it across a JSONL segment and a
+  // binary segment by hand — the reader must not care which framing holds
+  // which half.
+  CollectingJournalSink events;
+  {
+    obs::Journal journal;
+    journal.add_sink(&events);
+    emit_windows(journal, 8);
+  }
+  ASSERT_EQ(events.events.size(), 8u);
+  const std::vector<obs::JournalEvent> first(events.events.begin(),
+                                             events.events.begin() + 4);
+  const std::vector<obs::JournalEvent> second(events.events.begin() + 4,
+                                              events.events.end());
+  std::string error;
+  ASSERT_TRUE(obs::write_journal_file(
+      dir + "/" + obs::journal_segment_name(0, /*binary=*/false), first, 0,
+      &error))
+      << error;
+  ASSERT_TRUE(obs::write_journal_file(
+      dir + "/" + obs::journal_segment_name(1, /*binary=*/true), second, 0,
+      &error))
+      << error;
+  obs::JournalReadResult read = obs::read_journal_dir(dir);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.segments, 2u);
+  ASSERT_EQ(read.events.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(read.events[i].seq, i);
+    EXPECT_EQ(read.events[i].to_json_line(), events.events[i].to_json_line());
+  }
+}
+
+TEST(JournalSegments, DirReadRejectsCrossSegmentSeqRegression) {
+  const std::string dir = temp_path("seg_seq_regress");
+  std::filesystem::remove_all(dir);
+  CollectingJournalSink events;
+  {
+    obs::Journal journal;
+    journal.add_sink(&events);
+    emit_windows(journal, 4);
+  }
+  std::string error;
+  // Segment 1 replays seqs that segment 0 already covered.
+  ASSERT_TRUE(obs::write_journal_file(
+      dir + "/" + obs::journal_segment_name(0, true), events.events, 0,
+      &error));
+  ASSERT_TRUE(obs::write_journal_file(
+      dir + "/" + obs::journal_segment_name(1, true), events.events, 0,
+      &error));
+  obs::JournalReadResult read = obs::read_journal_dir(dir);
+  EXPECT_FALSE(read.ok);
+  EXPECT_NE(read.error.find("seq"), std::string::npos) << read.error;
+}
+
+TEST(JournalSegments, WriteReadRewriteIsByteIdentical) {
+  const std::string a = temp_path("seg_rt_a.vjseg");
+  const std::string b = temp_path("seg_rt_b.vjseg");
+  CollectingJournalSink events;
+  {
+    obs::Journal journal;
+    journal.add_sink(&events);
+    emit_windows(journal, 6);
+    journal.emit("variance_region", 3, 0.7,
+                 {obs::JournalField::str("kind", "io"),
+                  obs::JournalField::num("revision", std::uint64_t{1}),
+                  obs::JournalField::num("mean_perf", 0.1 + 0.2)});
+  }
+  std::string error;
+  ASSERT_TRUE(obs::write_journal_file(a, events.events, 0, &error)) << error;
+  obs::JournalReadResult read = obs::read_journal(a);
+  ASSERT_TRUE(read.ok) << read.error;
+  ASSERT_TRUE(obs::write_journal_file(b, read.events, 0, &error)) << error;
+  EXPECT_EQ(slurp(a), slurp(b));
+}
+
+// --- compaction -----------------------------------------------------------
+
+// A stream with superseded region revisions and quality snapshots: the
+// compactor must drop exactly the superseded ones and replay must not be
+// able to tell the difference.
+std::vector<obs::JournalEvent> compactable_stream() {
+  CollectingJournalSink events;
+  obs::Journal journal;
+  journal.add_sink(&events);
+  auto region = [&](const char* kind, std::uint64_t revision, double perf) {
+    journal.emit("variance_region", -1, 0.1 * static_cast<double>(revision),
+                 {obs::JournalField::str("kind", kind),
+                  obs::JournalField::num("revision", revision),
+                  obs::JournalField::num("rank_lo", std::uint64_t{0}),
+                  obs::JournalField::num("rank_hi", std::uint64_t{3}),
+                  obs::JournalField::num("bin_lo", std::uint64_t{1}),
+                  obs::JournalField::num("bin_hi", std::uint64_t{2}),
+                  obs::JournalField::num("cells", std::uint64_t{8}),
+                  obs::JournalField::num("mean_perf", perf),
+                  obs::JournalField::num("impact_seconds", 2.0 * perf),
+                  obs::JournalField::num("bin_seconds", 0.1)});
+  };
+  auto quality_snapshot = [&](double f1) {
+    journal.emit("quality_cell", -1, f1,
+                 {obs::JournalField::str("app", "CG"),
+                  obs::JournalField::str("noise", "cpu"),
+                  obs::JournalField::num("f1", f1)});
+    journal.emit("quality", -1, f1,
+                 {obs::JournalField::num("quality_f1", f1),
+                  obs::JournalField::num("cells", std::uint64_t{1})});
+  };
+  journal.emit("window", 0, 0.1, {});
+  region("computation", 1, 0.70);  // superseded by revision 2
+  region("computation", 1, 0.72);  // superseded by revision 2
+  quality_snapshot(0.5);           // superseded by the later snapshot
+  journal.emit("window", 1, 0.2, {});
+  region("computation", 2, 0.80);
+  region("io", 1, 0.60);           // final for its kind — kept
+  quality_snapshot(0.75);
+  journal.emit("rare_finding", 1, 0.25,
+               {obs::JournalField::str("state", "S1->S2"),
+                obs::JournalField::str("kind", "computation"),
+                obs::JournalField::num("executions", std::uint64_t{2}),
+                obs::JournalField::num("total_seconds", 0.5),
+                obs::JournalField::num("longest_seconds", 0.3)});
+  return events.events;
+}
+
+TEST(JournalCompaction, DropsOnlySupersededEvents) {
+  std::vector<obs::JournalEvent> events = compactable_stream();
+  const std::size_t before = events.size();
+  const obs::CompactionStats stats = obs::compact_journal_events(&events);
+  EXPECT_EQ(stats.kept, events.size());
+  EXPECT_EQ(stats.kept + stats.dropped, before);
+  // Dropped: two computation regions at revision 1 and the first quality
+  // snapshot (one cell + one aggregate).
+  EXPECT_EQ(stats.dropped, 4u);
+  for (const obs::JournalEvent& ev : events) {
+    if (ev.type == "variance_region" && ev.str("kind") == "computation")
+      EXPECT_EQ(ev.number("revision"), 2.0);
+    if (ev.type == "quality") EXPECT_DOUBLE_EQ(ev.number("quality_f1"), 0.75);
+    if (ev.type == "quality_cell") EXPECT_DOUBLE_EQ(ev.number("f1"), 0.75);
+  }
+  // The io region at revision 1 is that kind's final revision — kept.
+  bool io_region = false;
+  for (const obs::JournalEvent& ev : events)
+    io_region |= ev.type == "variance_region" && ev.str("kind") == "io";
+  EXPECT_TRUE(io_region);
+  // Seqs keep their original values: sparse but monotonic.
+  std::uint64_t last = 0;
+  for (const obs::JournalEvent& ev : events) {
+    if (&ev != &events.front()) {
+      EXPECT_GT(ev.seq, last);
+    }
+    last = ev.seq;
+  }
+}
+
+TEST(JournalCompaction, CompactedJournalReplaysByteIdentically) {
+  const std::string full = temp_path("compact_full.jsonl");
+  const std::string compacted = temp_path("compact_out.vjseg");
+  const std::vector<obs::JournalEvent> events = compactable_stream();
+  std::string error;
+  ASSERT_TRUE(obs::write_journal_file(full, events, 0, &error)) << error;
+
+  obs::CompactionStats stats;
+  ASSERT_TRUE(obs::compact_journal(full, compacted, &stats, &error)) << error;
+  EXPECT_GT(stats.dropped, 0u);
+
+  // The compacted reader reports the dropped count from the header...
+  obs::JournalReadResult read = obs::read_journal(compacted);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.compacted_dropped, stats.dropped);
+  EXPECT_EQ(read.events.size(), stats.kept);
+
+  // ...and the rendered replay — region tables, rare findings, event
+  // count — is byte-identical to the full journal's.
+  const core::JournalSummary sfull = core::summarize_journal_file(full);
+  const core::JournalSummary scomp = core::summarize_journal_file(compacted);
+  ASSERT_TRUE(sfull.ok) << sfull.error;
+  ASSERT_TRUE(scomp.ok) << scomp.error;
+  EXPECT_EQ(core::render_journal_summary(sfull),
+            core::render_journal_summary(scomp));
+
+  // Compacting an already-compacted journal carries the drop count
+  // forward instead of forgetting it.
+  const std::string twice = temp_path("compact_twice.vjseg");
+  ASSERT_TRUE(obs::compact_journal(compacted, twice, &stats, &error)) << error;
+  EXPECT_EQ(stats.dropped, 0u);  // nothing left to supersede
+  const core::JournalSummary stwice = core::summarize_journal_file(twice);
+  EXPECT_EQ(core::render_journal_summary(sfull),
+            core::render_journal_summary(stwice));
 }
 
 TEST(Alerts, RuleParsing) {

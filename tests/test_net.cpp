@@ -219,10 +219,18 @@ TEST(Wire, BatchPayloadRoundTripIsBitIdentical) {
                                          /*salt=*/9);
   // Values chosen to break any codec that goes through text or loses
   // precision: non-representable decimals, denormal-adjacent, negatives.
-  batch.fragments[0].start_time = 0.1;
-  batch.fragments[0].end_time = 0.1 + 1.0 / 3.0;
-  batch.fragments[1].counters[pmu::Counter::kTotIns] = 1e-300;
-  batch.fragments[2].counters[pmu::Counter::kStallsDram] = -0.0;
+  {
+    core::Fragment f0 = batch.fragments.materialize(0);
+    f0.start_time = 0.1;
+    f0.end_time = 0.1 + 1.0 / 3.0;
+    batch.fragments.set(0, f0);
+    core::Fragment f1 = batch.fragments.materialize(1);
+    f1.counters[pmu::Counter::kTotIns] = 1e-300;
+    batch.fragments.set(1, f1);
+    core::Fragment f2 = batch.fragments.materialize(2);
+    f2.counters[pmu::Counter::kStallsDram] = -0.0;
+    batch.fragments.set(2, f2);
+  }
   sim::InvocationInfo info;
   info.rank = 2;
   info.site = 41;
@@ -242,8 +250,8 @@ TEST(Wire, BatchPayloadRoundTripIsBitIdentical) {
   ASSERT_EQ(decoded.fragments.size(), batch.fragments.size());
   ASSERT_EQ(decoded.new_states.size(), batch.new_states.size());
   for (std::size_t i = 0; i < batch.fragments.size(); ++i) {
-    const core::Fragment& a = batch.fragments[i];
-    const core::Fragment& b = decoded.fragments[i];
+    const core::Fragment a = batch.fragments.materialize(i);
+    const core::Fragment b = decoded.fragments.materialize(i);
     EXPECT_EQ(a.kind, b.kind);
     EXPECT_EQ(a.rank, b.rank);
     EXPECT_EQ(a.from, b.from);

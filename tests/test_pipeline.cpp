@@ -591,10 +591,10 @@ std::string canonical_clusters(const core::Stg& stg,
   for (const core::Cluster& c : res.clusters) {
     std::vector<std::string> members;
     for (std::size_t idx : c.members) {
-      const core::Fragment& f = stg.fragment(idx);
+      const core::FragmentView f = stg.fragment(idx);
       char buf[96];
-      std::snprintf(buf, sizeof buf, "%d@%.17g:%.17g", f.rank, f.start_time,
-                    f.args.bytes);
+      std::snprintf(buf, sizeof buf, "%d@%.17g:%.17g", f.rank(),
+                    f.start_time(), f.args().bytes);
       members.emplace_back(buf);
     }
     std::sort(members.begin(), members.end());

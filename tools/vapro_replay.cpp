@@ -10,14 +10,23 @@
 // Re-analyzes the same run under different knobs without re-running it.
 //
 //   vapro_replay --from-journal run.jsonl
+//   vapro_replay --from-journal segments_dir/
 //
 // reconstructs the original run's detection/diagnosis summaries from its
 // `--journal-out` event journal alone (no raw trace needed): the journal
-// carries every conclusion at full precision.
+// carries every conclusion at full precision.  A directory of rotated
+// segments (JSONL or binary .vjseg, mixed is fine) replays as one stream.
+//
+//   vapro_replay --compact-journal SRC --compact-out DST
+//
+// offline compaction: drops superseded variance-region revisions and
+// quality-scoreboard snapshots, writes a single journal at DST (binary if
+// it ends in .vjseg).  The compacted journal replays byte-identically.
 #include <chrono>
 #include <iostream>
 
 #include "src/core/journal_replay.hpp"
+#include "src/obs/journal_segment.hpp"
 #include "src/core/report.hpp"
 #include "src/obs/context.hpp"
 #include "src/trace/offline.hpp"
@@ -34,12 +43,33 @@ int main(int argc, char** argv) {
   if (args.has("from-journal") && journal_in.empty() &&
       !args.positionals().empty())
     journal_in = args.positionals()[0];
+
+  const std::string compact_src = args.get("compact-journal", "");
+  if (!compact_src.empty()) {
+    const std::string compact_dst = args.get("compact-out", "");
+    if (compact_dst.empty()) {
+      std::cerr << "--compact-journal requires --compact-out=DEST\n";
+      return 2;
+    }
+    obs::CompactionStats stats;
+    std::string error;
+    if (!obs::compact_journal(compact_src, compact_dst, &stats, &error)) {
+      std::cerr << "journal compaction failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << "compacted " << compact_src << " -> " << compact_dst << ": "
+              << stats.kept << " events kept, " << stats.dropped
+              << " superseded events dropped\n";
+    return 0;
+  }
+
   if (args.positionals().empty() && journal_in.empty()) {
     std::cout << "usage: vapro_replay TRACE_FILE [--window=S] "
                  "[--threshold=X] [--bins=S] [--context-aware] "
                  "[--no-diagnosis] [--cluster-threshold=X] "
                  "[--metrics-out=FILE] [--trace-out=FILE] [--obs-table]\n"
-                 "       vapro_replay --from-journal JOURNAL_FILE\n"
+                 "       vapro_replay --from-journal JOURNAL_FILE_OR_DIR\n"
+                 "       vapro_replay --compact-journal SRC --compact-out=DEST\n"
                  "analysis pipeline flags (as in vapro_run):\n"
               << tools::PipelineCli::usage_lines()
               << "extra observability flags (as in vapro_run): "

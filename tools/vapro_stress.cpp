@@ -76,7 +76,10 @@ int usage() {
       "                     (cluster-seed cache flipping per round), and\n"
       "                     byte-compare region tables, rare-path tables,\n"
       "                     journal-replay tables and the seq-normalized\n"
-      "                     journal event stream against the serial base\n"
+      "                     journal event stream against the serial base;\n"
+      "                     two extra `soa` legs rebuild every window's\n"
+      "                     fragment columns through the materialize/view\n"
+      "                     shim and must stay byte-identical too\n"
       "  --net              net-transport equivalence variant: feed every\n"
       "                     scenario through the framed wire protocol over\n"
       "                     a loopback socket (IngestClient -> IngestServer\n"
@@ -233,11 +236,12 @@ core::FragmentBatch make_window_batch(const Scenario& sc, int window,
   std::vector<core::Fragment> wire;
   wire.reserve(batch.fragments.size());
   std::size_t dropped = 0, duplicated = 0;
-  for (const core::Fragment& f : batch.fragments) {
+  for (const core::FragmentView v : batch.fragments) {
     if (sc.drop_prob > 0 && rng.bernoulli(sc.drop_prob)) {
       ++dropped;
       continue;
     }
+    core::Fragment f = v.materialize();
     wire.push_back(f);
     if (sc.dup_prob > 0 && rng.bernoulli(sc.dup_prob)) {
       wire.push_back(f);
@@ -251,7 +255,8 @@ core::FragmentBatch make_window_batch(const Scenario& sc, int window,
       std::swap(wire[i], wire[j]);
     }
   }
-  batch.fragments = std::move(wire);
+  batch.fragments.clear();
+  for (const core::Fragment& f : wire) batch.fragments.push_back(f);
   (void)dropped;
   (void)duplicated;
   return batch;
@@ -299,7 +304,29 @@ struct PipeCfg {
   int depth = 1;
   int threads = 1;
   bool cache = false;
+  // SoA leg: rebuild every window's FragmentColumns through the
+  // materialize/view shim before feeding the server — proves the columnar
+  // conversion is lossless (artifacts byte-identical to the direct path).
+  bool soa_rebuild = false;
 };
+
+// Round-trips a batch's columns through every conversion surface the shim
+// offers: the first half is materialized to owning Fragments and re-pushed
+// (Fragment -> columns), the second half is re-pushed via FragmentView
+// (columns -> columns) into a separate block that is then appended
+// (cross-arena splice).  Any drift in the SoA layout shows up as a
+// byte-level artifact mismatch downstream.
+core::FragmentColumns rebuild_columns(const core::FragmentColumns& cols) {
+  core::FragmentColumns rebuilt;
+  rebuilt.reserve(cols.size());
+  const std::size_t half = cols.size() / 2;
+  for (std::size_t i = 0; i < half; ++i)
+    rebuilt.push_back(cols.materialize(i));
+  core::FragmentColumns tail;
+  for (std::size_t i = half; i < cols.size(); ++i) tail.push_back(cols[i]);
+  rebuilt.append(tail);
+  return rebuilt;
+}
 
 // Everything the equivalence property compares between two runs of the
 // same scenario.
@@ -403,6 +430,8 @@ RoundResult run_round(int round, std::uint64_t seed,
   for (int w = 0; w < sc.windows; ++w) {
     core::FragmentBatch batch =
         make_window_batch(sc, w, window_seconds, rng);
+    if (cfg.soa_rebuild)
+      batch.fragments = rebuild_columns(batch.fragments);
     sent_fragments += batch.fragments.size();
     if (group)
       group->process_window(std::move(batch));
@@ -1076,9 +1105,21 @@ int main(int argc, char** argv) {
     // Each round runs the serial base (depth 1, 1 thread) and then the
     // full variant matrix against it.  The seed cache flips per round, so
     // over any two consecutive rounds the complete depth {1,2} x threads
-    // {1,2,4} x cache {off,on} grid is covered.
-    const std::pair<int, int> kVariants[] = {
-        {1, 2}, {1, 4}, {2, 1}, {2, 2}, {2, 4}};
+    // {1,2,4} x cache {off,on} grid is covered.  The two `soa` legs rebuild
+    // every window's columns through the materialize/view shim
+    // (rebuild_columns) — serially and at the widest pipeline point — so
+    // the SoA layout's conversion surfaces are part of the same
+    // byte-identity property as the threading matrix.
+    struct Variant {
+      int depth;
+      int threads;
+      bool soa;
+      const char* tag;
+    };
+    const Variant kVariants[] = {
+        {1, 2, false, "d1t2"}, {1, 4, false, "d1t4"}, {2, 1, false, "d2t1"},
+        {2, 2, false, "d2t2"}, {2, 4, false, "d2t4"}, {1, 1, true, "soa"},
+        {2, 4, true, "soa-d2t4"}};
     for (int r = 0; r < rounds; ++r) {
       const bool cache = r % 2 == 1;
       const PipeCfg serial{1, 1, cache};
@@ -1092,10 +1133,9 @@ int main(int argc, char** argv) {
       std::cout << ra.report.str();
       bool round_ok = ra.pass;
       std::size_t variants_ok = 0;
-      for (const auto& [depth, threads] : kVariants) {
-        const PipeCfg variant{depth, threads, cache};
-        const std::string tag =
-            "d" + std::to_string(depth) + "t" + std::to_string(threads);
+      for (const Variant& v : kVariants) {
+        const PipeCfg variant{v.depth, v.threads, cache, v.soa};
+        const std::string tag = v.tag;
         RoundArtifacts b;
         if (!plan_path.empty())
           vapro::testing::FaultInjector::instance().arm(plan);
@@ -1131,7 +1171,8 @@ int main(int argc, char** argv) {
       if (!round_ok) {
         ++failed;
       } else {
-        std::cout << "  serial == {d1t2,d1t4,d2t1,d2t2,d2t4}: OK ("
+        std::cout << "  serial == {d1t2,d1t4,d2t1,d2t2,d2t4,soa,soa-d2t4}:"
+                     " OK ("
                   << variants_ok << " variants, "
                   << base.journal_lines.size() << " journal events, "
                   << base.alerts << " alerts)\n";
